@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Every paper artifact (table/figure) has a dedicated benchmark file that
+times its regeneration and asserts its shape checks, so ``pytest
+benchmarks/ --benchmark-only`` both measures and validates the full
+reproduction.  Monte-Carlo sizes are the experiments' ``fast`` settings to
+keep a benchmark round in seconds.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def energy_model():
+    from repro.energy.model import EnergyModel
+
+    return EnergyModel()

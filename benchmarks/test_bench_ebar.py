@@ -1,0 +1,28 @@
+"""Benchmark: the e_bar_b anchor table (Section 6.2 magnitudes)."""
+
+from repro.energy.ebar import solve_ebar
+from repro.energy.table import EbarTable
+from repro.experiments import run_experiment
+from repro.experiments.ebar_magnitudes import check
+
+
+def test_ebar_anchor_grid(benchmark):
+    result = benchmark(run_experiment, "ebar")
+    check(result)
+
+
+def test_ebar_single_solve(benchmark):
+    value = benchmark(solve_ebar, 0.001, 2, 2, 3)
+    assert 1e-20 < value < 1e-19
+
+
+def test_ebar_preprocessing_table(benchmark):
+    """The Algorithms' "Preprocessing" step: build a node's lookup table."""
+    table = benchmark(
+        EbarTable,
+        (0.005, 0.001),
+        tuple(range(1, 9)),
+        (1, 2, 3),
+        (1, 2, 3),
+    )
+    assert len(table) == 2 * 8 * 3 * 3

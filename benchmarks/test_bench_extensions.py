@@ -1,0 +1,84 @@
+"""Benchmarks for the extension systems beyond the paper's headline scope."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_game import PowerControlGame
+from repro.channel.doppler import JakesFadingProcess
+from repro.energy.model import EnergyModel
+from repro.modulation import BPSKModem
+from repro.network import CoMIMONet, SUNode
+from repro.network.protocol import SessionSimulator
+from repro.phy.hop import simulate_hop
+from repro.sensing import CooperativeSensor, EnergyDetector
+
+
+class TestHopSimulation:
+    def test_full_mimo_hop_100k_bits(self, benchmark):
+        result = benchmark(
+            simulate_hop, 100_000, BPSKModem(), 25.0, 10.0, 3, 2, 8.0, 7
+        )
+        assert result.ber < 0.01
+
+
+class TestSensing:
+    def test_cooperative_faded_detection(self, benchmark):
+        sensor = CooperativeSensor(EnergyDetector(500, 0.05), 4, "or")
+        pd = benchmark(sensor.detection_probability_faded, 0.15, 20_000, 1)
+        assert pd > 0.8
+
+
+class TestPowerGame:
+    def test_8_player_equilibrium(self, benchmark):
+        rng = np.random.default_rng(0)
+        n = 8
+        d = rng.uniform(5.0, 100.0, (n, n))
+        np.fill_diagonal(d, rng.uniform(2.0, 10.0, n))
+        g = 1e-3 * d ** -3.5
+        h = 1e-3 * rng.uniform(20.0, 120.0, n) ** -3.5
+        game = PowerControlGame(g, h, price=1e12)
+        outcome = benchmark(game.run)
+        assert outcome.converged
+
+
+class TestDoppler:
+    def test_jakes_100k_samples(self, benchmark):
+        proc = JakesFadingProcess(doppler_hz=10.0, n_oscillators=32, rng=0)
+        t = np.linspace(0.0, 10.0, 100_000)
+        h = benchmark(proc.sample, t)
+        assert h.shape == (100_000,)
+
+
+class TestProtocol:
+    def test_three_hop_session(self, benchmark):
+        def run():
+            rng = np.random.default_rng(5)
+            nodes = []
+            nid = 0
+            for cx in (0.0, 120.0, 240.0, 360.0):
+                for _ in range(3):
+                    off = rng.uniform(-0.8, 0.8, 2)
+                    nodes.append(SUNode(nid, (cx + off[0], off[1]), battery_j=1e4))
+                    nid += 1
+            net = CoMIMONet(nodes, cluster_diameter=2.5, longhaul_range=150.0)
+            sim = SessionSimulator(net, EnergyModel(), rng=5)
+            return sim.run_session(0, 3, 500_000.0)
+
+        result = benchmark(run)
+        assert result.completed
+
+
+class TestCoding:
+    def test_viterbi_20k_info_bits(self, benchmark):
+        from repro.phy.coded import simulate_coded_link
+
+        result = benchmark(simulate_coded_link, 20_000, 8.0)
+        assert result.ber < result.channel_ber
+
+
+class TestCapacity:
+    def test_ergodic_capacity_2x2(self, benchmark):
+        from repro.analysis.capacity import ergodic_capacity
+
+        c = benchmark(ergodic_capacity, 2, 2, 10.0, 20_000, 0)
+        assert 4.0 < c < 7.0

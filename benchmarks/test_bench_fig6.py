@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 6 (overlay relay distances)."""
+
+from repro.experiments import run_experiment
+from repro.experiments.fig6_overlay_distance import check
+from repro.core.overlay import OverlaySystem
+from repro.energy.model import EnergyModel
+
+
+def test_fig6_full_sweep(benchmark):
+    """Both conventions, full D1/m/B grid (the paper's Figure 6 axes)."""
+    result = benchmark(run_experiment, "fig6", fast=True)
+    check(result)
+
+
+def test_fig6_single_point(benchmark):
+    """The paper's worked example: D1 = 250 m, m = 3, B = 40 kHz."""
+    system = OverlaySystem(EnergyModel(ebar_convention="diversity_only"))
+    result = benchmark(system.distance_analysis, 250.0, 3, 40e3)
+    assert result.d3 > result.d2 > result.d1

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7 (underlay PA energy sweep)."""
+
+from repro.core.underlay import UnderlaySystem
+from repro.energy.model import EnergyModel
+from repro.experiments import run_experiment
+from repro.experiments.fig7_underlay_energy import check
+
+
+def test_fig7_sweep(benchmark):
+    result = benchmark(run_experiment, "fig7", fast=True)
+    check(result)
+
+
+def test_fig7_single_configuration(benchmark, energy_model):
+    """One (mt, mr, D) point with b-optimization — the inner loop of the
+    Figure 7 sweep."""
+    system = UnderlaySystem(energy_model)
+    result = benchmark(system.pa_energy, 0.001, 2, 3, 1.0, 200.0, 10e3)
+    assert result.total_pa > 0.0

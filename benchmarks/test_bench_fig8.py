@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 8 (beamformer pattern + measurements)."""
+
+import numpy as np
+
+from repro.beamforming.pattern import design_null_delay, radiation_pattern
+from repro.experiments import run_experiment
+from repro.experiments.fig8_beam_pattern import check
+
+
+def test_fig8_measurement_sweep(benchmark):
+    result = benchmark(run_experiment, "fig8", seed=7, fast=True)
+    check(result)
+
+
+def test_fig8_dense_pattern(benchmark):
+    """A 1-degree-resolution LOS pattern (the simulated curve)."""
+    wavelength = 0.1224
+    delta = design_null_delay(wavelength / 2, wavelength, 120.0)
+    angles = np.arange(0.0, 180.5, 1.0)
+    amps = benchmark(radiation_pattern, wavelength / 2, wavelength, delta, angles, 1.0)
+    assert amps.min() < 0.05

@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+These track the throughput of the building blocks every experiment leans
+on: the STBC encode/decode path, the Monte-Carlo link chain, clustering,
+the MAC simulator and the field computations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import MultipathEnvironment
+from repro.channel.rayleigh import rayleigh_mimo_channel
+from repro.mac.csma import CsmaCaSimulator
+from repro.modulation import BPSKModem, QAMModem
+from repro.network.clustering import d_cluster
+from repro.network.graph import build_communication_graph
+from repro.phy.frame import bytes_to_bits, with_crc
+from repro.phy.link import simulate_link
+from repro.stbc.ostbc import ostbc_for
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestStbcThroughput:
+    def test_alamouti_encode_decode_100k_symbols(self, benchmark, rng):
+        code = ostbc_for(2)
+        s = rng.standard_normal(100_000) + 1j * rng.standard_normal(100_000)
+        h = rayleigh_mimo_channel(2, 2, 50_000, rng=rng)
+
+        def chain():
+            x = code.encode(s)
+            y = np.einsum("btm,bjm->btj", x, h)
+            return code.decode(y, h)
+
+        out = benchmark(chain)
+        assert out.shape == (100_000,)
+
+    def test_g4_encode_decode(self, benchmark, rng):
+        code = ostbc_for(4)
+        s = rng.standard_normal(40_000) + 1j * rng.standard_normal(40_000)
+        h = rayleigh_mimo_channel(4, 2, 10_000, rng=rng)
+
+        def chain():
+            x = code.encode(s)
+            y = np.einsum("btm,bjm->btj", x, h)
+            return code.decode(y, h)
+
+        out = benchmark(chain)
+        assert out.shape == (40_000,)
+
+
+class TestLinkThroughput:
+    def test_bpsk_rayleigh_200k_bits(self, benchmark):
+        result = benchmark(simulate_link, 200_000, BPSKModem(), 10.0)
+        assert 0.0 < result.ber < 0.1
+
+    def test_qam64_mimo_2x2(self, benchmark):
+        result = benchmark(
+            simulate_link, 120_000, QAMModem(6), 25.0, 2, 2
+        )
+        assert result.ber < 0.2
+
+
+class TestNetworkKernels:
+    def test_d_cluster_500_nodes(self, benchmark, rng):
+        pts = rng.uniform(0, 500, (500, 2))
+        clusters = benchmark(d_cluster, pts, 10.0, 4)
+        assert sum(len(c) for c in clusters) == 500
+
+    def test_communication_graph_500_nodes(self, benchmark, rng):
+        pts = rng.uniform(0, 200, (500, 2))
+        graph = benchmark(build_communication_graph, pts, 25.0)
+        assert graph.n_vertices == 500
+
+
+class TestMacAndFraming:
+    def test_csma_8_stations_1s(self, benchmark):
+        def run():
+            return CsmaCaSimulator(n_stations=8, rng=1).run(1_000_000)
+
+        stats = benchmark(run)
+        assert stats.delivered > 0
+
+    def test_crc_frame_1500_bytes(self, benchmark, rng):
+        payload = bytes_to_bits(rng.integers(0, 256, 1500).astype(np.uint8))
+        frame = benchmark(with_crc, payload)
+        assert frame.size == payload.size + 16
+
+
+class TestFieldComputation:
+    def test_indoor_field_1000_points(self, benchmark, rng):
+        env = MultipathEnvironment.random_indoor(n_scatterers=8, rng=3)
+        tx = np.array([[0.05, 0.0], [-0.05, 0.0]])
+        points = rng.uniform(-3, 3, (1000, 2))
+
+        def sweep():
+            return [env.amplitude_at(tx, p, 0.12) for p in points]
+
+        amps = benchmark(sweep)
+        assert len(amps) == 1000

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 1 (interweave amplitudes)."""
+
+from repro.core.interweave import InterweaveSystem
+from repro.experiments import run_experiment
+from repro.experiments.table1_interweave_amplitude import check
+
+
+def test_table1_ten_trials(benchmark):
+    result = benchmark(run_experiment, "table1", seed=2013)
+    check(result)
+
+
+def test_table1_single_trial(benchmark):
+    system = InterweaveSystem(st1=(0.0, 7.5), st2=(0.0, -7.5))
+    trials = benchmark(system.run_table1, 1, 20, 150.0, (60.0, 0.0), 12.0, 8, False, 42)
+    assert trials[0].gain_over_siso > 1.5

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (single-relay overlay BER)."""
+
+from repro.experiments import run_experiment
+from repro.experiments.table2_single_relay_ber import check
+from repro.testbed.environment import table2_testbed
+
+
+def test_table2_three_trials(benchmark):
+    result = benchmark(run_experiment, "table2", fast=True)
+    check(result)
+
+
+def test_table2_one_cooperative_run(benchmark):
+    """One 100k-bit decode-and-forward run — the paper's unit experiment."""
+    testbed = table2_testbed()
+    result = benchmark(
+        testbed.run_relay_experiment, "tx", ["relay"], "rx", 100_000
+    )
+    assert result.ber < 0.1

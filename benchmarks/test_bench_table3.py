@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 3 (multi-relay overlay BER)."""
+
+from repro.experiments import run_experiment
+from repro.experiments.table3_multi_relay_ber import check
+from repro.testbed.environment import table3_testbed
+
+
+def test_table3_all_modes(benchmark):
+    result = benchmark(run_experiment, "table3", fast=True)
+    check(result)
+
+
+def test_table3_three_relay_run(benchmark):
+    testbed = table3_testbed()
+    result = benchmark(
+        testbed.run_relay_experiment,
+        "tx",
+        ["relay1", "relay2", "relay3"],
+        "rx",
+        100_000,
+    )
+    assert result.ber < 0.12

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 4 (underlay PER vs transmit amplitude)."""
+
+from repro.experiments import run_experiment
+from repro.experiments.table4_underlay_per import check
+from repro.modulation import GMSKModem
+from repro.testbed.environment import table4_testbed
+from repro.testbed.image import PACKET_BYTES
+
+
+def test_table4_amplitude_ladder(benchmark):
+    result = benchmark(run_experiment, "table4", fast=True)
+    check(result)
+
+
+def test_table4_cooperative_image_burst(benchmark):
+    """79 cooperative GMSK packets (the fast Table 4 unit of work)."""
+    testbed = table4_testbed()
+    result = benchmark(
+        testbed.run_packet_experiment,
+        ["tx1", "tx2"],
+        "rx",
+        79,
+        PACKET_BYTES * 8,
+        GMSKModem(),
+    )
+    assert result.per < 0.5

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Interweave paradigm: null-steering beamformer walkthrough (Section 5).
+
+Reproduces the Table 1 simulation and the Figure 8 semicircle measurement,
+then sweeps the design null over several directions and quantifies the
+far-field-delta approximation error — the "advantages and limits" analysis
+the paper closes with.
+
+Run:  python examples/interweave_beamforming.py
+"""
+
+import numpy as np
+
+from repro.beamforming.pattern import (
+    design_null_delay,
+    pattern_null_angle,
+    radiation_pattern,
+)
+from repro.channel.multipath import MultipathEnvironment
+from repro.core.interweave import InterweaveSystem, form_pairs
+
+
+def table1_simulation() -> None:
+    print("== Table 1: pairwise null steering, 10 trials ==")
+    system = InterweaveSystem(st1=(0.0, 7.5), st2=(0.0, -7.5))
+    trials = system.run_table1(rng=2013)
+    for i, t in enumerate(trials, 1):
+        print(
+            f"  trial {i:2d}: picked Pr ({t.picked_pr[0]:7.1f}, {t.picked_pr[1]:7.1f})"
+            f"  amplitude {t.amplitude_at_sr:.2f} ({t.gain_over_siso:.2f}x SISO)"
+            f"  leak at Pr {t.residual_at_pr:.4f}"
+        )
+    mean_gain = np.mean([t.gain_over_siso for t in trials])
+    print(f"  mean diversity gain {mean_gain:.2f}x (paper: 1.87x)\n")
+
+
+def figure8_pattern() -> None:
+    print("== Figure 8: null at 120 deg, 2.45 GHz pair, indoor room ==")
+    wavelength = 0.1224
+    spacing = wavelength / 2.0
+    delta = design_null_delay(spacing, wavelength, 120.0)
+    angle, depth = pattern_null_angle(spacing, wavelength, delta)
+    print(f"  designed delta = {delta:.3f} rad -> LOS null at {angle:.1f} deg "
+          f"(depth {depth:.2e})")
+    room = MultipathEnvironment.random_indoor(rng=7)
+    angles = np.arange(0.0, 181.0, 20.0)
+    los = radiation_pattern(spacing, wavelength, delta, angles, radius=1.0)
+    indoor = radiation_pattern(
+        spacing, wavelength, delta, angles, radius=1.0, environment=room
+    )
+    print("  angle:   " + "  ".join(f"{a:5.0f}" for a in angles))
+    print("  LOS:     " + "  ".join(f"{v:5.2f}" for v in los))
+    print("  indoor:  " + "  ".join(f"{v:5.2f}" for v in indoor))
+    print("  -> multipath fills the null in, exactly the paper's observation\n")
+
+
+def null_direction_sweep() -> None:
+    print("== Extension: design-null sweep and approximation error ==")
+    wavelength = 0.1224
+    spacing = wavelength / 2.0
+    for target in (30.0, 60.0, 90.0, 120.0, 150.0):
+        delta = design_null_delay(spacing, wavelength, target)
+        angle, depth = pattern_null_angle(spacing, wavelength, delta)
+        print(f"  target {target:5.1f} deg -> achieved {angle:5.1f} deg "
+              f"(depth {depth:.1e})")
+    print()
+
+
+def cluster_pairing() -> None:
+    print("== Algorithm 3 step 0: pairing a 5-node transmit cluster ==")
+    rng = np.random.default_rng(3)
+    positions = rng.uniform(-8, 8, size=(5, 2))
+    pairs = form_pairs(positions)
+    print(f"  node positions: {np.round(positions, 1).tolist()}")
+    print(f"  floor(5/2) = 2 pairs formed: {pairs} (node "
+          f"{({i for i in range(5)} - {i for p in pairs for i in p}).pop()} sits out)")
+
+
+if __name__ == "__main__":
+    table1_simulation()
+    figure8_pattern()
+    null_direction_sweep()
+    cluster_pairing()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Overlay paradigm on the simulated indoor testbed (Section 6.4 style).
+
+Recreates both overlay experiments — the 2 m triangle with an obstructing
+board (Table 2) and the two-labs-plus-corridor layout (Table 3) — then goes
+beyond the paper with a combining ablation (the paper uses equal-gain
+combination; how much would MRC or selection combining change the story?).
+
+Run:  python examples/overlay_relay_testbed.py
+"""
+
+from repro.testbed import table2_testbed, table3_testbed
+
+N_BITS = 100_000
+
+
+def triangle_experiment() -> None:
+    print("== Table 2 layout: 2 m triangle, thick board on the direct path ==")
+    testbed = table2_testbed()
+    print(f"  direct link SNR: {testbed.link_snr_db('tx', 'rx'):.1f} dB (obstructed)")
+    print(f"  via relay:       {testbed.link_snr_db('tx', 'relay'):.1f} dB / "
+          f"{testbed.link_snr_db('relay', 'rx'):.1f} dB (clear)")
+    direct = testbed.run_relay_experiment("tx", [], "rx", n_bits=N_BITS, rng=1)
+    coop = testbed.run_relay_experiment("tx", ["relay"], "rx", n_bits=N_BITS, rng=2)
+    print(f"  BER without cooperation: {direct.ber:.4f}")
+    print(f"  BER with relay + EGC:    {coop.ber:.4f} "
+          f"({direct.ber / coop.ber:.1f}x better)\n")
+
+
+def corridor_experiment() -> None:
+    print("== Table 3 layout: two labs, concrete walls, relay corridor ==")
+    testbed = table3_testbed()
+    direct = testbed.run_relay_experiment("tx", [], "rx", n_bits=N_BITS, rng=3)
+    single = testbed.run_relay_experiment("tx", ["relay_mid"], "rx", n_bits=N_BITS, rng=4)
+    multi = testbed.run_relay_experiment(
+        "tx", ["relay1", "relay2", "relay3"], "rx", n_bits=N_BITS, rng=5
+    )
+    print(f"  no cooperation: {direct.ber:.4f}")
+    print(f"  single relay:   {single.ber:.4f}")
+    print(f"  three relays:   {multi.ber:.4f}")
+    print("  -> the more relays, the lower the bit errors (paper's conclusion)\n")
+
+
+def combining_ablation() -> None:
+    print("== Ablation: receive combining strategy (multi-relay layout) ==")
+    testbed = table3_testbed()
+    for combining in ("egc", "mrc", "sc"):
+        result = testbed.run_relay_experiment(
+            "tx",
+            ["relay1", "relay2", "relay3"],
+            "rx",
+            n_bits=N_BITS,
+            combining=combining,
+            rng=6,
+        )
+        note = "(the paper's choice)" if combining == "egc" else ""
+        print(f"  {combining.upper():3s}: BER {result.ber:.4f} {note}")
+    print(
+        "  -> with decode-and-forward relays, MRC's |h|^2 weights track the\n"
+        "     last-hop channel but NOT the relay's decoding reliability, so\n"
+        "     EGC is competitive or better here — and needs no amplitude\n"
+        "     estimates, which is why the USRP testbed used it; SC discards\n"
+        "     diversity and trails both"
+    )
+
+
+if __name__ == "__main__":
+    triangle_experiment()
+    corridor_experiment()
+    combining_ablation()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Spectrum sensing feeding the interweave paradigm.
+
+Algorithm 3's Step 1 — "the head of transmission cluster C-St determines
+the PU to share the frequency based on the sensed environment" — presumes
+the cluster can *detect* primary users in the first place.  This example
+builds that front end with the energy detector, shows why a lone shadowed
+sensor fails and how cluster-cooperative sensing (OR fusion) fixes it,
+then hands the sensed PU to the null-steering transmitter.
+
+Run:  python examples/spectrum_sensing.py
+"""
+
+import numpy as np
+
+from repro.core.interweave import InterweaveSystem
+from repro.sensing import CooperativeSensor, EnergyDetector
+
+
+def detector_design() -> EnergyDetector:
+    print("== CFAR energy detector design ==")
+    detector = EnergyDetector(n_samples=2000, target_pfa=0.01)
+    print(f"  window 2000 samples, P_fa = 1% -> threshold {detector.threshold:.1f}")
+    for snr_db in (-15.0, -10.0, -7.0, -5.0):
+        pd = detector.detection_probability(10 ** (snr_db / 10))
+        print(f"  P_d at {snr_db:5.1f} dB primary SNR: {pd:6.1%}")
+    n = EnergyDetector.samples_required(10 ** (-15 / 10), target_pfa=0.01, target_pd=0.95)
+    print(f"  to reach P_d = 95% at -15 dB a window of {n} samples is needed "
+          "(the classic 1/SNR^2 low-SNR wall)\n")
+    return detector
+
+
+def cooperative_rescue(detector: EnergyDetector) -> None:
+    print("== Cooperative sensing across a 4-node cluster (Rayleigh fades) ==")
+    mean_snr = 10 ** (-7 / 10)
+    for n_sensors in (1, 2, 4):
+        sensor = CooperativeSensor(detector, n_sensors, "or")
+        pd = sensor.detection_probability_faded(mean_snr, rng=1)
+        pfa = sensor.false_alarm_probability()
+        print(f"  {n_sensors} sensor(s), OR fusion: P_d = {pd:6.1%}  (P_fa = {pfa:.2%})")
+    print("  -> independent fades rarely all dip together: the cluster sees "
+          "the PU a lone shadowed node would miss\n")
+
+
+def sense_then_transmit() -> None:
+    print("== Sensed PU -> null-steered interweave transmission ==")
+    rng = np.random.default_rng(7)
+    system = InterweaveSystem(st1=(0.0, 7.5), st2=(0.0, -7.5))
+    detector = EnergyDetector(n_samples=4000, target_pfa=0.01)
+
+    # Three actual primary transmitters; the cluster senses which bands are
+    # occupied before picking whose band to reuse spatially.
+    primaries = np.array([[10.0, -130.0], [90.0, 40.0], [-40.0, 120.0]])
+    occupied = []
+    for i, pr in enumerate(primaries):
+        # received primary SNR falls with distance (arbitrary near-field scale)
+        dist = np.hypot(*pr)
+        snr = 10 ** ((4.0 - 20 * np.log10(dist / 40.0)) / 10)
+        stat_scale = 1.0 + snr
+        detected = rng.gamma(detector.n_samples, stat_scale) > detector.threshold
+        print(f"  band {i}: PU at ({pr[0]:.0f}, {pr[1]:.0f}), sensed SNR "
+              f"{10 * np.log10(snr):5.1f} dB -> {'occupied' if detected else 'idle'}")
+        if detected:
+            occupied.append(pr)
+
+    candidates = np.array(occupied)
+    trial = system.run_trial(candidates, np.array([[60.0, 0.0], [63.0, 4.0]]))
+    print(f"  head picks the PU at {trial.picked_pr} (most axis-aligned & far)")
+    print(f"  transmission: {trial.gain_over_siso:.2f}x SISO at the secondary "
+          f"receiver, {trial.residual_at_pr:.4f} leaked at the PU")
+
+
+if __name__ == "__main__":
+    detector = detector_design()
+    cooperative_rescue(detector)
+    sense_then_transmit()

@@ -1,0 +1,32 @@
+"""Analysis utilities on top of the core library.
+
+* :mod:`repro.analysis.link_budget` — itemized dB-domain link budgets
+  (transmit power → path loss → walls → fading margin → SNR), the way an
+  RF engineer would sanity-check the testbed calibrations;
+* :mod:`repro.analysis.ber_sweep` — Monte-Carlo BER/PER waterfall curves
+  for any modem and antenna configuration, with Wilson confidence
+  intervals and automatic sample-size escalation at low error rates;
+* :mod:`repro.analysis.capacity` — ergodic/outage MIMO capacity and the
+  multiplexing-gain slope (the Section 1 spectral-efficiency motivation).
+"""
+
+from repro.analysis.ber_sweep import BerPoint, sweep_ber, wilson_interval
+from repro.analysis.capacity import (
+    capacity_samples,
+    capacity_slope,
+    ergodic_capacity,
+    outage_capacity,
+)
+from repro.analysis.link_budget import BudgetItem, LinkBudget
+
+__all__ = [
+    "LinkBudget",
+    "BudgetItem",
+    "sweep_ber",
+    "BerPoint",
+    "wilson_interval",
+    "capacity_samples",
+    "ergodic_capacity",
+    "outage_capacity",
+    "capacity_slope",
+]

@@ -1,0 +1,111 @@
+"""Monte-Carlo BER/PER waterfall sweeps with confidence intervals.
+
+Link-level papers live and die by waterfall curves; this module sweeps
+:func:`repro.phy.link.simulate_link` over an SNR axis and attaches Wilson
+score intervals to every point, escalating the sample size until either a
+target number of bit errors is observed (keeping the *relative* interval
+width roughly constant down the waterfall) or a sample budget is hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.modulation.base import Modem
+from repro.phy.link import simulate_link
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["BerPoint", "sweep_ber", "wilson_interval"]
+
+
+def wilson_interval(
+    n_errors: int, n_trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the extremes (0 observed errors still yields a finite
+    upper bound), which is exactly the regime BER measurement lives in.
+    """
+    if n_trials < 1:
+        raise ValueError("n_trials must be >= 1")
+    if not (0 <= n_errors <= n_trials):
+        raise ValueError("need 0 <= n_errors <= n_trials")
+    check_probability(confidence, "confidence")
+    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
+    p_hat = n_errors / n_trials
+    denom = 1.0 + z**2 / n_trials
+    center = (p_hat + z**2 / (2 * n_trials)) / denom
+    half = (
+        z
+        * np.sqrt(p_hat * (1 - p_hat) / n_trials + z**2 / (4 * n_trials**2))
+        / denom
+    )
+    low = 0.0 if n_errors == 0 else max(center - half, 0.0)
+    high = 1.0 if n_errors == n_trials else min(center + half, 1.0)
+    return low, high
+
+
+@dataclass(frozen=True)
+class BerPoint:
+    """One waterfall point with its uncertainty."""
+
+    snr_db: float
+    n_bits: int
+    n_errors: int
+    ber: float
+    ci_low: float
+    ci_high: float
+
+
+def sweep_ber(
+    modem: Modem,
+    snrs_db: Sequence[float],
+    mt: int = 1,
+    mr: int = 1,
+    fading: str = "rayleigh",
+    rician_k: float = 0.0,
+    target_errors: int = 100,
+    initial_bits: int = 20_000,
+    max_bits: int = 2_000_000,
+    confidence: float = 0.95,
+    rng: RngLike = None,
+) -> List[BerPoint]:
+    """Measure the BER waterfall of one link configuration.
+
+    At each SNR, batches of ``initial_bits`` bits are simulated until
+    ``target_errors`` errors accumulate or ``max_bits`` is reached; the
+    Wilson interval of the pooled counts is attached.  Points are returned
+    in the order of ``snrs_db``.
+    """
+    check_positive_int(target_errors, "target_errors")
+    check_positive_int(initial_bits, "initial_bits")
+    check_positive_int(max_bits, "max_bits")
+    gen = as_rng(rng)
+    points = []
+    for snr_db in snrs_db:
+        n_bits = 0
+        n_errors = 0
+        while n_errors < target_errors and n_bits < max_bits:
+            batch = min(initial_bits, max_bits - n_bits)
+            result = simulate_link(
+                batch, modem, float(snr_db), mt, mr, fading, rician_k, rng=gen
+            )
+            n_bits += result.n_bits
+            n_errors += result.n_bit_errors
+        low, high = wilson_interval(n_errors, n_bits, confidence)
+        points.append(
+            BerPoint(
+                snr_db=float(snr_db),
+                n_bits=n_bits,
+                n_errors=n_errors,
+                ber=n_errors / n_bits,
+                ci_low=low,
+                ci_high=high,
+            )
+        )
+    return points

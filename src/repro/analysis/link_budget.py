@@ -1,0 +1,126 @@
+"""Itemized dB-domain link budgets.
+
+A :class:`LinkBudget` accumulates named gains and losses in dB relative to
+a transmit power, tracks the running level, and resolves against a noise
+floor into an SNR — the standard RF bookkeeping used to audit the testbed
+calibrations in EXPERIMENTS.md.  Budgets can be built by hand or derived
+from an :class:`repro.channel.indoor.IndoorChannel` link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["BudgetItem", "LinkBudget"]
+
+
+@dataclass(frozen=True)
+class BudgetItem:
+    """One line of a budget: a named dB contribution (losses negative)."""
+
+    name: str
+    db: float
+
+
+class LinkBudget:
+    """A transmit-to-receive power ledger in dB.
+
+    Parameters
+    ----------
+    tx_power_dbm:
+        The starting level.
+    noise_power_dbm:
+        The floor the final level is compared against for :meth:`snr_db`.
+    """
+
+    def __init__(self, tx_power_dbm: float, noise_power_dbm: float = -110.0):
+        self.tx_power_dbm = float(tx_power_dbm)
+        self.noise_power_dbm = float(noise_power_dbm)
+        self._items: List[BudgetItem] = []
+
+    # ------------------------------------------------------------------ #
+
+    def add_gain(self, name: str, db: float) -> "LinkBudget":
+        """Add a positive contribution (antenna gain, combining gain...)."""
+        if db < 0.0:
+            raise ValueError("gains must be non-negative; use add_loss")
+        self._items.append(BudgetItem(name, float(db)))
+        return self
+
+    def add_loss(self, name: str, db: float) -> "LinkBudget":
+        """Add a loss (path loss, wall, margin...); ``db`` given positive."""
+        if db < 0.0:
+            raise ValueError("losses are specified as positive dB values")
+        self._items.append(BudgetItem(name, -float(db)))
+        return self
+
+    @property
+    def items(self) -> Tuple[BudgetItem, ...]:
+        return tuple(self._items)
+
+    @property
+    def received_power_dbm(self) -> float:
+        """Final level after every line item."""
+        return self.tx_power_dbm + sum(item.db for item in self._items)
+
+    @property
+    def snr_db(self) -> float:
+        """Received level over the noise floor."""
+        return self.received_power_dbm - self.noise_power_dbm
+
+    def margin_db(self, required_snr_db: float) -> float:
+        """Headroom above (or deficit below) a required SNR."""
+        return self.snr_db - float(required_snr_db)
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_indoor_link(
+        cls,
+        channel,
+        tx_position,
+        rx_position,
+        tx_power_dbm: float,
+        fading_margin_db: float = 0.0,
+    ) -> "LinkBudget":
+        """Build the itemized budget of one indoor-channel link.
+
+        Splits the channel's loss into the distance law, the wall
+        crossings, and the per-link shadowing draw, then adds an optional
+        fading margin — so ``snr_db`` matches
+        ``channel.average_snr_db(...) - fading_margin_db`` exactly (a
+        property the tests pin down).
+        """
+        tx = np.asarray(tx_position, dtype=float)
+        rx = np.asarray(rx_position, dtype=float)
+        dist = float(np.linalg.norm(tx - rx))
+        budget = cls(tx_power_dbm, noise_power_dbm=channel.noise_power_dbm)
+        budget.add_loss(
+            f"path loss ({dist:.1f} m)", float(channel.pathloss.attenuation_db(dist))
+        )
+        blockage = channel.blockage_db(tx, rx)
+        if blockage > 0.0:
+            budget.add_loss("walls/obstacles", blockage)
+        shadow = channel._shadow_db(tx, rx)
+        if shadow > 0.0:
+            budget.add_loss("shadowing", shadow)
+        elif shadow < 0.0:
+            budget.add_gain("shadowing (constructive)", -shadow)
+        if fading_margin_db > 0.0:
+            budget.add_loss("fading margin", fading_margin_db)
+        return budget
+
+    def to_text(self) -> str:
+        """Aligned ledger rendering."""
+        width = max([len("transmit power")] + [len(i.name) for i in self._items]) + 2
+        lines = [f"{'transmit power'.ljust(width)} {self.tx_power_dbm:+8.1f} dBm"]
+        level = self.tx_power_dbm
+        for item in self._items:
+            level += item.db
+            lines.append(f"{item.name.ljust(width)} {item.db:+8.1f} dB  -> {level:+.1f} dBm")
+        lines.append(f"{'noise floor'.ljust(width)} {self.noise_power_dbm:+8.1f} dBm")
+        lines.append(f"{'SNR'.ljust(width)} {self.snr_db:+8.1f} dB")
+        return "\n".join(lines)

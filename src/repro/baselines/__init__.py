@@ -1,0 +1,18 @@
+"""Baseline approaches the paper positions itself against (Section 1).
+
+* :mod:`repro.baselines.power_game` — the game-theoretic underlay power
+  control of refs [1, 4, 5]: SUs iteratively best-respond to each other's
+  transmit powers.  The paper's critique — the game's utility provides "an
+  incentive to reduce the interference at the PUs' receiver, but not a
+  *guarantee* that the aggregated interference ... is maintained below a
+  certain threshold" — is reproduced quantitatively by
+  :func:`repro.baselines.power_game.interference_guarantee_comparison`.
+"""
+
+from repro.baselines.power_game import (
+    GameOutcome,
+    PowerControlGame,
+    interference_guarantee_comparison,
+)
+
+__all__ = ["PowerControlGame", "GameOutcome", "interference_guarantee_comparison"]

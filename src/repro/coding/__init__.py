@@ -1,0 +1,20 @@
+"""Channel coding and interleaving.
+
+Section 2.3 of the paper "intentionally omitted" the signal-processing
+blocks (channel coding among them) "to keep the model from being
+overcomplicated", noting that "the methodology used here can be extended
+to ... include the signal processing blocks".  This package is that
+extension:
+
+* :mod:`repro.coding.convolutional` — feed-forward convolutional encoders
+  with exact Viterbi (maximum-likelihood) hard- and soft-decision
+  decoding, including the industry-standard K=7, rate-1/2 code;
+* :mod:`repro.coding.interleave` — block interleaving, which converts the
+  quasi-static channel's error bursts into the scattered errors
+  convolutional codes are built to fix.
+"""
+
+from repro.coding.convolutional import ConvolutionalCode
+from repro.coding.interleave import BlockInterleaver
+
+__all__ = ["ConvolutionalCode", "BlockInterleaver"]

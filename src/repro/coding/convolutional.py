@@ -1,0 +1,220 @@
+"""Feed-forward convolutional codes with exact Viterbi decoding.
+
+The encoder is a ``K``-stage shift register; each of the ``n`` generator
+polynomials (given in the conventional octal form, MSB = newest bit) emits
+one parity bit per input bit, so the code rate is ``1/n``.  Encoding is
+*terminated*: ``K - 1`` flush zeros return the register to the zero state,
+buying maximum-likelihood performance at the block edges.
+
+Decoding is the Viterbi algorithm over the ``2^(K-1)``-state trellis —
+exact ML for hard decisions (Hamming branch metrics) and for soft
+decisions (correlation metrics on ±1-mapped observations).  The
+add-compare-select recursion is vectorized across states; only the time
+axis is a Python loop.
+
+The default code is the ubiquitous ``K = 7, (171, 133)_8`` pair (Voyager /
+802.11 / GSM lineage) with free distance 10.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ConvolutionalCode"]
+
+
+class ConvolutionalCode:
+    """A rate ``1/n`` terminated convolutional code.
+
+    Parameters
+    ----------
+    generators:
+        Octal generator polynomials (e.g. ``(0o171, 0o133)``); each must
+        fit in ``constraint_length`` bits and the first tap convention is
+        MSB = current input bit.
+    constraint_length:
+        ``K``: the register length including the current bit.
+    """
+
+    def __init__(
+        self,
+        generators: Sequence[int] = (0o171, 0o133),
+        constraint_length: int = 7,
+    ):
+        self.constraint_length = check_positive_int(constraint_length, "constraint_length", maximum=16)
+        if self.constraint_length < 2:
+            raise ValueError("constraint_length must be >= 2")
+        self.generators = tuple(int(g) for g in generators)
+        if not self.generators:
+            raise ValueError("at least one generator polynomial is required")
+        limit = 1 << self.constraint_length
+        for g in self.generators:
+            if not (0 < g < limit):
+                raise ValueError(
+                    f"generator {g:#o} does not fit constraint length {constraint_length}"
+                )
+        self.n_out = len(self.generators)
+        self.n_states = 1 << (self.constraint_length - 1)
+        self._build_tables()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rate(self) -> float:
+        """Information bits per coded bit (ignoring termination overhead)."""
+        return 1.0 / self.n_out
+
+    def _build_tables(self) -> None:
+        """Trellis tables: next states, output symbols, predecessors."""
+        k = self.constraint_length
+        states = np.arange(self.n_states)
+        # register value for (state, input): input is the newest (MSB) bit
+        self._next_state = np.empty((self.n_states, 2), dtype=np.int64)
+        self._output = np.empty((self.n_states, 2, self.n_out), dtype=np.int8)
+        for bit in (0, 1):
+            register = (bit << (k - 1)) | states
+            self._next_state[:, bit] = register >> 1
+            for j, g in enumerate(self.generators):
+                taps = register & g
+                # parity of taps
+                parity = np.zeros_like(taps)
+                t = taps.copy()
+                while np.any(t):
+                    parity ^= t & 1
+                    t >>= 1
+                self._output[:, bit, j] = parity
+        # predecessors of each state t: two (prev_state, input) pairs
+        self._pred_state = np.empty((self.n_states, 2), dtype=np.int64)
+        self._pred_input = np.empty((self.n_states, 2), dtype=np.int64)
+        counts = np.zeros(self.n_states, dtype=np.int64)
+        for s in range(self.n_states):
+            for bit in (0, 1):
+                t = self._next_state[s, bit]
+                self._pred_state[t, counts[t]] = s
+                self._pred_input[t, counts[t]] = bit
+                counts[t] += 1
+        assert np.all(counts == 2)
+
+    # ------------------------------------------------------------------ #
+    # Encoding                                                           #
+    # ------------------------------------------------------------------ #
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode and terminate; output length ``(len + K - 1) * n_out``."""
+        arr = np.asarray(bits)
+        if arr.ndim != 1:
+            raise ValueError("bits must be 1-D")
+        if arr.size and not np.isin(arr, (0, 1)).all():
+            raise ValueError("bits must contain only 0 and 1")
+        padded = np.concatenate(
+            [arr.astype(np.int64), np.zeros(self.constraint_length - 1, np.int64)]
+        )
+        out = np.empty((padded.size, self.n_out), dtype=np.int8)
+        state = 0
+        for i, bit in enumerate(padded):
+            out[i] = self._output[state, bit]
+            state = self._next_state[state, bit]
+        return out.reshape(-1)
+
+    # ------------------------------------------------------------------ #
+    # Viterbi decoding                                                   #
+    # ------------------------------------------------------------------ #
+
+    def _branch_metrics(self, observations: np.ndarray, soft: bool) -> np.ndarray:
+        """Per-step metric of every (state, input) branch.
+
+        ``observations``: ``(n_steps, n_out)``; hard 0/1 bits or soft ±1
+        values (+1 = bit 0).  Returns ``(n_steps, n_states, 2)`` costs.
+        """
+        if soft:
+            # cost = -correlation with the expected ±1 symbol (+1 = bit 0)
+            signs = 1.0 - 2.0 * self._output.astype(float)  # (S, 2, n)
+            return -np.einsum("tn,sbn->tsb", observations, signs)
+        expected = self._output[None, :, :, :]  # (1, S, 2, n)
+        rx = observations[:, None, None, :]
+        return np.sum(rx != expected, axis=-1).astype(np.float64)
+
+    def decode(self, received: np.ndarray, soft: bool = False) -> np.ndarray:
+        """Maximum-likelihood sequence decoding of a terminated block.
+
+        Parameters
+        ----------
+        received:
+            Length ``(n_info + K - 1) * n_out``: hard bits (0/1) or, with
+            ``soft=True``, real values with +1 meaning a confident 0 bit.
+
+        Returns
+        -------
+        The ``n_info`` decoded information bits.
+        """
+        obs = np.asarray(received, dtype=float if soft else np.int8)
+        if obs.ndim != 1 or obs.size % self.n_out != 0:
+            raise ValueError(
+                f"received length must be a multiple of n_out={self.n_out}"
+            )
+        n_steps = obs.size // self.n_out
+        flush = self.constraint_length - 1
+        if n_steps <= flush:
+            raise ValueError("block too short to contain termination")
+        obs = obs.reshape(n_steps, self.n_out)
+        metrics = self._branch_metrics(obs, soft)
+
+        big = 1e18
+        pm = np.full(self.n_states, big)
+        pm[0] = 0.0  # terminated code starts at the zero state
+        survivors = np.empty((n_steps, self.n_states), dtype=np.int8)
+        for t in range(n_steps):
+            # candidate metric of reaching each state via predecessor 0/1
+            cand = pm[self._pred_state] + np.take_along_axis(
+                metrics[t][self._pred_state],
+                self._pred_input[..., None],
+                axis=2,
+            )[..., 0]
+            pick = np.argmin(cand, axis=1)
+            survivors[t] = pick
+            pm = cand[np.arange(self.n_states), pick]
+        # traceback from the zero state (termination guarantees it)
+        state = 0
+        decoded = np.empty(n_steps, dtype=np.int8)
+        for t in range(n_steps - 1, -1, -1):
+            pick = survivors[t, state]
+            decoded[t] = self._pred_input[state, pick]
+            state = self._pred_state[state, pick]
+        return decoded[: n_steps - flush]
+
+    # ------------------------------------------------------------------ #
+    # Distance properties                                                #
+    # ------------------------------------------------------------------ #
+
+    def free_distance(self, max_weight: int = 64) -> int:
+        """Free distance via Dijkstra over detours from the zero state.
+
+        The minimum output weight of any path that leaves state 0 and
+        returns to it — the error-correction radius is ``(d_free - 1)/2``.
+        """
+        check_positive_int(max_weight, "max_weight")
+        best = {}
+        heap = []
+        # initial divergence: input 1 from state 0
+        start_state = int(self._next_state[0, 1])
+        start_weight = int(self._output[0, 1].sum())
+        heapq.heappush(heap, (start_weight, start_state))
+        while heap:
+            weight, state = heapq.heappop(heap)
+            if weight > max_weight:
+                break
+            if state == 0:
+                return weight
+            if best.get(state, max_weight + 1) <= weight:
+                continue
+            best[state] = weight
+            for bit in (0, 1):
+                nxt = int(self._next_state[state, bit])
+                w = weight + int(self._output[state, bit].sum())
+                heapq.heappush(heap, (w, nxt))
+        raise RuntimeError(f"free distance exceeds the search bound {max_weight}")

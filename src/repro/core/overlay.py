@@ -1,0 +1,214 @@
+"""Cooperative MIMO paradigm for overlay systems (Section 3, Algorithm 1).
+
+``m`` secondary users relay the primary transmission:
+
+* **Step 1** — the primary transmitter Pt sends; the ``m`` SUs receive over
+  a ``1 x m`` SIMO link (per-SU cost ``e^{MIMOr}``, Pt cost
+  ``e^{MIMOt}(1, m)``);
+* **Step 2** — the ``m`` SUs forward to the primary receiver Pr over an
+  ``m x 1`` MISO link (per-SU cost ``e^{MIMOt}(m, 1)``, Pr cost
+  ``e^{MIMOr}``).
+
+The per-SU relaying energy is ``E_S = e^{MIMOt}(m, 1) + e^{MIMOr}``.
+
+The Figure 6 distance analysis then asks: assuming PUs and SUs spend the
+*same* per-bit energy, and the relayed path must hit a 10x better BER than
+the direct path, how far can the relay cluster sit from Pt (D2) and from Pr
+(D3)?
+
+1. ``E_1 = min_b e^{MIMOt}(1, 1)`` at the direct distance ``D_1`` and
+   direct BER target;
+2. ``D_2`` from ``E_1 = e^{MIMOt}(1, m)`` at the relayed BER target
+   (maximized over ``b``);
+3. ``D_3`` from ``E_1 = e^{MIMOt}(m, 1) + e^{MIMOr}`` (maximized over
+   ``b``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.energy.model import EnergyModel
+from repro.energy.optimize import (
+    DEFAULT_B_RANGE,
+    maximize_mimo_distance,
+    minimize_over_b,
+)
+from repro.utils.validation import check_positive, check_positive_int, check_probability
+
+__all__ = ["OverlaySystem", "OverlayDistanceResult", "RelayEnergy"]
+
+
+@dataclass(frozen=True)
+class RelayEnergy:
+    """Per-bit energy of every party in one relayed primary transmission."""
+
+    m: int
+    b_simo: int
+    b_miso: int
+    primary_tx: float  # E_Pt = e^MIMOt(1, m)
+    primary_rx: float  # E_Pr = e^MIMOr
+    su_rx: float  # E_Sr = e^MIMOr
+    su_tx: float  # E_St = e^MIMOt(m, 1)
+
+    @property
+    def su_total(self) -> float:
+        """``E_S = E_St + E_Sr`` — what each relay SU spends per bit."""
+        return self.su_tx + self.su_rx
+
+
+@dataclass(frozen=True)
+class OverlayDistanceResult:
+    """Outcome of the Figure 6 analysis for one (D1, m, B) point."""
+
+    d1: float
+    m: int
+    bandwidth: float
+    p_direct: float
+    p_relay: float
+    e1: float  # direct-link energy budget [J/bit]
+    b_direct: int
+    d2: float  # largest SU distance from Pt [m]
+    b_simo: int
+    d3: float  # largest SU distance from Pr [m]
+    b_miso: int
+
+
+class OverlaySystem:
+    """Algorithm 1 with its energy and distance analyses.
+
+    Parameters
+    ----------
+    model:
+        Energy model; for Figure 6 fidelity build it with
+        ``ebar_convention="diversity_only"`` (see EXPERIMENTS.md — the
+        paper's own Figure 6 numbers imply the (mt, mr)-symmetric table).
+    b_range:
+        Constellation sizes searched by every optimization step.
+    """
+
+    def __init__(
+        self,
+        model: EnergyModel,
+        b_range: Sequence[int] = DEFAULT_B_RANGE,
+    ):
+        self.model = model
+        self.b_range = tuple(int(b) for b in b_range)
+        if not self.b_range:
+            raise ValueError("b_range must be non-empty")
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1 energy accounting                                      #
+    # ------------------------------------------------------------------ #
+
+    def relay_energy(
+        self,
+        p: float,
+        m: int,
+        d_pt_su: float,
+        d_su_pr: float,
+        bandwidth: float,
+    ) -> RelayEnergy:
+        """Per-bit energies of one relayed transmission (Steps 1 and 2).
+
+        Constellation sizes are chosen per-link to minimize the respective
+        transmit energies (the algorithm's table-lookup rule).
+        """
+        p = check_probability(p, "p")
+        m = check_positive_int(m, "m")
+        check_positive(d_pt_su, "d_pt_su")
+        check_positive(d_su_pr, "d_su_pr")
+        check_positive(bandwidth, "bandwidth")
+
+        simo = minimize_over_b(
+            lambda b: self.model.mimo_tx(p, b, 1, m, d_pt_su, bandwidth).total,
+            self.b_range,
+        )
+        miso = minimize_over_b(
+            lambda b: self.model.mimo_tx(p, b, m, 1, d_su_pr, bandwidth).total,
+            self.b_range,
+        )
+        return RelayEnergy(
+            m=m,
+            b_simo=simo.b,
+            b_miso=miso.b,
+            primary_tx=simo.value,
+            primary_rx=self.model.mimo_rx(miso.b, bandwidth).total,
+            su_rx=self.model.mimo_rx(simo.b, bandwidth).total,
+            su_tx=miso.value,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Figure 6 distance analysis                                         #
+    # ------------------------------------------------------------------ #
+
+    def direct_link_energy(
+        self, d1: float, p_direct: float, bandwidth: float
+    ) -> Tuple[int, float]:
+        """Step 1: ``E_1 = min_b e^{MIMOt}(1, 1)`` at distance ``D_1``."""
+        check_positive(d1, "d1")
+        best = minimize_over_b(
+            lambda b: self.model.mimo_tx(p_direct, b, 1, 1, d1, bandwidth).total,
+            self.b_range,
+        )
+        return best.b, best.value
+
+    def distance_analysis(
+        self,
+        d1: float,
+        m: int,
+        bandwidth: float,
+        p_direct: float = 0.005,
+        p_relay: float = 0.0005,
+    ) -> OverlayDistanceResult:
+        """Steps 1-3 of the Section 3 analysis for one parameter point.
+
+        Defaults match Figure 6: direct BER 0.005, relayed BER 0.0005
+        ("10 times improved").
+        """
+        m = check_positive_int(m, "m")
+        b_direct, e1 = self.direct_link_energy(d1, p_direct, bandwidth)
+
+        simo = maximize_mimo_distance(
+            self.model, e1, p_relay, 1, m, bandwidth, self.b_range
+        )
+        miso = maximize_mimo_distance(
+            self.model,
+            e1,
+            p_relay,
+            m,
+            1,
+            bandwidth,
+            self.b_range,
+            extra_circuit=lambda b: self.model.mimo_rx(b, bandwidth).total,
+        )
+        return OverlayDistanceResult(
+            d1=float(d1),
+            m=m,
+            bandwidth=float(bandwidth),
+            p_direct=p_direct,
+            p_relay=p_relay,
+            e1=e1,
+            b_direct=b_direct,
+            d2=simo.value,
+            b_simo=simo.b,
+            d3=miso.value,
+            b_miso=miso.b,
+        )
+
+    def distance_sweep(
+        self,
+        d1_values: Sequence[float],
+        m_values: Sequence[int],
+        bandwidths: Sequence[float],
+        p_direct: float = 0.005,
+        p_relay: float = 0.0005,
+    ) -> list:
+        """The full Figure 6 grid: one result per (D1, m, B) combination."""
+        return [
+            self.distance_analysis(d1, m, bw, p_direct, p_relay)
+            for bw in bandwidths
+            for m in m_values
+            for d1 in d1_values
+        ]

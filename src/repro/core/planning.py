@@ -1,0 +1,176 @@
+"""Energy-optimal route planning under a latency budget.
+
+The paper's variable-rate system exposes a three-way trade per hop: the
+constellation size ``b`` (fast but power-hungry at high ``b``), the
+cooperation mode (diversity saves radiated energy but the rate-1/2 G-codes
+and the intra-cluster phases cost airtime), and the hop's fixed geometry.
+This module solves the route-level version of that trade exactly:
+
+    minimize   sum_h energy(h, option_h)
+    subject to sum_h time(h, option_h) <= latency_budget
+
+via Pareto pruning of each hop's option set followed by a multiple-choice
+knapsack dynamic program over a discretized time axis — small enough
+(≤ 32 options/hop, a few hundred time bins) to be exact for any realistic
+route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.schemes import hop_energy, hop_timing
+from repro.energy.model import EnergyModel
+from repro.energy.optimize import DEFAULT_B_RANGE
+from repro.utils.validation import check_positive, check_positive_int, check_probability
+
+__all__ = ["HopOption", "RoutePlan", "hop_options", "plan_route"]
+
+
+@dataclass(frozen=True)
+class HopOption:
+    """One feasible configuration of one hop."""
+
+    mt: int
+    mr: int
+    b: int
+    time_s: float
+    energy_j: float
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """The planner's output: one option per hop, or infeasibility."""
+
+    choices: Tuple[HopOption, ...]
+    feasible: bool
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(c.time_s for c in self.choices)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(c.energy_j for c in self.choices)
+
+
+def hop_options(
+    model: EnergyModel,
+    link,
+    local_distance: float,
+    bandwidth: float,
+    p: float,
+    n_bits: float,
+    b_range: Sequence[int] = DEFAULT_B_RANGE,
+    allow_siso: bool = True,
+) -> List[HopOption]:
+    """Pareto-optimal (time, energy) options for one cooperative link.
+
+    Enumerates the cooperative ``mt x mr`` mode and (optionally) the SISO
+    head-to-head fallback over every constellation size, then prunes
+    options dominated in both time and energy.
+    """
+    check_probability(p, "p")
+    check_positive(n_bits, "n_bits")
+    modes = [(link.mt, link.mr)]
+    if allow_siso and (link.mt, link.mr) != (1, 1):
+        modes.append((1, 1))
+    raw: List[HopOption] = []
+    for mt, mr in modes:
+        for b in b_range:
+            try:
+                energy = hop_energy(
+                    model, p, b, mt, mr, local_distance, link.length_m, bandwidth
+                ).total * n_bits
+            except ValueError:
+                continue
+            time = hop_timing(n_bits, b, mt, mr, bandwidth).total_s
+            raw.append(HopOption(mt=mt, mr=mr, b=b, time_s=time, energy_j=energy))
+    if not raw:
+        raise ValueError("no feasible configuration for this hop")
+    # Pareto prune: sort by time, keep strictly improving energy.
+    raw.sort(key=lambda o: (o.time_s, o.energy_j))
+    frontier: List[HopOption] = []
+    best_energy = np.inf
+    for option in raw:
+        if option.energy_j < best_energy - 1e-18:
+            frontier.append(option)
+            best_energy = option.energy_j
+    return frontier
+
+
+def plan_route(
+    model: EnergyModel,
+    links: Sequence,
+    local_distance: float,
+    bandwidth: float,
+    p: float,
+    n_bits: float,
+    latency_budget_s: Optional[float] = None,
+    time_bins: int = 400,
+    b_range: Sequence[int] = DEFAULT_B_RANGE,
+) -> RoutePlan:
+    """Choose per-hop configurations minimizing energy within a deadline.
+
+    ``latency_budget_s = None`` removes the deadline (pure energy
+    minimization).  Returns ``RoutePlan(feasible=False, choices=())`` when
+    even the fastest configuration of every hop cannot meet the budget.
+    """
+    check_positive_int(time_bins, "time_bins")
+    per_hop = [
+        hop_options(model, link, local_distance, bandwidth, p, n_bits, b_range)
+        for link in links
+    ]
+    if not per_hop:
+        return RoutePlan(choices=(), feasible=True)
+
+    if latency_budget_s is None:
+        choices = tuple(min(options, key=lambda o: o.energy_j) for options in per_hop)
+        return RoutePlan(choices=choices, feasible=True)
+
+    check_positive(latency_budget_s, "latency_budget_s")
+    fastest = sum(min(o.time_s for o in options) for options in per_hop)
+    if fastest > latency_budget_s:
+        return RoutePlan(choices=(), feasible=False)
+
+    # Multiple-choice knapsack DP on a discretized time axis.  Ceiling
+    # quantization keeps every DP solution's true time within the budget.
+    dt = latency_budget_s / time_bins
+    INF = np.inf
+    dp = np.full(time_bins + 1, INF)
+    dp[0] = 0.0
+    back: List[np.ndarray] = []
+    for options in per_hop:
+        nxt = np.full(time_bins + 1, INF)
+        choice = np.full(time_bins + 1, -1, dtype=int)
+        for idx, option in enumerate(options):
+            cost_bins = int(np.ceil(option.time_s / dt - 1e-12))
+            if cost_bins > time_bins:
+                continue
+            shifted = np.full(time_bins + 1, INF)
+            if cost_bins == 0:
+                shifted = dp + option.energy_j
+            else:
+                shifted[cost_bins:] = dp[:-cost_bins] + option.energy_j
+            better = shifted < nxt
+            nxt[better] = shifted[better]
+            choice[better] = idx
+        dp = nxt
+        back.append(choice)
+    if not np.isfinite(dp.min()):
+        return RoutePlan(choices=(), feasible=False)
+
+    # Trace back from the cheapest feasible endpoint.
+    t = int(np.argmin(dp))
+    picks: List[HopOption] = []
+    for options, choice in zip(reversed(per_hop), reversed(back)):
+        idx = int(choice[t])
+        option = options[idx]
+        picks.append(option)
+        cost_bins = int(np.ceil(option.time_s / dt - 1e-12))
+        t -= cost_bins
+    picks.reverse()
+    return RoutePlan(choices=tuple(picks), feasible=True)

@@ -1,0 +1,248 @@
+"""Cooperative communication schemes for one hop (Section 2.2, Figure 1).
+
+A hop from transmit cluster A (``mt`` nodes, head ``x``) to receive cluster
+B (``mr`` nodes, head ``y``) decomposes into up to three phases:
+
+1. **intra-A** (only if ``mt > 1``): ``x`` broadcasts the source data to the
+   other local nodes — one local transmission, ``mt - 1`` local receptions;
+2. **long-haul**: the ``mt`` nodes transmit simultaneously as a virtual
+   antenna array using the ``mt x mr`` STBC; the ``mr`` nodes receive;
+3. **intra-B** (only if ``mr > 1``): every node in B forwards its received
+   stream to ``y`` in separate time slots — the paper's Section 6.2
+   discussion counts ``mr`` local transmissions here ("two receivers will
+   locally share (transmit) its data with each other"), and ``y`` decodes.
+
+MISO (``mr = 1``) skips phase 3; SIMO (``mt = 1``) skips phase 1; SISO
+skips both.  :func:`hop_energy` prices each phase with the Section 2.3
+formulas and reports per-role and aggregate energies, including the
+PA-only aggregates the underlay analysis needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.energy.model import EnergyModel
+from repro.network.comimonet import LinkKind
+from repro.utils.validation import check_positive, check_positive_int, check_probability
+
+__all__ = [
+    "HopStep",
+    "HopEnergy",
+    "HopTiming",
+    "cooperative_scheme",
+    "hop_energy",
+    "hop_timing",
+]
+
+
+@dataclass(frozen=True)
+class HopStep:
+    """One phase of a cooperative hop."""
+
+    name: str
+    description: str
+    n_tx: int
+    n_rx: int
+    local: bool  # intra-cluster (kappa-law) vs long-haul (square-law)
+
+
+@dataclass(frozen=True)
+class HopEnergy:
+    """Energy accounting for one cooperative hop, per bit [J].
+
+    ``pa_*`` components count only power-amplifier energy (the radiated
+    part constrained by the underlay noise-floor requirement); ``total``
+    additionally includes all circuit/synthesizer energy of every
+    participating node.
+    """
+
+    kind: LinkKind
+    mt: int
+    mr: int
+    b: int
+    total: float
+    pa_local_a: float
+    pa_longhaul: float
+    pa_local_b: float
+
+    @property
+    def pa_total(self) -> float:
+        """Total radiated (PA) energy per bit across all nodes."""
+        return self.pa_local_a + self.pa_longhaul + self.pa_local_b
+
+    @property
+    def pa_peak(self) -> float:
+        """Peak simultaneous PA energy per bit, Section 4's
+        ``E_PA = max(e_PA^{Lt}, mt * e_PA^{MIMOt})``.
+
+        Local transmissions are sequential (one PA active), whereas all
+        ``mt`` long-haul transmitters radiate at once.
+        """
+        candidates = [self.pa_longhaul]
+        if self.pa_local_a > 0.0:
+            candidates.append(self.pa_local_a)
+        if self.pa_local_b > 0.0:
+            # intra-B forwards happen one node at a time
+            candidates.append(self.pa_local_b / max(self.mr, 1))
+        return max(candidates)
+
+
+def cooperative_scheme(mt: int, mr: int) -> List[HopStep]:
+    """The step plan of the MIMO/MISO/SIMO/SISO scheme for ``mt x mr``."""
+    mt = check_positive_int(mt, "mt")
+    mr = check_positive_int(mr, "mr")
+    kind = LinkKind.classify(mt, mr)
+    steps: List[HopStep] = []
+    if mt > 1:
+        steps.append(
+            HopStep(
+                name="intra-A broadcast",
+                description="head x broadcasts the source data to the other "
+                f"{mt - 1} local node(s) in A",
+                n_tx=1,
+                n_rx=mt - 1,
+                local=True,
+            )
+        )
+    steps.append(
+        HopStep(
+            name=f"long-haul {kind.value}",
+            description=f"{mt} node(s) in A transmit the STBC-encoded stream "
+            f"simultaneously to {mr} node(s) in B",
+            n_tx=mt,
+            n_rx=mr,
+            local=False,
+        )
+    )
+    if mr > 1:
+        steps.append(
+            HopStep(
+                name="intra-B collection",
+                description=f"each of the {mr} node(s) in B forwards its "
+                "received stream to head y in its own time slot; y decodes",
+                n_tx=mr,
+                n_rx=mr,
+                local=True,
+            )
+        )
+    return steps
+
+
+def hop_energy(
+    model: EnergyModel,
+    p: float,
+    b: int,
+    mt: int,
+    mr: int,
+    local_distance: float,
+    longhaul_distance: float,
+    bandwidth: float,
+) -> HopEnergy:
+    """Price one cooperative hop with the Section 2.3 formulas.
+
+    Parameters
+    ----------
+    model:
+        Energy model (constants + e_bar_b provider).
+    p:
+        Target BER for both the local and long-haul segments.
+    b:
+        Constellation size used on every segment.
+    mt, mr:
+        Cooperating node counts.
+    local_distance:
+        Intra-cluster hop length ``d`` [m].
+    longhaul_distance:
+        Cluster-to-cluster link length ``D`` [m].
+    bandwidth:
+        System bandwidth ``B`` [Hz].
+    """
+    p = check_probability(p, "p")
+    check_positive(local_distance, "local_distance")
+    check_positive(longhaul_distance, "longhaul_distance")
+
+    local_tx = model.local_tx(p, b, local_distance, bandwidth)
+    local_rx = model.local_rx(b, bandwidth)
+    mimo_tx = model.mimo_tx(p, b, mt, mr, longhaul_distance, bandwidth)
+    mimo_rx = model.mimo_rx(b, bandwidth)
+
+    total = 0.0
+    pa_local_a = 0.0
+    pa_local_b = 0.0
+
+    if mt > 1:
+        # head broadcast reaches all local nodes with one transmission
+        total += local_tx.total + (mt - 1) * local_rx.total
+        pa_local_a = local_tx.pa
+    total += mt * mimo_tx.total + mr * mimo_rx.total
+    pa_longhaul = mt * mimo_tx.pa
+    if mr > 1:
+        # every receiver forwards its stream to the head in its own slot;
+        # the head receives the (mr) forwarded streams
+        total += mr * local_tx.total + mr * local_rx.total
+        pa_local_b = mr * local_tx.pa
+
+    return HopEnergy(
+        kind=LinkKind.classify(mt, mr),
+        mt=mt,
+        mr=mr,
+        b=b,
+        total=float(total),
+        pa_local_a=float(pa_local_a),
+        pa_longhaul=float(pa_longhaul),
+        pa_local_b=float(pa_local_b),
+    )
+
+
+@dataclass(frozen=True)
+class HopTiming:
+    """Airtime accounting for one cooperative hop [s].
+
+    The schemes of Section 2.2 serialize their phases: the intra-cluster
+    broadcast, the long-haul space-time transmission (whose duration is
+    stretched by ``1/rate`` for the rate-1/2 G3/G4 codes used at mt = 3, 4
+    — the latency price of transmit diversity), and the ``mr`` sequential
+    intra-B forwards ("using different time slots").
+    """
+
+    intra_a_s: float
+    longhaul_s: float
+    intra_b_s: float
+    stbc_rate: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end hop airtime."""
+        return self.intra_a_s + self.longhaul_s + self.intra_b_s
+
+
+def hop_timing(
+    n_bits: float,
+    b: int,
+    mt: int,
+    mr: int,
+    bandwidth: float,
+) -> HopTiming:
+    """Airtime of one cooperative hop carrying ``n_bits`` information bits.
+
+    Assumes one symbol per second per hertz (the paper's ``bB`` bits/s
+    convention), so a SISO stream of ``n_bits`` takes ``n_bits / (b B)``
+    seconds; the long-haul phase divides by the space-time code rate.
+    """
+    check_positive(float(n_bits), "n_bits")
+    b = check_positive_int(b, "b")
+    mt = check_positive_int(mt, "mt")
+    mr = check_positive_int(mr, "mr")
+    check_positive(bandwidth, "bandwidth")
+    from repro.stbc.ostbc import ostbc_for
+
+    rate = ostbc_for(mt).rate
+    stream_s = n_bits / (b * bandwidth)
+    return HopTiming(
+        intra_a_s=stream_s if mt > 1 else 0.0,
+        longhaul_s=stream_s / rate,
+        intra_b_s=mr * stream_s if mr > 1 else 0.0,
+        stbc_rate=rate,
+    )

@@ -1,0 +1,233 @@
+"""The four per-bit energy formulas of Section 2.3.
+
+:class:`EnergyModel` evaluates, for a given constant set
+(:class:`repro.constants.SystemConstants`) and an ``e_bar_b`` provider:
+
+* formula (1) — ``e^{Lt}``: local/intra-cluster transmission
+  (``e_PA^{Lt} + e_C^{Lt}``, kappa-law path loss, AWGN, M-QAM);
+* formula (2) — ``e^{Lr}``: local reception (circuit only);
+* formula (3) — ``e^{MIMOt}(mt, mr)``: long-haul cooperative transmission
+  per participating node (``e_PA^{MIMOt} + e_C^{MIMOt}``, square-law path
+  loss, Rayleigh STBC link);
+* formula (4) — ``e^{MIMOr}``: long-haul reception (circuit only).
+
+Each method also exposes its PA/circuit split through
+:class:`EnergyBreakdown`, because the underlay analysis (Section 4) needs
+the PA component alone — the interference a primary receiver sees comes
+from radiated (PA) energy, not from circuit consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.constants import PAPER_CONSTANTS, SystemConstants
+from repro.energy.ebar import solve_ebar
+from repro.utils.validation import check_positive, check_positive_int, check_probability
+
+__all__ = ["EnergyModel", "EnergyBreakdown", "DEFAULT_PACKET_BITS"]
+
+#: Default information size ``n`` for the synchronization-transient term
+#: ``P_syn T_tr / n`` (per-bit amortization of the 5 us synthesizer settle).
+DEFAULT_PACKET_BITS = 10_000
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-bit energy split into power-amplifier and circuit components [J]."""
+
+    pa: float
+    circuit: float
+
+    @property
+    def total(self) -> float:
+        """``pa + circuit`` — the quantity the formulas denote ``e^{...}``."""
+        return self.pa + self.circuit
+
+
+class EnergyModel:
+    """Evaluator for formulas (1)-(4) with pluggable ``e_bar_b`` provider.
+
+    Parameters
+    ----------
+    constants:
+        Radio constant set; defaults to the paper's Section 2.3 values.
+    ebar_provider:
+        Callable ``(p, b, mt, mr) -> e_bar_b`` [J].  Defaults to the exact
+        solver :func:`repro.energy.ebar.solve_ebar`; pass an
+        :class:`repro.energy.table.EbarTable` lookup to emulate the
+        algorithms' preloaded-table behaviour (identical numbers on grid
+        points, O(1) per query).
+    packet_bits:
+        Information size ``n`` amortizing the synchronization transient.
+    ebar_convention:
+        Normalization convention forwarded to the default solver; ignored
+        when an explicit ``ebar_provider`` is given.  See
+        :func:`repro.energy.ebar.average_ber`.
+    """
+
+    def __init__(
+        self,
+        constants: SystemConstants = PAPER_CONSTANTS,
+        ebar_provider: Optional[Callable[[float, int, int, int], float]] = None,
+        packet_bits: int = DEFAULT_PACKET_BITS,
+        ebar_convention: str = "paper",
+    ):
+        self.constants = constants
+        self.ebar_convention = ebar_convention
+        self._ebar = ebar_provider or (
+            lambda p, b, mt, mr: solve_ebar(
+                p, b, mt, mr, n0=constants.n0_w_hz, convention=ebar_convention
+            )
+        )
+        self.packet_bits = check_positive_int(packet_bits, "packet_bits")
+
+    # ------------------------------------------------------------------ #
+    # e_bar_b passthrough                                                #
+    # ------------------------------------------------------------------ #
+
+    def ebar(self, p: float, b: int, mt: int, mr: int) -> float:
+        """Required received energy per bit over the ``mt x mr`` link [J]."""
+        return self._ebar(p, b, mt, mr)
+
+    # ------------------------------------------------------------------ #
+    # Formula (1): local transmission                                    #
+    # ------------------------------------------------------------------ #
+
+    def local_tx(
+        self,
+        p: float,
+        b: int,
+        d: float,
+        bandwidth: float,
+    ) -> EnergyBreakdown:
+        """``e^{Lt}`` — per-bit energy to transmit over a ``d``-meter local hop.
+
+        ``e_PA^{Lt} = (4/3)(1+alpha) (2^b - 1)/b * ln(4 (1 - 2^{-b/2})/(b p))
+        * G_d * N_f * sigma^2`` and ``e_C^{Lt} = P_ct/(bB) + P_syn T_tr / n``.
+        """
+        p = check_probability(p, "p")
+        b = check_positive_int(b, "b")
+        d = check_positive(d, "d")
+        bandwidth = check_positive(bandwidth, "bandwidth")
+        c = self.constants
+        alpha = c.peak_to_average_alpha(b)
+        log_arg = 4.0 * (1.0 - 2.0 ** (-b / 2.0)) / (b * p)
+        if log_arg <= 1.0:
+            raise ValueError(
+                f"target BER p={p} too lax for b={b}: the AWGN inversion "
+                "ln(4(1-2^{-b/2})/(bp)) is non-positive"
+            )
+        pa = (
+            (4.0 / 3.0)
+            * (1.0 + alpha)
+            * (2.0**b - 1.0)
+            / b
+            * np.log(log_arg)
+            * c.local_gain(d)
+            * c.noise_figure_linear
+            * c.sigma2_w_hz
+        )
+        circuit = c.p_ct_w / (b * bandwidth) + c.p_syn_w * c.t_tr_s / self.packet_bits
+        return EnergyBreakdown(pa=float(pa), circuit=float(circuit))
+
+    # ------------------------------------------------------------------ #
+    # Formula (2): local reception                                       #
+    # ------------------------------------------------------------------ #
+
+    def local_rx(self, b: int, bandwidth: float) -> EnergyBreakdown:
+        """``e^{Lr} = P_cr/(bB) + P_syn T_tr / n`` — circuit-only reception."""
+        b = check_positive_int(b, "b")
+        bandwidth = check_positive(bandwidth, "bandwidth")
+        c = self.constants
+        circuit = c.p_cr_w / (b * bandwidth) + c.p_syn_w * c.t_tr_s / self.packet_bits
+        return EnergyBreakdown(pa=0.0, circuit=float(circuit))
+
+    # ------------------------------------------------------------------ #
+    # Formula (3): long-haul cooperative transmission                    #
+    # ------------------------------------------------------------------ #
+
+    def mimo_tx(
+        self,
+        p: float,
+        b: int,
+        mt: int,
+        mr: int,
+        distance: float,
+        bandwidth: float,
+    ) -> EnergyBreakdown:
+        """``e^{MIMOt}(mt, mr)`` — per *participating node* long-haul tx energy.
+
+        ``e_PA^{MIMOt} = (1/mt)(1+alpha) e_bar_b (4 pi D)^2/(Gt Gr lambda^2)
+        M_l N_f`` and ``e_C^{MIMOt} = (P_ct + P_syn)/(bB)``.
+        """
+        p = check_probability(p, "p")
+        b = check_positive_int(b, "b")
+        mt = check_positive_int(mt, "mt")
+        mr = check_positive_int(mr, "mr")
+        distance = check_positive(distance, "distance")
+        bandwidth = check_positive(bandwidth, "bandwidth")
+        c = self.constants
+        alpha = c.peak_to_average_alpha(b)
+        ebar = self.ebar(p, b, mt, mr)
+        pa = (1.0 / mt) * (1.0 + alpha) * ebar * c.longhaul_gain(distance)
+        circuit = (c.p_ct_w + c.p_syn_w) / (b * bandwidth)
+        return EnergyBreakdown(pa=float(pa), circuit=float(circuit))
+
+    # ------------------------------------------------------------------ #
+    # Formula (4): long-haul reception                                   #
+    # ------------------------------------------------------------------ #
+
+    def mimo_rx(self, b: int, bandwidth: float) -> EnergyBreakdown:
+        """``e^{MIMOr} = (P_cr + P_syn)/(bB)`` — circuit-only reception."""
+        b = check_positive_int(b, "b")
+        bandwidth = check_positive(bandwidth, "bandwidth")
+        c = self.constants
+        circuit = (c.p_cr_w + c.p_syn_w) / (b * bandwidth)
+        return EnergyBreakdown(pa=0.0, circuit=float(circuit))
+
+    # ------------------------------------------------------------------ #
+    # Distance inversion (overlay analysis, Section 3)                   #
+    # ------------------------------------------------------------------ #
+
+    def max_mimo_distance(
+        self,
+        energy_budget: float,
+        p: float,
+        b: int,
+        mt: int,
+        mr: int,
+        bandwidth: float,
+        extra_circuit: float = 0.0,
+    ) -> float:
+        """Largest link length such that ``e^{MIMOt} + extra_circuit <= budget``.
+
+        The long-haul PA term is exactly quadratic in ``D``
+        (``longhaul_gain(D) = C D^2``), so the inversion is closed-form::
+
+            D = sqrt( (budget - e_C - extra) * mt / ((1+alpha) e_bar_b C) )
+
+        Returns 0.0 when the budget cannot even cover the circuit energy
+        (the relay is infeasible at any distance).
+        """
+        check_positive(energy_budget, "energy_budget")
+        p = check_probability(p, "p")
+        b = check_positive_int(b, "b")
+        mt = check_positive_int(mt, "mt")
+        mr = check_positive_int(mr, "mr")
+        bandwidth = check_positive(bandwidth, "bandwidth")
+        if extra_circuit < 0.0:
+            raise ValueError("extra_circuit must be non-negative")
+        c = self.constants
+        alpha = c.peak_to_average_alpha(b)
+        circuit = (c.p_ct_w + c.p_syn_w) / (b * bandwidth)
+        headroom = energy_budget - circuit - extra_circuit
+        if headroom <= 0.0:
+            return 0.0
+        ebar = self.ebar(p, b, mt, mr)
+        unit_gain = c.longhaul_gain(1.0)  # C * 1^2
+        d_squared = headroom * mt / ((1.0 + alpha) * ebar * unit_gain)
+        return float(np.sqrt(d_squared))

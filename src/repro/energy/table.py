@@ -1,0 +1,180 @@
+"""Precomputed ``e_bar_b`` lookup tables — the algorithms' "Preprocessing".
+
+Algorithms 1 and 2 both begin with:
+
+    *Preprocessing.  Calculate the value of e_bar_b(p, b, mt, mr) for a set
+    of p, b, mt, and mr.  Load the table of e_bar_b in each SU node.*
+
+:class:`EbarTable` is that artifact: a dense grid over (p, b, mt, mr) built
+once (the expensive root-finding happens here) and shared by every SU node
+as an O(1) lookup.  It exposes the same ``(p, b, mt, mr) -> e_bar_b``
+callable signature as the exact solver so it can be plugged directly into
+:class:`repro.energy.model.EnergyModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.energy.ebar import DEFAULT_N0, solve_ebar
+
+__all__ = ["EbarTable", "DEFAULT_P_GRID", "DEFAULT_B_GRID", "DEFAULT_M_GRID"]
+
+#: BER grid matching the paper's sweep "BER p_b varies from 0.1 to 0.0005".
+DEFAULT_P_GRID: Tuple[float, ...] = (0.1, 0.05, 0.01, 0.005, 0.001, 0.0005)
+#: Constellation sizes 1..16 bits/symbol (Section 6 sweeps).
+DEFAULT_B_GRID: Tuple[int, ...] = tuple(range(1, 17))
+#: Cooperative node counts 1..4 on each side (Section 6 sweeps).
+DEFAULT_M_GRID: Tuple[int, ...] = (1, 2, 3, 4)
+
+
+class EbarTable:
+    """Dense ``e_bar_b`` table over a (p, b, mt, mr) grid.
+
+    Grid points whose target BER exceeds the modulation's zero-energy
+    ceiling ``a/2`` (where ``a`` is the Gray-QAM BER coefficient) are
+    infeasible; they are stored as NaN and raise ``KeyError`` on lookup.
+    """
+
+    def __init__(
+        self,
+        p_values: Sequence[float] = DEFAULT_P_GRID,
+        b_values: Sequence[int] = DEFAULT_B_GRID,
+        mt_values: Sequence[int] = DEFAULT_M_GRID,
+        mr_values: Sequence[int] = DEFAULT_M_GRID,
+        n0: float = DEFAULT_N0,
+    ):
+        self.p_values = tuple(sorted(set(float(p) for p in p_values)))
+        self.b_values = tuple(sorted(set(int(b) for b in b_values)))
+        self.mt_values = tuple(sorted(set(int(m) for m in mt_values)))
+        self.mr_values = tuple(sorted(set(int(m) for m in mr_values)))
+        self.n0 = float(n0)
+        if not (self.p_values and self.b_values and self.mt_values and self.mr_values):
+            raise ValueError("all grid axes must be non-empty")
+        self._data: Dict[Tuple[float, int, int, int], float] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for p in self.p_values:
+            for b in self.b_values:
+                for mt in self.mt_values:
+                    for mr in self.mr_values:
+                        try:
+                            value = solve_ebar(p, b, mt, mr, n0=self.n0)
+                        except ValueError:
+                            value = float("nan")
+                        self._data[(p, b, mt, mr)] = value
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def lookup(self, p: float, b: int, mt: int, mr: int) -> float:
+        """Exact-grid lookup; ``p`` snaps to the nearest grid value.
+
+        Snapping mirrors how a real node would quantize its BER target to
+        the preloaded table resolution.
+        """
+        p_near = min(self.p_values, key=lambda g: abs(g - p))
+        key = (p_near, int(b), int(mt), int(mr))
+        if key[1:] != (int(b), int(mt), int(mr)) or key not in self._data:
+            raise KeyError(f"(b={b}, mt={mt}, mr={mr}) not on the table grid")
+        value = self._data[key]
+        if np.isnan(value):
+            raise KeyError(f"grid point p={p_near}, b={b} is infeasible")
+        return value
+
+    def __call__(self, p: float, b: int, mt: int, mr: int) -> float:
+        """Callable alias of :meth:`lookup` (EnergyModel provider signature)."""
+        return self.lookup(p, b, mt, mr)
+
+    def lookup_interpolated(self, p: float, b: int, mt: int, mr: int) -> float:
+        """Log-log interpolation in ``p`` between grid points.
+
+        ``e_bar_b`` is near power-law in the target BER, so interpolating
+        ``log e_bar`` against ``log p`` between bracketing grid values is
+        accurate to a few percent on the paper's grid (exactness on grid
+        points and monotonicity are asserted by the tests).  ``p`` outside
+        the grid clamps to the nearest edge.
+        """
+        key_b = (int(b), int(mt), int(mr))
+        finite = [
+            g
+            for g in self.p_values
+            if not np.isnan(self._data[(g,) + key_b])
+        ]
+        if not finite:
+            raise KeyError(f"no feasible grid entries for b={b}, mt={mt}, mr={mr}")
+        p_clamped = min(max(p, finite[0]), finite[-1])
+        log_p = np.log([g for g in finite])
+        log_e = np.log([self._data[(g,) + key_b] for g in finite])
+        return float(np.exp(np.interp(np.log(p_clamped), log_p, log_e)))
+
+    def feasible_b(self, p: float, mt: int, mr: int) -> Tuple[int, ...]:
+        """Constellation sizes with a finite table entry at this (p, mt, mr)."""
+        p_near = min(self.p_values, key=lambda g: abs(g - p))
+        return tuple(
+            b
+            for b in self.b_values
+            if not np.isnan(self._data[(p_near, b, mt, mr)])
+        )
+
+    def min_ebar_b(self, p: float, mt: int, mr: int) -> Tuple[int, float]:
+        """The algorithms' selection rule: ``b`` minimizing ``e_bar_b``.
+
+        Returns ``(b, e_bar_b)``; raises ``KeyError`` if no b is feasible.
+        """
+        candidates = self.feasible_b(p, mt, mr)
+        if not candidates:
+            raise KeyError(f"no feasible b for p={p}, mt={mt}, mr={mr}")
+        p_near = min(self.p_values, key=lambda g: abs(g - p))
+        best = min(candidates, key=lambda b: self._data[(p_near, b, mt, mr)])
+        return best, self._data[(p_near, best, mt, mr)]
+
+    # ------------------------------------------------------------------ #
+    # Serialization (nodes "load the table")                             #
+    # ------------------------------------------------------------------ #
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Dense-array form suitable for ``np.savez`` / network distribution."""
+        shape = (
+            len(self.p_values),
+            len(self.b_values),
+            len(self.mt_values),
+            len(self.mr_values),
+        )
+        grid = np.empty(shape)
+        for i, p in enumerate(self.p_values):
+            for j, b in enumerate(self.b_values):
+                for k, mt in enumerate(self.mt_values):
+                    for l, mr in enumerate(self.mr_values):
+                        grid[i, j, k, l] = self._data[(p, b, mt, mr)]
+        return {
+            "p_values": np.array(self.p_values),
+            "b_values": np.array(self.b_values),
+            "mt_values": np.array(self.mt_values),
+            "mr_values": np.array(self.mr_values),
+            "ebar": grid,
+            "n0": np.array(self.n0),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "EbarTable":
+        """Rebuild a table from :meth:`to_arrays` output without re-solving."""
+        table = cls.__new__(cls)
+        table.p_values = tuple(float(p) for p in arrays["p_values"])
+        table.b_values = tuple(int(b) for b in arrays["b_values"])
+        table.mt_values = tuple(int(m) for m in arrays["mt_values"])
+        table.mr_values = tuple(int(m) for m in arrays["mr_values"])
+        table.n0 = float(arrays["n0"])
+        grid = np.asarray(arrays["ebar"], dtype=float)
+        table._data = {}
+        for i, p in enumerate(table.p_values):
+            for j, b in enumerate(table.b_values):
+                for k, mt in enumerate(table.mt_values):
+                    for l, mr in enumerate(table.mr_values):
+                        table._data[(p, b, mt, mr)] = float(grid[i, j, k, l])
+        return table

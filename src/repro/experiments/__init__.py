@@ -1,0 +1,22 @@
+"""Experiment harness: one module per table/figure of the paper's Section 6.
+
+Every experiment module exposes
+
+* ``run(seed=..., fast=False) -> ExperimentResult`` — regenerates the
+  artifact's rows/series (``fast=True`` shrinks Monte-Carlo sizes for CI);
+* ``check(result)`` — asserts the *shape* claims the paper makes about the
+  artifact (who wins, rough factors, orderings); raises ``AssertionError``
+  with a diagnostic message otherwise.
+
+Use :func:`repro.experiments.registry.run_experiment` or the
+``repro-experiments`` CLI to execute them by id (``fig6``, ``fig7``,
+``table1``, ``fig8``, ``table2``, ``table3``, ``table4``, ``ebar``).
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]

@@ -1,0 +1,124 @@
+"""Figure 8 — cooperative beamformer pattern in a real (multipath) room.
+
+Protocol (Section 6.4): two transmit nodes form a beamformer with a null
+designed at 120 degrees; the receiver walks a 2 m-diameter semicircle
+around the pair's midpoint in 20-degree steps; the recorded amplitude is
+normalized and compared with (i) the simulated (line-of-sight) radiation
+pattern and (ii) a SISO transmission measured the same way.
+
+The indoor room is modeled with :class:`MultipathEnvironment.random_indoor`
+echoes, which is exactly the mechanism the paper cites for the null not
+reaching zero; measurements average a few independent echo draws (multiple
+recordings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.beamforming.pattern import design_null_delay, radiation_pattern
+from repro.channel.multipath import MultipathEnvironment
+from repro.utils.rng import as_rng
+from repro.experiments.registry import ExperimentResult
+
+__all__ = ["run", "check"]
+
+NULL_ANGLE_DEG = 120.0
+ANGLES_DEG = tuple(range(0, 181, 20))
+RADIUS_M = 1.0  # 2 m diameter semicircle
+WAVELENGTH_M = 0.1224  # 2.45 GHz (RFX2400)
+SPACING_M = WAVELENGTH_M / 2.0
+
+
+def run(seed: int = 7, fast: bool = False) -> ExperimentResult:
+    """Regenerate the three Figure 8 curves at the measured angles."""
+    gen = as_rng(seed)
+    n_rooms = 4 if fast else 8
+    delta = design_null_delay(SPACING_M, WAVELENGTH_M, NULL_ANGLE_DEG)
+    angles = np.array(ANGLES_DEG, dtype=float)
+
+    # (i) simulated LOS radiation pattern at the measurement radius
+    theory = radiation_pattern(SPACING_M, WAVELENGTH_M, delta, angles, radius=RADIUS_M)
+
+    # (ii)/(iii) "measured": average over several room realizations.
+    # Geometry matches repro.beamforming.pattern: elements on the x-axis,
+    # angles measured from the array axis.
+    beam_meas = np.zeros(angles.shape)
+    siso_meas = np.zeros(angles.shape)
+    tx_pair = np.array([[SPACING_M / 2.0, 0.0], [-SPACING_M / 2.0, 0.0]])
+    tx_solo = tx_pair[:1]
+    for _ in range(n_rooms):
+        env = MultipathEnvironment.random_indoor(
+            n_scatterers=6,
+            inner_radius_m=1.5,
+            outer_radius_m=5.0,
+            echo_amplitude=0.22,
+            rng=gen,
+        )
+        for i, a in enumerate(np.deg2rad(angles)):
+            point = np.array([RADIUS_M * np.cos(a), RADIUS_M * np.sin(a)])
+            beam_meas[i] += env.amplitude_at(
+                tx_pair, point, WAVELENGTH_M, tx_phases_rad=np.array([delta, 0.0])
+            )
+            siso_meas[i] += env.amplitude_at(tx_solo, point, WAVELENGTH_M)
+    beam_meas /= n_rooms
+    siso_meas /= n_rooms
+
+    # The pattern curve is normalized to its own maximum (it shows shape);
+    # both measured curves share the SISO maximum as the common reference so
+    # the beamformer's diversity gain stays visible (the paper's plot shows
+    # the beamformer curve above the SISO curve away from the null).
+    theory_n = theory / theory.max()
+    reference = siso_meas.max()
+    beam_n = beam_meas / reference
+    siso_n = siso_meas / reference
+
+    rows = [
+        (float(a), float(t), float(b), float(s))
+        for a, t, b, s in zip(angles, theory_n, beam_n, siso_n)
+    ]
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Beamformer pattern vs measured amplitudes (null at 120 deg)",
+        columns=("angle_deg", "pattern_sim", "beamformer_measured", "siso_measured"),
+        rows=rows,
+        metadata={"delta_rad": float(delta), "n_rooms": n_rooms},
+        paper_values={
+            "null": "received amplitude very small at 120 deg but non-zero "
+            "(multipath); beamformer beats SISO outside ~20 deg of the null",
+        },
+        notes=(
+            "pattern_sim is normalized to its own maximum; the two measured "
+            "curves share the SISO maximum as reference, so beamformer values "
+            "near 2 show the pair's coherent (diversity) gain."
+        ),
+    )
+
+
+def check(result: ExperimentResult) -> None:
+    """Shape assertions for Figure 8."""
+    angles = np.array(result.column("angle_deg"))
+    theory = np.array(result.column("pattern_sim"))
+    beam = np.array(result.column("beamformer_measured"))
+    siso = np.array(result.column("siso_measured"))
+
+    # the designed null lands at 120 degrees in the LOS pattern
+    assert angles[np.argmin(theory)] == NULL_ANGLE_DEG, "LOS pattern null misplaced"
+    assert theory.min() < 0.05, "LOS pattern null not deep"
+
+    # the measured null: deepest at 120 deg, small but NOT zero (multipath)
+    assert angles[np.argmin(beam)] == NULL_ANGLE_DEG, "measured null misplaced"
+    assert beam.min() > 0.0, "multipath should keep the measured null non-zero"
+    assert beam.min() < 0.4 * beam.max(), (
+        f"measured null {beam.min():.3f} not clearly below the beam peak"
+    )
+
+    # away from the null (outside +-20 deg) the beamformer beats SISO on
+    # the shared normalization, at most angles and on average
+    away = np.abs(angles - NULL_ANGLE_DEG) > 20.0
+    assert float(np.mean(beam[away])) > float(np.mean(siso[away])), (
+        "beamformer does not beat SISO away from the null"
+    )
+    assert np.mean(beam[away] >= siso[away] * 0.95) > 0.6, (
+        "beamformer below SISO at too many off-null angles"
+    )

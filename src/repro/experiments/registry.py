@@ -1,0 +1,134 @@
+"""Experiment result container and registry."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "check_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure: rows plus provenance.
+
+    ``rows`` are tuples aligned with ``columns``; ``paper_values`` carries
+    the corresponding numbers printed in the paper (where the paper prints
+    any) for side-by-side reporting in EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Tuple]
+    notes: str = ""
+    paper_values: Optional[Dict[str, object]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def to_text(self, float_format: str = "{:.4g}") -> str:
+        """Render as an aligned monospace table."""
+
+        def fmt(cell) -> str:
+            if isinstance(cell, float):
+                return float_format.format(cell)
+            return str(cell)
+
+        header = [str(c) for c in self.columns]
+        body = [[fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            f"# {self.experiment_id}: {self.title}",
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes.strip())
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (for ``repro-experiments run --json``).
+
+        Dict keys that JSON cannot represent (e.g. the ``(mt, mr)`` tuples
+        of some ``paper_values``) are stringified.
+        """
+
+        def sanitize(value):
+            if isinstance(value, dict):
+                return {str(k): sanitize(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [sanitize(v) for v in value]
+            return value
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+            "paper_values": sanitize(self.paper_values),
+            "metadata": sanitize(dict(self.metadata)),
+        }
+
+    def to_csv(self) -> str:
+        """Comma-separated form: a header row plus one line per data row."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def column(self, name: str) -> List:
+        """All values of one column, by name."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def select(self, **criteria) -> List[Tuple]:
+        """Rows whose named columns equal the given values."""
+        idxs = {name: list(self.columns).index(name) for name in criteria}
+        return [
+            row
+            for row in self.rows
+            if all(row[idxs[name]] == value for name, value in criteria.items())
+        ]
+
+
+#: experiment id -> module path (modules expose run()/check()).
+EXPERIMENTS: Dict[str, str] = {
+    "fig6": "repro.experiments.fig6_overlay_distance",
+    "fig7": "repro.experiments.fig7_underlay_energy",
+    "table1": "repro.experiments.table1_interweave_amplitude",
+    "fig8": "repro.experiments.fig8_beam_pattern",
+    "table2": "repro.experiments.table2_single_relay_ber",
+    "table3": "repro.experiments.table3_multi_relay_ber",
+    "table4": "repro.experiments.table4_underlay_per",
+    "ebar": "repro.experiments.ebar_magnitudes",
+    "game": "repro.experiments.game_baseline",
+}
+
+
+def _module(experiment_id: str):
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return importlib.import_module(EXPERIMENTS[experiment_id])
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id and return its result."""
+    return _module(experiment_id).run(**kwargs)
+
+
+def check_experiment(result: ExperimentResult) -> None:
+    """Run the shape assertions of the experiment that produced ``result``."""
+    _module(result.experiment_id).check(result)

@@ -1,0 +1,97 @@
+"""Table 1 — received amplitude of the null-steered pair at Sr.
+
+Protocol (Section 6.3): St1 and St2 are 15 m apart on the vertical axis
+(r = w/2, i.e. simulation wavelength 30 m), the horizontal axis bisects
+them; per trial 20 candidate primary receivers are drawn uniformly in a
+circle of radius 150 m centered at St1; the pair picks one (the Table 1
+picks all lie near the vertical axis), steers its null there, and the
+average received amplitude over the secondary receive cluster is compared
+with a SISO transmission.  10 trials.
+
+The exact-delay ablation (position-aware ``delta``) is reported alongside:
+it drives the residual at Pr to machine zero, quantifying the far-field
+approximation error of Algorithm 3's closed-form ``delta``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interweave import InterweaveSystem
+from repro.experiments.registry import ExperimentResult
+
+__all__ = ["run", "check"]
+
+ST1 = (0.0, 7.5)
+ST2 = (0.0, -7.5)
+N_TRIALS = 10
+
+
+def run(seed: int = 2013, fast: bool = False) -> ExperimentResult:
+    """Regenerate Table 1 (plus the exact-delay ablation columns)."""
+    n_trials = 3 if fast else N_TRIALS
+    system = InterweaveSystem(st1=ST1, st2=ST2)
+    trials = system.run_table1(n_trials=n_trials, rng=seed)
+    trials_exact = system.run_table1(n_trials=n_trials, rng=seed, exact_delay=True)
+    rows = []
+    for i, (t, te) in enumerate(zip(trials, trials_exact), start=1):
+        rows.append(
+            (
+                i,
+                round(t.picked_pr[0], 1),
+                round(t.picked_pr[1], 1),
+                t.amplitude_at_sr,
+                t.gain_over_siso,
+                t.residual_at_pr,
+                te.residual_at_pr,
+            )
+        )
+    mean_gain = float(np.mean([t.gain_over_siso for t in trials]))
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Interweave: amplitude at Sr from two null-steered SUs (10 trials)",
+        columns=(
+            "test",
+            "pr_x",
+            "pr_y",
+            "amplitude",
+            "gain_over_siso",
+            "residual_at_pr",
+            "residual_exact_delta",
+        ),
+        rows=rows,
+        metadata={"mean_gain": mean_gain},
+        paper_values={
+            "amplitudes": [1.87, 1.87, 1.88, 1.87, 1.87, 1.87, 1.88, 1.89, 1.87, 1.87],
+            "mean": 1.87,
+            "picked_pr": "all near the St1-St2 axis, e.g. (0,-71), (6,121), (-25,-149)",
+        },
+        notes=(
+            "gain_over_siso ~ 1.9-2.0 vs the paper's 1.87: near-full 2x "
+            "transmit diversity while the primary receiver sits in the null.  "
+            "residual_at_pr uses Algorithm 3's far-field delta; the exact "
+            "column shows a position-aware delta removes even that leakage."
+        ),
+    )
+
+
+def check(result: ExperimentResult) -> None:
+    """Shape assertions for Table 1."""
+    gains = result.column("gain_over_siso")
+    residuals = result.column("residual_at_pr")
+    residuals_exact = result.column("residual_exact_delta")
+    pr_x = result.column("pr_x")
+    pr_y = result.column("pr_y")
+
+    mean_gain = float(np.mean(gains))
+    assert 1.7 <= mean_gain <= 2.0, f"mean diversity gain {mean_gain:.3f} outside [1.7, 2]"
+    assert min(gains) > 1.5, f"a trial fell to gain {min(gains):.3f}"
+
+    # interference at the primary receiver is far below the SISO amplitude (1.0)
+    assert max(residuals) < 0.1, f"far-field delta leaks {max(residuals):.3f} at Pr"
+    assert max(residuals_exact) < 1e-9, "exact delta should null Pr to machine zero"
+
+    # the picked primary receivers hug the pair's baseline axis (as in the
+    # paper's Table 1 locations)
+    for x, y in zip(pr_x, pr_y):
+        assert abs(y) > abs(x), f"picked Pr ({x}, {y}) not aligned with the pair axis"

@@ -1,0 +1,120 @@
+"""Random and deterministic node placements.
+
+These generators cover the layouts used in Section 6:
+
+* ``random_in_disk`` — the 20 candidate primary receivers of Table 1
+  ("randomly located in a circle centered at St1 with a diameter 300 m").
+* ``place_on_segment`` — the relays "uniformly put in the corridor" of the
+  Table 3 experiment.
+* ``place_on_arc`` — the receiver walked along a semicircle in 20-degree
+  steps for Figure 8.
+* ``random_in_rectangle`` / ``random_in_annulus`` — general CoMIMONet
+  deployments for the network examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_rng
+
+__all__ = [
+    "random_in_disk",
+    "random_in_annulus",
+    "random_in_rectangle",
+    "place_on_segment",
+    "place_on_arc",
+]
+
+
+def random_in_disk(
+    n: int,
+    center: np.ndarray = (0.0, 0.0),
+    radius: float = 1.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """``n`` points uniform over a disk (area-uniform, not radius-uniform)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if radius <= 0.0:
+        raise ValueError("radius must be positive")
+    gen = as_rng(rng)
+    r = radius * np.sqrt(gen.random(n))
+    theta = gen.uniform(0.0, 2.0 * np.pi, n)
+    pts = np.stack([r * np.cos(theta), r * np.sin(theta)], axis=-1)
+    return pts + np.asarray(center, dtype=float)
+
+
+def random_in_annulus(
+    n: int,
+    center: np.ndarray = (0.0, 0.0),
+    inner_radius: float = 0.5,
+    outer_radius: float = 1.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """``n`` points uniform over an annulus (keeps nodes off a protected zone)."""
+    if not (0.0 <= inner_radius < outer_radius):
+        raise ValueError("need 0 <= inner_radius < outer_radius")
+    gen = as_rng(rng)
+    u = gen.random(n)
+    r = np.sqrt(inner_radius**2 + u * (outer_radius**2 - inner_radius**2))
+    theta = gen.uniform(0.0, 2.0 * np.pi, n)
+    pts = np.stack([r * np.cos(theta), r * np.sin(theta)], axis=-1)
+    return pts + np.asarray(center, dtype=float)
+
+
+def random_in_rectangle(
+    n: int,
+    low: np.ndarray = (0.0, 0.0),
+    high: np.ndarray = (1.0, 1.0),
+    rng: RngLike = None,
+) -> np.ndarray:
+    """``n`` points uniform over an axis-aligned rectangle ``[low, high]``."""
+    low = np.asarray(low, dtype=float)
+    high = np.asarray(high, dtype=float)
+    if np.any(high <= low):
+        raise ValueError("each coordinate of high must exceed low")
+    gen = as_rng(rng)
+    return gen.uniform(low, high, size=(n, 2))
+
+
+def place_on_segment(a: np.ndarray, b: np.ndarray, n: int, endpoint_margin: float = 0.0) -> np.ndarray:
+    """``n`` points evenly spaced along the open segment from ``a`` to ``b``.
+
+    ``endpoint_margin`` (in 0..0.5) shrinks the usable span symmetrically, so
+    relays are not placed on top of the transmitter/receiver.  For ``n`` points
+    the interior fractions are ``(i+1)/(n+1)`` rescaled into the margin span —
+    e.g. a single relay lands at the midpoint, matching the paper's
+    "relay located in the middle" single-relay baseline.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not (0.0 <= endpoint_margin < 0.5):
+        raise ValueError("endpoint_margin must lie in [0, 0.5)")
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    fractions = (np.arange(1, n + 1)) / (n + 1)
+    fractions = endpoint_margin + fractions * (1.0 - 2.0 * endpoint_margin)
+    return a[None, :] + fractions[:, None] * (b - a)[None, :]
+
+
+def place_on_arc(
+    center: np.ndarray,
+    radius: float,
+    start_deg: float,
+    stop_deg: float,
+    step_deg: float,
+) -> np.ndarray:
+    """Points on a circular arc at ``step_deg`` increments, endpoints included.
+
+    Mirrors the Figure 8 measurement: "the receiver is moved between 0 degree
+    and 180 degree with 20 degree increment" on a semicircle.
+    """
+    if radius <= 0.0:
+        raise ValueError("radius must be positive")
+    if step_deg <= 0.0:
+        raise ValueError("step_deg must be positive")
+    angles = np.arange(start_deg, stop_deg + 0.5 * step_deg, step_deg)
+    rad = np.deg2rad(angles)
+    pts = np.stack([radius * np.cos(rad), radius * np.sin(rad)], axis=-1)
+    return pts + np.asarray(center, dtype=float)

@@ -1,0 +1,9 @@
+"""Link-layer medium access control.
+
+Section 2.1: "Carrier Sense Multiple Access with Collision Avoidance
+(CSMA/CA) is used to avoid the communication collisions at the link layer."
+"""
+
+from repro.mac.csma import CsmaCaSimulator, CsmaConfig, MacStats
+
+__all__ = ["CsmaCaSimulator", "CsmaConfig", "MacStats"]

@@ -1,0 +1,78 @@
+"""Abstract modem interface.
+
+A modem converts bit arrays to unit-average-energy complex baseband symbols
+and back (hard-decision).  Keeping every modulation behind this small
+interface lets the link simulator (:mod:`repro.phy.link`), the STBC encoders
+and the testbed all remain modulation-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Modem"]
+
+
+class Modem(abc.ABC):
+    """Bits ↔ unit-energy complex symbols.
+
+    Contract:
+
+    * ``modulate`` consumes a 0/1 integer array whose length is a multiple
+      of :attr:`bits_per_symbol` and produces complex symbols with average
+      energy 1 (exactly 1 per symbol for constant-envelope modulations,
+      1 on constellation average for QAM);
+    * ``demodulate`` is the exact inverse on noiseless input
+      (round-trip property, enforced by the test suite for every modem);
+    * :attr:`snr_efficiency` is the factor by which the effective detection
+      SNR is scaled relative to an ideal antipodal signal — 1.0 for the
+      linear modems, < 1 for GMSK's Gaussian-filter ISI penalty.
+    """
+
+    #: Effective-SNR multiplier applied by simulators (see class docstring).
+    snr_efficiency: float = 1.0
+
+    @property
+    @abc.abstractmethod
+    def bits_per_symbol(self) -> int:
+        """Number of bits carried by one channel symbol (``b`` in the paper)."""
+
+    @property
+    def constellation_size(self) -> int:
+        """``M = 2^b``."""
+        return 2**self.bits_per_symbol
+
+    @property
+    def name(self) -> str:
+        """Human-readable modem name."""
+        return type(self).__name__.replace("Modem", "")
+
+    @abc.abstractmethod
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map a 0/1 array (length divisible by ``bits_per_symbol``) to symbols."""
+
+    @abc.abstractmethod
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard-decision demap symbols back to a 0/1 array."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _check_bits(self, bits: np.ndarray) -> np.ndarray:
+        arr = np.asarray(bits)
+        if arr.ndim != 1:
+            raise ValueError(f"bits must be 1-D, got shape {arr.shape}")
+        if arr.size % self.bits_per_symbol != 0:
+            raise ValueError(
+                f"bit count {arr.size} is not a multiple of "
+                f"bits_per_symbol={self.bits_per_symbol}"
+            )
+        if arr.size and not np.isin(arr, (0, 1)).all():
+            raise ValueError("bits must contain only 0 and 1")
+        return arr.astype(np.int8, copy=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(bits_per_symbol={self.bits_per_symbol})"

@@ -1,0 +1,60 @@
+"""Gray coding and bit/integer packing.
+
+Gray mapping places adjacent constellation points one bit apart, so a
+nearest-neighbour symbol error costs a single bit error — the assumption
+behind the ``(4/b)(1 - 2^{-b/2}) Q(...)`` BER expression the paper uses
+(formula (5)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gray_encode", "gray_decode", "bits_to_ints", "ints_to_bits"]
+
+
+def gray_encode(values: np.ndarray) -> np.ndarray:
+    """Binary-reflected Gray code of non-negative integers: ``g = v ^ (v >> 1)``."""
+    arr = np.asarray(values)
+    if arr.size and arr.min() < 0:
+        raise ValueError("gray_encode requires non-negative integers")
+    return arr ^ (arr >> 1)
+
+
+def gray_decode(codes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`gray_encode`.
+
+    Iterative xor-shift inverse; runs in O(log maxbits) vectorized passes.
+    """
+    arr = np.array(codes, copy=True)
+    if arr.size and arr.min() < 0:
+        raise ValueError("gray_decode requires non-negative integers")
+    shift = 1
+    # 64 bits is the widest integer dtype numpy offers.
+    while shift < 64:
+        arr ^= arr >> shift
+        shift <<= 1
+    return arr
+
+
+def bits_to_ints(bits: np.ndarray, width: int) -> np.ndarray:
+    """Pack a flat 0/1 array into integers, ``width`` bits each, MSB first."""
+    arr = np.asarray(bits)
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if arr.size % width != 0:
+        raise ValueError(f"bit count {arr.size} not a multiple of width {width}")
+    grouped = arr.reshape(-1, width).astype(np.int64)
+    weights = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
+    return grouped @ weights
+
+
+def ints_to_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Unpack integers into a flat 0/1 array, ``width`` bits each, MSB first."""
+    arr = np.asarray(values, dtype=np.int64)
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if arr.size and (arr.min() < 0 or arr.max() >= (1 << width)):
+        raise ValueError(f"values out of range for width {width}")
+    shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+    return ((arr[:, None] >> shifts[None, :]) & 1).reshape(-1).astype(np.int8)

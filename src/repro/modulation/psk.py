@@ -1,0 +1,58 @@
+"""BPSK and Gray-mapped QPSK modems.
+
+BPSK is the modulation of the paper's overlay and interweave testbed
+experiments ("The Binary Phase Shift Keying (BPSK) modulation and
+demodulation are used for overlay and interweave systems", Section 6.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modulation.base import Modem
+
+__all__ = ["BPSKModem", "QPSKModem"]
+
+_SQRT1_2 = np.sqrt(0.5)
+
+
+class BPSKModem(Modem):
+    """Antipodal signaling: bit 0 → +1, bit 1 → −1 (unit symbol energy)."""
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return 1
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        arr = self._check_bits(bits)
+        return (1.0 - 2.0 * arr).astype(complex)
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        sym = np.asarray(symbols)
+        return (sym.real < 0.0).astype(np.int8)
+
+
+class QPSKModem(Modem):
+    """Gray-mapped QPSK: two independent BPSK rails on I and Q.
+
+    Bit pair ``(b0, b1)`` maps to ``((1-2 b0) + j (1-2 b1)) / sqrt(2)``; the
+    Gray property holds because adjacent constellation points differ in one
+    rail only.
+    """
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return 2
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        arr = self._check_bits(bits).reshape(-1, 2)
+        i = 1.0 - 2.0 * arr[:, 0]
+        q = 1.0 - 2.0 * arr[:, 1]
+        return _SQRT1_2 * (i + 1j * q)
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        sym = np.asarray(symbols)
+        out = np.empty((sym.size, 2), dtype=np.int8)
+        out[:, 0] = sym.real < 0.0
+        out[:, 1] = sym.imag < 0.0
+        return out.reshape(-1)

@@ -1,0 +1,144 @@
+"""Node mobility and cluster-maintenance dynamics.
+
+Section 2.1's clusters and backbone are "reconfigurable" because SU nodes
+move.  :class:`RandomWaypointMobility` implements the standard random
+waypoint model (pick a destination uniformly in the arena, travel at a
+uniform-random speed, pause, repeat), and
+:func:`simulate_recluster_interval` measures how long a d-clustering stays
+valid under motion — the maintenance-rate input a deployment needs when
+choosing ``d`` (tighter clusters break sooner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.network.clustering import d_cluster, validate_clustering
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["RandomWaypointMobility", "simulate_recluster_interval"]
+
+
+@dataclass
+class RandomWaypointMobility:
+    """Random waypoint motion for ``n`` nodes in a rectangular arena.
+
+    Parameters
+    ----------
+    arena:
+        ``(width, height)`` of the arena [m]; positions stay inside.
+    speed_range:
+        ``(v_min, v_max)`` [m/s], drawn per leg.
+    pause_s:
+        Dwell time at each waypoint.
+    """
+
+    arena: Tuple[float, float] = (200.0, 200.0)
+    speed_range: Tuple[float, float] = (0.5, 2.0)
+    pause_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.arena) <= 0.0:
+            raise ValueError("arena dimensions must be positive")
+        v_min, v_max = self.speed_range
+        if not (0.0 < v_min <= v_max):
+            raise ValueError("need 0 < v_min <= v_max")
+        if self.pause_s < 0.0:
+            raise ValueError("pause_s must be non-negative")
+
+    def initial_positions(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Uniform starting positions."""
+        check_positive_int(n, "n")
+        gen = as_rng(rng)
+        return gen.uniform((0.0, 0.0), self.arena, size=(n, 2))
+
+    def walk(
+        self,
+        positions: np.ndarray,
+        duration_s: float,
+        step_s: float,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Trajectories sampled every ``step_s`` for ``duration_s``.
+
+        Returns an array of shape ``(n_steps + 1, n, 2)`` including the
+        initial positions.
+        """
+        check_positive(duration_s, "duration_s")
+        check_positive(step_s, "step_s")
+        gen = as_rng(rng)
+        pos = np.array(positions, dtype=float)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ValueError("positions must have shape (n, 2)")
+        n = pos.shape[0]
+        n_steps = int(np.ceil(duration_s / step_s))
+
+        waypoints = gen.uniform((0.0, 0.0), self.arena, size=(n, 2))
+        speeds = gen.uniform(*self.speed_range, size=n)
+        pause_left = np.zeros(n)
+
+        out = np.empty((n_steps + 1, n, 2))
+        out[0] = pos
+        for step in range(1, n_steps + 1):
+            remaining = np.full(n, step_s)
+            moving = pause_left < remaining
+            pause_left = np.maximum(pause_left - step_s, 0.0)
+            for i in np.where(moving)[0]:
+                budget = step_s
+                while budget > 1e-12:
+                    to_target = waypoints[i] - pos[i]
+                    dist = float(np.linalg.norm(to_target))
+                    travel = speeds[i] * budget
+                    if travel < dist:
+                        pos[i] += to_target * (travel / dist)
+                        break
+                    # arrive, pause, re-draw
+                    pos[i] = waypoints[i]
+                    budget -= dist / speeds[i] if speeds[i] > 0 else budget
+                    waypoints[i] = gen.uniform((0.0, 0.0), self.arena)
+                    speeds[i] = gen.uniform(*self.speed_range)
+                    if self.pause_s > 0.0:
+                        pause_left[i] = self.pause_s
+                        break
+            out[step] = pos
+        return out
+
+
+def simulate_recluster_interval(
+    n_nodes: int,
+    cluster_diameter: float,
+    mobility: RandomWaypointMobility = RandomWaypointMobility(),
+    step_s: float = 1.0,
+    max_duration_s: float = 600.0,
+    n_trials: int = 20,
+    rng: RngLike = None,
+) -> List[float]:
+    """Time until a fresh d-clustering first violates its diameter bound.
+
+    For each trial: place nodes, cluster them, then walk until some cluster's
+    diameter exceeds ``cluster_diameter`` — the moment CoMIMONet must
+    re-cluster.  Returns the per-trial intervals (``max_duration_s`` when a
+    clustering survived the whole window).
+    """
+    check_positive_int(n_nodes, "n_nodes")
+    check_positive(cluster_diameter, "cluster_diameter")
+    check_positive_int(n_trials, "n_trials")
+    gen = as_rng(rng)
+    intervals = []
+    for _ in range(n_trials):
+        start = mobility.initial_positions(n_nodes, gen)
+        clusters = d_cluster(start, cluster_diameter)
+        trajectory = mobility.walk(start, max_duration_s, step_s, gen)
+        broke_at = max_duration_s
+        for step in range(1, trajectory.shape[0]):
+            try:
+                validate_clustering(trajectory[step], clusters, cluster_diameter)
+            except ValueError:
+                broke_at = step * step_s
+                break
+        intervals.append(float(broke_at))
+    return intervals

@@ -1,0 +1,38 @@
+"""Link-level Monte-Carlo simulation: frames, links, and relay chains.
+
+This is the software substitute for the paper's GNU Radio/USRP testbed
+(Section 6.4): the same DSP path — modulation, space-time coding, fading,
+noise, combining, hard decision, CRC-checked packets — driven by
+channel-model SNRs instead of real RF hardware.
+"""
+
+from repro.phy.frame import (
+    bits_to_bytes,
+    bytes_to_bits,
+    crc16,
+    packetize_bits,
+    verify_crc,
+    with_crc,
+)
+from repro.phy.coded import CodedLinkResult, simulate_coded_link
+from repro.phy.hop import HopSimulationResult, simulate_hop
+from repro.phy.link import LinkResult, simulate_link, simulate_packet_link
+from repro.phy.relay import RelayChainResult, simulate_relay_chain
+
+__all__ = [
+    "crc16",
+    "with_crc",
+    "verify_crc",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "packetize_bits",
+    "LinkResult",
+    "simulate_link",
+    "simulate_packet_link",
+    "RelayChainResult",
+    "simulate_relay_chain",
+    "HopSimulationResult",
+    "simulate_hop",
+    "CodedLinkResult",
+    "simulate_coded_link",
+]

@@ -1,0 +1,113 @@
+"""Coded link simulation: convolutional code + interleaver + modem + fading.
+
+The full "signal processing blocks" chain the paper's Section 2.3 scoped
+out.  The transmit side encodes, interleaves and modulates; the receive
+side equalizes (via the OSTBC matched filter of the uncoded chain),
+deinterleaves *soft* symbol observations and runs soft-decision Viterbi —
+the textbook architecture whose gains justify the extension hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.awgn import complex_gaussian
+from repro.coding.convolutional import ConvolutionalCode
+from repro.coding.interleave import BlockInterleaver
+from repro.modulation.psk import BPSKModem
+from repro.utils.rng import RngLike, as_rng
+
+__all__ = ["CodedLinkResult", "simulate_coded_link"]
+
+
+@dataclass(frozen=True)
+class CodedLinkResult:
+    """Outcome of a coded Monte-Carlo run."""
+
+    n_info_bits: int
+    n_info_errors: int
+    n_channel_bits: int
+    channel_ber: float  # raw (pre-decoder) hard-decision BER
+
+    @property
+    def ber(self) -> float:
+        """Post-decoding information bit error rate."""
+        return self.n_info_errors / self.n_info_bits if self.n_info_bits else 0.0
+
+
+def simulate_coded_link(
+    n_info_bits: int,
+    snr_db: float,
+    code: Optional[ConvolutionalCode] = None,
+    interleaver: Optional[BlockInterleaver] = None,
+    fading: str = "rayleigh",
+    rician_k: float = 0.0,
+    symbols_per_fade: int = 1,
+    rng: RngLike = None,
+) -> CodedLinkResult:
+    """BPSK + convolutional code over a fading SISO link.
+
+    Parameters
+    ----------
+    n_info_bits:
+        Information bits (pre-coding).
+    snr_db:
+        Average received SNR per *channel symbol*.  Note the rate loss:
+        at equal Eb/N0 a rate-1/2 code sees symbol SNR 3 dB lower.
+    code:
+        Default: the K=7 (171, 133) code.
+    interleaver:
+        Optional; essential whenever ``symbols_per_fade > 1`` (fade bursts).
+    symbols_per_fade:
+        Channel coherence in symbols (1 = fast fading).
+    """
+    if n_info_bits < 1:
+        raise ValueError("n_info_bits must be >= 1")
+    if symbols_per_fade < 1:
+        raise ValueError("symbols_per_fade must be >= 1")
+    gen = as_rng(rng)
+    code = code or ConvolutionalCode()
+    modem = BPSKModem()
+
+    info = gen.integers(0, 2, n_info_bits, dtype=np.int8)
+    coded = code.encode(info)
+    channel_bits = coded if interleaver is None else interleaver.interleave(coded)
+
+    symbols = modem.modulate(channel_bits)
+    n = symbols.size
+    if fading == "awgn":
+        h = np.ones(n, dtype=complex)
+    else:
+        n_fades = -(-n // symbols_per_fade)
+        k = rician_k if fading == "rician" else 0.0
+        from repro.channel.rayleigh import rician_mimo_channel
+
+        h_unique = rician_mimo_channel(1, 1, k, n_fades, gen)[:, 0, 0]
+        h = np.repeat(h_unique, symbols_per_fade)[:n]
+    noise_var = 1.0 / (10.0 ** (snr_db / 10.0))
+    y = h * symbols + complex_gaussian(n, noise_var, gen)
+    # Matched-filter statistic Re(h* y): the sufficient statistic for BPSK
+    # with known fading — its magnitude carries the per-symbol reliability
+    # (a deep fade contributes little to the path metric), which is where
+    # most of the soft-decision gain over fading comes from.
+    matched = (np.conj(h) * y).real
+
+    channel_hard = (matched < 0).astype(np.int8)
+    channel_errors = int(np.sum(channel_hard != channel_bits))
+
+    soft = matched
+    if interleaver is not None:
+        # channel_bits was padded to a whole number of interleaver blocks,
+        # so the observation vector deinterleaves directly
+        soft = interleaver.deinterleave(soft, original_length=coded.size)
+    decoded = code.decode(soft, soft=True)
+
+    return CodedLinkResult(
+        n_info_bits=n_info_bits,
+        n_info_errors=int(np.sum(decoded != info)),
+        n_channel_bits=int(channel_bits.size),
+        channel_ber=channel_errors / channel_bits.size,
+    )

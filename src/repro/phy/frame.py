@@ -1,0 +1,97 @@
+"""Framing: bit/byte packing, CRC-16, and packetization.
+
+The underlay testbed transmits an image as 1500-byte packets and reports
+packet error rate (Table 4); a packet counts as errored when its CRC fails
+at the receiver — the same criterion GNU Radio's packet framer uses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = [
+    "crc16",
+    "with_crc",
+    "verify_crc",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "packetize_bits",
+    "CRC_BITS",
+]
+
+#: CRC width appended by :func:`with_crc`.
+CRC_BITS = 16
+
+#: CRC-16/CCITT-FALSE polynomial.
+_POLY = 0x1021
+_INIT = 0xFFFF
+
+
+def _build_crc_table() -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint16)
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ _POLY) if (crc & 0x8000) else (crc << 1)
+            crc &= 0xFFFF
+        table[byte] = crc
+    return table
+
+
+_CRC_TABLE = _build_crc_table()
+
+
+def crc16(data: np.ndarray) -> int:
+    """CRC-16/CCITT-FALSE over a uint8 byte array."""
+    arr = np.asarray(data, dtype=np.uint8)
+    crc = _INIT
+    for byte in arr.tolist():  # table-driven; fast enough for framing
+        crc = ((crc << 8) & 0xFFFF) ^ int(_CRC_TABLE[((crc >> 8) ^ byte) & 0xFF])
+    return crc
+
+
+def bytes_to_bits(data: np.ndarray) -> np.ndarray:
+    """uint8 array → flat 0/1 int8 array, MSB first."""
+    arr = np.asarray(data, dtype=np.uint8)
+    return np.unpackbits(arr).astype(np.int8)
+
+
+def bits_to_bytes(bits: np.ndarray) -> np.ndarray:
+    """Flat 0/1 array (length divisible by 8) → uint8 array, MSB first."""
+    arr = np.asarray(bits)
+    if arr.size % 8 != 0:
+        raise ValueError(f"bit count {arr.size} is not a multiple of 8")
+    return np.packbits(arr.astype(np.uint8))
+
+
+def with_crc(payload_bits: np.ndarray) -> np.ndarray:
+    """Append a 16-bit CRC to a payload whose length is a byte multiple."""
+    arr = np.asarray(payload_bits)
+    if arr.size % 8 != 0:
+        raise ValueError("payload must be a whole number of bytes")
+    crc = crc16(bits_to_bytes(arr))
+    crc_bits = ((crc >> np.arange(15, -1, -1)) & 1).astype(np.int8)
+    return np.concatenate([arr.astype(np.int8), crc_bits])
+
+
+def verify_crc(frame_bits: np.ndarray) -> bool:
+    """Check a frame produced by :func:`with_crc`; True iff intact."""
+    arr = np.asarray(frame_bits)
+    if arr.size < CRC_BITS or (arr.size - CRC_BITS) % 8 != 0:
+        return False
+    payload, crc_bits = arr[:-CRC_BITS], arr[-CRC_BITS:]
+    received = int(np.sum(crc_bits.astype(np.int64) << np.arange(15, -1, -1)))
+    return crc16(bits_to_bytes(payload)) == received
+
+
+def packetize_bits(bits: np.ndarray, packet_bits: int, pad_value: int = 0) -> List[np.ndarray]:
+    """Split a bit stream into fixed-size packets, padding the last one."""
+    arr = np.asarray(bits).astype(np.int8)
+    if packet_bits < 1:
+        raise ValueError("packet_bits must be >= 1")
+    n_packets = -(-arr.size // packet_bits) if arr.size else 0
+    padded = np.full(n_packets * packet_bits, pad_value, dtype=np.int8)
+    padded[: arr.size] = arr
+    return [padded[i * packet_bits : (i + 1) * packet_bits] for i in range(n_packets)]

@@ -1,0 +1,19 @@
+"""Spectrum sensing for the interweave paradigm.
+
+The paper's cognitive-radio premise (Section 1) endows SUs with "the
+ability to sense the electromagnetic environment"; Algorithm 3's Step 1
+has the transmit-cluster head "determine the PU to share the frequency
+based on the sensed environment".  This package supplies that capability:
+
+* :mod:`repro.sensing.detector` — the classical energy detector: test
+  statistic, exact false-alarm/detection probabilities (central and
+  non-central chi-squared), threshold design, and a Monte-Carlo sampler;
+* :mod:`repro.sensing.cooperative` — cooperative sensing across multiple
+  SUs with OR/AND/majority decision fusion, the standard remedy for
+  shadowed single-sensor detection.
+"""
+
+from repro.sensing.cooperative import CooperativeSensor, fuse_decisions
+from repro.sensing.detector import EnergyDetector
+
+__all__ = ["EnergyDetector", "CooperativeSensor", "fuse_decisions"]

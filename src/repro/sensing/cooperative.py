@@ -1,0 +1,136 @@
+"""Cooperative spectrum sensing with hard-decision fusion.
+
+A single SU in a deep shadow misses the primary; the CoMIMONet remedy is
+the same as for data transmission — cooperate.  Each cluster member runs
+its own energy detector, sends its 1-bit decision to the head over the
+intra-cluster link, and the head fuses them:
+
+* **OR** — declare the primary present if *any* member detects it
+  (protective of the PU: detection probability compounds, false alarms
+  accumulate);
+* **AND** — all members must agree (aggressive spectrum reuse);
+* **MAJORITY** — at least half (the k-out-of-n middle ground).
+
+Closed forms below assume independent per-sensor fading/noise, the
+standard modeling assumption for spatially separated cluster members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.sensing.detector import EnergyDetector
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["fuse_decisions", "CooperativeSensor"]
+
+_RULES = ("or", "and", "majority")
+
+
+def fuse_decisions(decisions: Sequence[bool], rule: str = "or") -> bool:
+    """Fuse hard decisions from multiple sensors."""
+    if rule not in _RULES:
+        raise ValueError(f"rule must be one of {_RULES}, got {rule!r}")
+    votes = [bool(d) for d in decisions]
+    if not votes:
+        raise ValueError("at least one decision is required")
+    if rule == "or":
+        return any(votes)
+    if rule == "and":
+        return all(votes)
+    return sum(votes) * 2 >= len(votes)
+
+
+def _fused_probability(p_single: float, n: int, rule: str) -> float:
+    """Probability the fused decision fires when each sensor fires w.p. p."""
+    if rule == "or":
+        return 1.0 - (1.0 - p_single) ** n
+    if rule == "and":
+        return p_single**n
+    # majority: at least ceil(n/2) of n
+    k = (n + 1) // 2
+    return float(stats.binom.sf(k - 1, n, p_single))
+
+
+@dataclass(frozen=True)
+class CooperativeSensor:
+    """A cluster of identical energy detectors with decision fusion.
+
+    Parameters
+    ----------
+    detector:
+        The per-member detector (window length + target P_fa).
+    n_sensors:
+        Cluster size.
+    rule:
+        Fusion rule: ``"or"``, ``"and"`` or ``"majority"``.
+    """
+
+    detector: EnergyDetector
+    n_sensors: int
+    rule: str = "or"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_sensors, "n_sensors")
+        if self.rule not in _RULES:
+            raise ValueError(f"rule must be one of {_RULES}, got {self.rule!r}")
+
+    # ------------------------------------------------------------------ #
+
+    def false_alarm_probability(self) -> float:
+        """Fused ``P_fa`` (each sensor at the detector's designed P_fa)."""
+        return _fused_probability(
+            self.detector.false_alarm_probability(), self.n_sensors, self.rule
+        )
+
+    def detection_probability(self, snr_linear: float) -> float:
+        """Fused ``P_d`` with equal per-sensor SNR."""
+        return _fused_probability(
+            self.detector.detection_probability(snr_linear), self.n_sensors, self.rule
+        )
+
+    def detection_probability_faded(
+        self,
+        mean_snr_linear: float,
+        n_fades: int = 20_000,
+        rng: RngLike = None,
+    ) -> float:
+        """Fused ``P_d`` under independent per-sensor Rayleigh fading.
+
+        This is where cooperation earns its keep: a single sensor's ``P_d``
+        collapses when its fade is deep, while the OR fusion over
+        independently faded members stays high.  Monte-Carlo over the
+        per-sensor instantaneous SNRs (exponential with the given mean).
+        """
+        if mean_snr_linear < 0.0:
+            raise ValueError("mean_snr_linear must be non-negative")
+        check_positive_int(n_fades, "n_fades")
+        gen = as_rng(rng)
+        snrs = gen.exponential(mean_snr_linear, (n_fades, self.n_sensors))
+        # vectorized per-sensor detection probabilities at each fade
+        lam = self.detector.threshold
+        from scipy import special
+
+        p_single = special.gammaincc(self.detector.n_samples, lam / (1.0 + snrs))
+        fired = gen.random((n_fades, self.n_sensors)) < p_single
+        if self.rule == "or":
+            fused = fired.any(axis=1)
+        elif self.rule == "and":
+            fused = fired.all(axis=1)
+        else:
+            fused = fired.sum(axis=1) * 2 >= self.n_sensors
+        return float(np.mean(fused))
+
+    def decide(self, sample_sets: List[np.ndarray], noise_variance: float = 1.0) -> bool:
+        """Fuse live decisions from per-member sample vectors."""
+        if len(sample_sets) != self.n_sensors:
+            raise ValueError(
+                f"expected {self.n_sensors} sample sets, got {len(sample_sets)}"
+            )
+        decisions = [self.detector.decide(s, noise_variance) for s in sample_sets]
+        return fuse_decisions(decisions, self.rule)

@@ -1,0 +1,162 @@
+"""The energy detector.
+
+An SU listens for ``n_samples`` complex baseband samples and compares the
+normalized received energy
+
+    T = sum_k |y_k|^2 / sigma^2
+
+against a threshold.  Under the noise-only hypothesis H0, ``T`` is
+Gamma(n, 1)-distributed; under H1 with a Gaussian primary signal of SNR
+``gamma`` (the standard model for wideband primary waveforms), ``T`` is
+Gamma(n, 1 + gamma).  Both tails are therefore regularized incomplete
+gamma functions, giving exact closed forms for the false-alarm and
+detection probabilities and for constant-false-alarm-rate (CFAR)
+threshold design:
+
+    P_fa = Q(n, lambda)                    P_d = Q(n, lambda / (1 + gamma))
+
+where ``Q`` is ``scipy.special.gammaincc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special
+
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive, check_positive_int, check_probability
+
+__all__ = ["EnergyDetector"]
+
+
+@dataclass(frozen=True)
+class EnergyDetector:
+    """A CFAR energy detector over ``n_samples`` complex samples.
+
+    Parameters
+    ----------
+    n_samples:
+        Sensing window length (complex samples).
+    target_pfa:
+        Designed false-alarm probability; the threshold is set exactly.
+    """
+
+    n_samples: int
+    target_pfa: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_samples, "n_samples")
+        check_probability(self.target_pfa, "target_pfa")
+
+    # ------------------------------------------------------------------ #
+    # Design                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def threshold(self) -> float:
+        """CFAR threshold: ``P(T > lambda | H0) = target_pfa`` exactly."""
+        return float(special.gammainccinv(self.n_samples, self.target_pfa))
+
+    def false_alarm_probability(self, threshold: float = None) -> float:
+        """``P_fa`` at the given (default: designed) threshold."""
+        lam = self.threshold if threshold is None else float(threshold)
+        if lam < 0.0:
+            raise ValueError("threshold must be non-negative")
+        return float(special.gammaincc(self.n_samples, lam))
+
+    def detection_probability(self, snr_linear: float, threshold: float = None) -> float:
+        """``P_d`` for a Gaussian primary signal at the given SNR."""
+        if snr_linear < 0.0:
+            raise ValueError("snr_linear must be non-negative")
+        lam = self.threshold if threshold is None else float(threshold)
+        if lam < 0.0:
+            raise ValueError("threshold must be non-negative")
+        return float(special.gammaincc(self.n_samples, lam / (1.0 + snr_linear)))
+
+    @staticmethod
+    def samples_required(
+        snr_linear: float,
+        target_pfa: float = 0.05,
+        target_pd: float = 0.95,
+        max_samples: int = 2**24,
+    ) -> int:
+        """Smallest sensing window meeting (P_fa, P_d) at the given SNR.
+
+        Binary search over the exact closed forms; raises ``ValueError``
+        when even ``max_samples`` cannot meet the spec (SNR too low).
+        Exhibits the classical ``N ~ 1/gamma^2`` low-SNR scaling.
+        """
+        check_positive(snr_linear, "snr_linear")
+        check_probability(target_pfa, "target_pfa")
+        check_probability(target_pd, "target_pd")
+        if target_pd <= target_pfa:
+            raise ValueError("target_pd must exceed target_pfa")
+
+        def meets(n: int) -> bool:
+            det = EnergyDetector(n, target_pfa)
+            return det.detection_probability(snr_linear) >= target_pd
+
+        if not meets(max_samples):
+            raise ValueError(
+                f"cannot reach Pd={target_pd} at this SNR within {max_samples} samples"
+            )
+        lo, hi = 1, max_samples
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if meets(mid):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # ------------------------------------------------------------------ #
+    # Operation                                                          #
+    # ------------------------------------------------------------------ #
+
+    def statistic(self, samples: np.ndarray, noise_variance: float = 1.0) -> float:
+        """Normalized energy statistic of a sample vector."""
+        check_positive(noise_variance, "noise_variance")
+        arr = np.asarray(samples)
+        return float(np.sum(np.abs(arr) ** 2) / noise_variance)
+
+    def decide(self, samples: np.ndarray, noise_variance: float = 1.0) -> bool:
+        """True = primary detected (statistic above the CFAR threshold)."""
+        return self.statistic(samples, noise_variance) > self.threshold
+
+    def roc_curve(self, snr_linear: float, n_points: int = 50):
+        """Receiver operating characteristic at a fixed SNR.
+
+        Returns ``(pfa, pd)`` arrays swept over thresholds (log-spaced
+        false-alarm targets from 1e-6 to 0.5), for plotting or AUC-style
+        comparisons between sensing configurations.
+        """
+        if snr_linear < 0.0:
+            raise ValueError("snr_linear must be non-negative")
+        check_positive_int(n_points, "n_points")
+        pfas = np.logspace(-6, np.log10(0.5), n_points)
+        thresholds = special.gammainccinv(self.n_samples, pfas)
+        pds = special.gammaincc(self.n_samples, thresholds / (1.0 + snr_linear))
+        return pfas, np.asarray(pds, dtype=float)
+
+    def simulate(
+        self,
+        snr_linear: float,
+        n_trials: int = 10_000,
+        primary_present: bool = True,
+        rng: RngLike = None,
+    ) -> float:
+        """Monte-Carlo detection (or false-alarm) rate.
+
+        Draws the exact Gamma statistics rather than raw samples, which is
+        equivalent and lets 10^4 trials of 10^4-sample windows run
+        instantly.
+        """
+        if snr_linear < 0.0:
+            raise ValueError("snr_linear must be non-negative")
+        check_positive_int(n_trials, "n_trials")
+        gen = as_rng(rng)
+        scale = (1.0 + snr_linear) if primary_present else 1.0
+        stats = gen.gamma(self.n_samples, scale, n_trials)
+        return float(np.mean(stats > self.threshold))

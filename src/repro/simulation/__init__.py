@@ -1,0 +1,5 @@
+"""Discrete-event simulation kernel used by the MAC layer."""
+
+from repro.simulation.events import EventScheduler
+
+__all__ = ["EventScheduler"]

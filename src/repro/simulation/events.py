@@ -1,0 +1,105 @@
+"""A minimal deterministic discrete-event scheduler.
+
+Binary-heap event queue with (time, sequence) ordering — events scheduled
+for the same instant fire in scheduling order, which keeps CSMA/CA
+simulations reproducible.  Events may be cancelled (lazy deletion).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventScheduler", "EventHandle"]
+
+
+class EventHandle:
+    """Cancellation token returned by :meth:`EventScheduler.schedule`."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when it comes due."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Event queue with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, EventHandle, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0.0:
+            raise ValueError("delay must be non-negative")
+        handle = EventHandle()
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), handle, callback)
+        )
+        return handle
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute time (``>= now``)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        return self.schedule(time - self._now, callback)
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event; returns False when empty."""
+        while self._queue:
+            time, _, handle, callback = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            callback()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in order, up to a time horizon and/or event budget.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` when
+        the queue drains earlier or the next event lies beyond the horizon
+        (events beyond the horizon stay queued).
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            time, _, handle, callback = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            callback()
+            self._events_processed += 1
+            executed += 1
+        if until is not None:
+            self._now = max(self._now, until)

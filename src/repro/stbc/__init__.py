@@ -1,0 +1,31 @@
+"""Space-time block codes and diversity combining.
+
+The paper's cooperative MIMO links are "coded with space-time block codes
+(such as Alamouti code)" over flat Rayleigh fading (Section 2.3).  This
+package provides:
+
+* :mod:`repro.stbc.alamouti` — the 2-antenna rate-1 Alamouti code;
+* :mod:`repro.stbc.ostbc` — a generic linear-dispersion OSTBC engine with
+  the canonical Tarokh designs for 1–4 transmit antennas (identity,
+  Alamouti, G3, G4), which covers the paper's sweep of ``mt`` = 1..4;
+* :mod:`repro.stbc.combining` — MRC / EGC / SC receive combining (the
+  testbed experiments use equal-gain combination).
+"""
+
+from repro.stbc.alamouti import alamouti_decode, alamouti_encode
+from repro.stbc.combining import (
+    equal_gain_combine,
+    maximal_ratio_combine,
+    selection_combine,
+)
+from repro.stbc.ostbc import OSTBC, ostbc_for
+
+__all__ = [
+    "alamouti_encode",
+    "alamouti_decode",
+    "OSTBC",
+    "ostbc_for",
+    "maximal_ratio_combine",
+    "equal_gain_combine",
+    "selection_combine",
+]

@@ -1,0 +1,89 @@
+"""The Alamouti space-time block code (2 transmit antennas, rate 1).
+
+Per block of two symbols ``(s1, s2)`` the two antennas transmit::
+
+    slot 1:   antenna 1: s1      antenna 2: s2
+    slot 2:   antenna 1: -s2*    antenna 2: s1*
+
+With channel ``h_j = (h_{1j}, h_{2j})`` constant over the block (flat block
+fading, as the paper assumes), matched-filter combining across the ``mr``
+receive antennas is exact maximum-likelihood and yields per-symbol SNR
+proportional to ``||H||_F^2`` — the diversity behaviour that formulas
+(5)/(6) average over.
+
+These standalone functions are the direct, readable implementation; the
+generic engine in :mod:`repro.stbc.ostbc` reproduces them exactly (asserted
+in tests) and generalizes to 3–4 antennas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["alamouti_encode", "alamouti_decode"]
+
+
+def alamouti_encode(symbols: np.ndarray) -> np.ndarray:
+    """Encode pairs of symbols into Alamouti transmission blocks.
+
+    Parameters
+    ----------
+    symbols:
+        Complex array of even length ``2 n``.
+
+    Returns
+    -------
+    ndarray of shape ``(n, 2, 2)``: ``out[block, time_slot, antenna]``.
+    No power normalization is applied here; the link simulator divides by
+    ``sqrt(mt)`` to satisfy the total-power constraint.
+    """
+    s = np.asarray(symbols, dtype=complex)
+    if s.ndim != 1 or s.size % 2 != 0:
+        raise ValueError("symbols must be 1-D with even length")
+    s = s.reshape(-1, 2)
+    n = s.shape[0]
+    out = np.empty((n, 2, 2), dtype=complex)
+    out[:, 0, 0] = s[:, 0]
+    out[:, 0, 1] = s[:, 1]
+    out[:, 1, 0] = -np.conj(s[:, 1])
+    out[:, 1, 1] = np.conj(s[:, 0])
+    return out
+
+
+def alamouti_decode(received: np.ndarray, channel: np.ndarray) -> np.ndarray:
+    """Matched-filter (exact ML) decoding of Alamouti blocks.
+
+    Parameters
+    ----------
+    received:
+        ``(n, 2, mr)`` array: ``received[block, time_slot, rx_antenna]``.
+    channel:
+        ``(n, mr, 2)`` channel matrices (constant per block), ``channel[b, j, i]``
+        is the gain from transmit antenna ``i`` to receive antenna ``j``.
+
+    Returns
+    -------
+    ndarray of shape ``(2 n,)`` — unit-gain symbol estimates
+    (``s_hat = s + noise'`` with the block's fading gain removed), ready for
+    hard-decision demodulation.
+    """
+    y = np.asarray(received, dtype=complex)
+    h = np.asarray(channel, dtype=complex)
+    if y.ndim != 3 or y.shape[1] != 2:
+        raise ValueError(f"received must have shape (n, 2, mr), got {y.shape}")
+    if h.ndim != 3 or h.shape[2] != 2 or h.shape[0] != y.shape[0] or h.shape[1] != y.shape[2]:
+        raise ValueError(
+            f"channel shape {h.shape} inconsistent with received shape {y.shape}"
+        )
+    h1 = h[:, :, 0]  # (n, mr)
+    h2 = h[:, :, 1]
+    y1 = y[:, 0, :]  # slot 1
+    y2 = y[:, 1, :]  # slot 2
+
+    norm = np.sum(np.abs(h) ** 2, axis=(1, 2))  # ||H||_F^2 per block
+    if np.any(norm == 0.0):
+        raise ValueError("channel block with zero Frobenius norm cannot be decoded")
+
+    s1_hat = np.sum(np.conj(h1) * y1 + h2 * np.conj(y2), axis=1) / norm
+    s2_hat = np.sum(np.conj(h2) * y1 - h1 * np.conj(y2), axis=1) / norm
+    return np.stack([s1_hat, s2_hat], axis=1).reshape(-1)

@@ -1,0 +1,66 @@
+"""Receive diversity combining: MRC, EGC, SC.
+
+Operates on per-symbol copies received over independent branches — either
+the ``mr`` antennas of a SIMO link or the independent relay streams of the
+overlay testbed ("The equal gain combination is used for overlay systems",
+Section 6.4).
+
+All combiners take
+
+* ``received`` — ``(n, branches)`` complex observations ``y = h s + n``;
+* ``channel`` — ``(n, branches)`` complex branch gains ``h``;
+
+and return ``(n,)`` unit-gain symbol estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["maximal_ratio_combine", "equal_gain_combine", "selection_combine"]
+
+
+def _validate(received: np.ndarray, channel: np.ndarray):
+    y = np.asarray(received, dtype=complex)
+    h = np.asarray(channel, dtype=complex)
+    if y.ndim != 2 or y.shape != h.shape:
+        raise ValueError(
+            f"received and channel must share shape (n, branches); "
+            f"got {y.shape} and {h.shape}"
+        )
+    return y, h
+
+
+def maximal_ratio_combine(received: np.ndarray, channel: np.ndarray) -> np.ndarray:
+    """MRC: ``sum h* y / sum |h|^2`` — SNR-optimal linear combining."""
+    y, h = _validate(received, channel)
+    weight = np.sum(np.abs(h) ** 2, axis=1)
+    if np.any(weight == 0.0):
+        raise ValueError("all-zero channel row cannot be combined")
+    return np.sum(np.conj(h) * y, axis=1) / weight
+
+
+def equal_gain_combine(received: np.ndarray, channel: np.ndarray) -> np.ndarray:
+    """EGC: co-phase each branch and average with equal weights.
+
+    ``sum e^{-j angle(h)} y / sum |h|`` — needs only the channel phase plus
+    a scalar normalization, which is why the paper's USRP testbed uses it.
+    """
+    y, h = _validate(received, channel)
+    mags = np.abs(h)
+    norm = np.sum(mags, axis=1)
+    if np.any(norm == 0.0):
+        raise ValueError("all-zero channel row cannot be combined")
+    phases = np.exp(-1j * np.angle(h))
+    return np.sum(phases * y, axis=1) / norm
+
+
+def selection_combine(received: np.ndarray, channel: np.ndarray) -> np.ndarray:
+    """SC: use only the strongest branch, ``y_k / h_k`` with ``k = argmax |h|``."""
+    y, h = _validate(received, channel)
+    best = np.argmax(np.abs(h), axis=1)
+    rows = np.arange(y.shape[0])
+    h_best = h[rows, best]
+    if np.any(h_best == 0.0):
+        raise ValueError("selected branch has zero gain")
+    return y[rows, best] / h_best

@@ -1,0 +1,246 @@
+"""Generic orthogonal space-time block codes via linear dispersion.
+
+Every OSTBC can be written as a linear-dispersion code
+
+    X(s) = sum_k  Re(s_k) * A_k  +  1j * Im(s_k) * B_k
+
+with real ``T x mt`` dispersion matrices ``A_k``, ``B_k``.  Orthogonality of
+the design makes the stacked real least-squares system diagonal, so decoding
+is a matched filter followed by an element-wise divide — exact ML, fully
+vectorized across fading blocks.
+
+Shipped designs (``ostbc_for``):
+
+====  =====  ====  ======  =================================================
+mt    T      K     rate    design
+====  =====  ====  ======  =================================================
+1     1      1     1       trivial (SISO / pure transmit passthrough)
+2     2      2     1       Alamouti
+3     8      4     1/2     Tarokh G3 (columns 1-3 of G4)
+4     8      4     1/2     Tarokh G4  (O4 over s stacked on O4 over s*)
+====  =====  ====  ======  =================================================
+
+The rate-1/2 G3/G4 designs are the classical full-diversity complex
+orthogonal designs for 3-4 antennas (Tarokh, Seshadri & Calderbank 1999),
+and the family used in the Cui-Goldsmith-Bahai energy analysis the paper's
+model is built on.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+import numpy as np
+
+__all__ = ["OSTBC", "ostbc_for"]
+
+
+def _real_orthogonal_design_4() -> np.ndarray:
+    """The 4x4 real orthogonal design O4 as a (4, 4, 4) coefficient tensor.
+
+    ``O4[t, m, k]`` is the signed coefficient of symbol ``k`` transmitted by
+    antenna ``m`` in slot ``t``::
+
+        [  s1   s2   s3   s4 ]
+        [ -s2   s1  -s4   s3 ]
+        [ -s3   s4   s1  -s2 ]
+        [ -s4  -s3   s2   s1 ]
+    """
+    coeffs = np.zeros((4, 4, 4))
+    layout = [
+        [(0, +1), (1, +1), (2, +1), (3, +1)],
+        [(1, -1), (0, +1), (3, -1), (2, +1)],
+        [(2, -1), (3, +1), (0, +1), (1, -1)],
+        [(3, -1), (2, -1), (1, +1), (0, +1)],
+    ]
+    for t, row in enumerate(layout):
+        for m, (k, sign) in enumerate(row):
+            coeffs[t, m, k] = sign
+    return coeffs
+
+
+class OSTBC:
+    """A linear-dispersion space-time block code.
+
+    Parameters
+    ----------
+    a, b:
+        Real dispersion tensors of shape ``(K, T, mt)``: ``a[k]`` multiplies
+        ``Re(s_k)``, ``b[k]`` multiplies ``1j * Im(s_k)``.
+    name:
+        Display name.
+
+    The constructor validates the orthogonality property on random channels,
+    because the decoder's element-wise divide is only exact ML for orthogonal
+    designs.
+    """
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, name: str):
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if a.shape != b.shape or a.ndim != 3:
+            raise ValueError("dispersion tensors must share shape (K, T, mt)")
+        self._a = a
+        self._b = b
+        self.name = name
+        self.n_symbols, self.block_length, self.n_tx = a.shape
+        self._check_orthogonality()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rate(self) -> float:
+        """Symbols per channel use, ``K / T``."""
+        return self.n_symbols / self.block_length
+
+    @property
+    def dispersion_a(self) -> np.ndarray:
+        """Read-only view of the real-part dispersion tensor ``(K, T, mt)``."""
+        view = self._a.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def dispersion_b(self) -> np.ndarray:
+        """Read-only view of the imag-part dispersion tensor ``(K, T, mt)``."""
+        view = self._b.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def power_per_slot(self) -> float:
+        """Average total transmit power per time slot for unit-energy symbols.
+
+        Used by simulators to normalize to a total-power constraint:
+        transmit ``X / sqrt(power_per_slot)``.
+        """
+        # E|s_k|^2 = 1 split evenly between Re/Im; the expected power of
+        # entry (t, m) is sum_k (a^2 + b^2)/2, averaged over slots.
+        per_entry = (self._a**2 + self._b**2) / 2.0
+        return float(per_entry.sum() / self.block_length)
+
+    def _check_orthogonality(self) -> None:
+        rng = np.random.default_rng(12345)
+        for mr in (1, 2):
+            h = rng.standard_normal((mr, self.n_tx)) + 1j * rng.standard_normal(
+                (mr, self.n_tx)
+            )
+            m = self._design_matrix(h[None, :, :])[0]
+            gram = m.T @ m
+            off = gram - np.diag(np.diag(gram))
+            if np.max(np.abs(off)) > 1e-9 * max(1.0, np.max(np.abs(gram))):
+                raise ValueError(
+                    f"dispersion matrices of {self.name!r} are not orthogonal"
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def encode(self, symbols: np.ndarray) -> np.ndarray:
+        """Map symbols to transmission blocks.
+
+        Parameters
+        ----------
+        symbols:
+            Complex 1-D array whose length is a multiple of ``n_symbols``.
+
+        Returns
+        -------
+        ndarray ``(n_blocks, T, mt)`` — unnormalized (see ``power_per_slot``).
+        """
+        s = np.asarray(symbols, dtype=complex)
+        if s.ndim != 1 or s.size % self.n_symbols != 0:
+            raise ValueError(
+                f"symbol count must be a multiple of {self.n_symbols}, got {s.size}"
+            )
+        s = s.reshape(-1, self.n_symbols)
+        # X[b, t, m] = sum_k  Re(s[b,k]) a[k,t,m] + 1j Im(s[b,k]) b[k,t,m]
+        x = np.einsum("bk,ktm->btm", s.real, self._a) + 1j * np.einsum(
+            "bk,ktm->btm", s.imag, self._b
+        )
+        return x
+
+    def _design_matrix(self, h: np.ndarray) -> np.ndarray:
+        """Stacked-real design matrix per block.
+
+        ``h`` has shape ``(n_blocks, mr, mt)``.  Returns ``(n_blocks,
+        2*T*mr, 2K)`` real; column ``2k`` corresponds to ``Re(s_k)``,
+        column ``2k+1`` to ``Im(s_k)``.
+        """
+        n_blocks, mr, mt = h.shape
+        if mt != self.n_tx:
+            raise ValueError(f"channel has {mt} tx antennas, code needs {self.n_tx}")
+        # Y = X @ H^T : contribution of Re(s_k) is A_k @ H^T, of Im(s_k) is
+        # 1j * B_k @ H^T.
+        ya = np.einsum("ktm,bjm->bktj", self._a, h)  # (n_blocks, K, T, mr)
+        yb = 1j * np.einsum("ktm,bjm->bktj", self._b, h)
+        cols = np.empty((n_blocks, 2 * self.n_symbols, self.block_length, mr), complex)
+        cols[:, 0::2] = ya
+        cols[:, 1::2] = yb
+        flat = cols.reshape(n_blocks, 2 * self.n_symbols, -1)
+        m = np.concatenate([flat.real, flat.imag], axis=2)  # (nb, 2K, 2*T*mr)
+        return np.transpose(m, (0, 2, 1))
+
+    def decode(self, received: np.ndarray, channel: np.ndarray) -> np.ndarray:
+        """Matched-filter ML decoding.
+
+        Parameters
+        ----------
+        received:
+            ``(n_blocks, T, mr)`` complex.
+        channel:
+            ``(n_blocks, mr, mt)`` complex, constant per block.
+
+        Returns
+        -------
+        1-D complex array of ``n_blocks * K`` unit-gain symbol estimates.
+        """
+        y = np.asarray(received, dtype=complex)
+        h = np.asarray(channel, dtype=complex)
+        if y.ndim != 3 or y.shape[1] != self.block_length:
+            raise ValueError(f"received must be (n, {self.block_length}, mr)")
+        if h.shape[0] != y.shape[0] or h.shape[1] != y.shape[2]:
+            raise ValueError("channel shape inconsistent with received shape")
+        m = self._design_matrix(h)  # (nb, 2*T*mr, 2K)
+        y_flat = y.reshape(y.shape[0], -1)
+        y_stack = np.concatenate([y_flat.real, y_flat.imag], axis=1)  # (nb, 2*T*mr)
+        num = np.einsum("bij,bi->bj", m, y_stack)  # M^T y
+        diag = np.einsum("bij,bij->bj", m, m)  # diag(M^T M)
+        if np.any(diag == 0.0):
+            raise ValueError("zero-gain channel block cannot be decoded")
+        z = num / diag
+        return (z[:, 0::2] + 1j * z[:, 1::2]).reshape(-1)
+
+
+@lru_cache(maxsize=None)
+def ostbc_for(mt: int) -> OSTBC:
+    """The canonical OSTBC for ``mt`` transmit antennas (see module docs)."""
+    if mt < 1 or mt > 4:
+        raise ValueError(f"ostbc_for supports mt in 1..4, got {mt}")
+    if mt == 1:
+        a = np.ones((1, 1, 1))
+        return OSTBC(a, a.copy(), "SISO")
+    if mt == 2:
+        a = np.zeros((2, 2, 2))
+        b = np.zeros((2, 2, 2))
+        # slot 0: [s1, s2] ; slot 1: [-s2*, s1*]
+        a[0, 0, 0] = 1.0
+        b[0, 0, 0] = 1.0
+        a[1, 0, 1] = 1.0
+        b[1, 0, 1] = 1.0
+        a[1, 1, 0] = -1.0
+        b[1, 1, 0] = 1.0  # -s2* = -Re(s2) + 1j Im(s2)
+        a[0, 1, 1] = 1.0
+        b[0, 1, 1] = -1.0  # s1*  =  Re(s1) - 1j Im(s1)
+        return OSTBC(a, b, "Alamouti")
+
+    o4 = _real_orthogonal_design_4()  # (T=4, mt=4, K=4) coefficients
+    coeffs = o4 if mt == 4 else o4[:, :3, :]
+    t_half, n_tx, k = coeffs.shape
+    a = np.zeros((k, 2 * t_half, n_tx))
+    b = np.zeros((k, 2 * t_half, n_tx))
+    for kk in range(k):
+        # rows 1..4 carry s_k, rows 5..8 carry s_k*
+        a[kk, :t_half, :] = coeffs[:, :, kk].copy()
+        b[kk, :t_half, :] = coeffs[:, :, kk].copy()
+        a[kk, t_half:, :] = coeffs[:, :, kk].copy()
+        b[kk, t_half:, :] = -coeffs[:, :, kk].copy()
+    return OSTBC(a, b, f"G{mt}")

@@ -1,0 +1,43 @@
+"""Simulated USRP/GNU Radio testbed (substitute for Section 6.4 hardware).
+
+The paper's real-world experiments ran on USRP motherboards with RFX2400
+daughterboards at 2.45 GHz in labs and corridors.  This package replaces
+the RF hardware with calibrated models while keeping the identical DSP
+pipeline:
+
+* :mod:`repro.testbed.radio` — radio nodes with GNU-Radio-style integer
+  transmit amplitudes and the amplitude→power mapping;
+* :mod:`repro.testbed.environment` — the three floor plans of Section 6.4
+  (equilateral triangle with a board, two labs with concrete walls and a
+  relay corridor, the underlay bench);
+* :mod:`repro.testbed.image` — the image-file workload of the underlay
+  experiment (packetization, transfer, reconstruction and a
+  display-quality heuristic).
+"""
+
+from repro.testbed.calibration import (
+    bisect_monotone,
+    calibrate_reference_power,
+    calibrate_wall_attenuation,
+)
+from repro.testbed.environment import (
+    table2_testbed,
+    table3_testbed,
+    table4_testbed,
+)
+from repro.testbed.image import ImageTransferResult, synthetic_image, transfer_image
+from repro.testbed.radio import RadioNode, SimulatedTestbed
+
+__all__ = [
+    "RadioNode",
+    "SimulatedTestbed",
+    "table2_testbed",
+    "table3_testbed",
+    "table4_testbed",
+    "synthetic_image",
+    "transfer_image",
+    "ImageTransferResult",
+    "bisect_monotone",
+    "calibrate_reference_power",
+    "calibrate_wall_attenuation",
+]

@@ -1,0 +1,124 @@
+"""Calibration utilities for the simulated testbeds.
+
+The Section 6.4 substitutes fix their free RF parameters against the
+paper's *baseline* measurements (see EXPERIMENTS.md).  These helpers
+perform that fit programmatically, so a user porting the testbed to a
+different floor plan can re-calibrate instead of hand-tuning:
+
+* :func:`calibrate_reference_power` — bisect the amplitude-800 reference
+  transmit power until a link's Monte-Carlo BER hits a target;
+* :func:`calibrate_wall_attenuation` — same, over an obstacle's dB value.
+
+Both rely on the target metric being monotone in the tuned parameter
+(more power → fewer errors; thicker wall → more errors), which holds for
+every link in this package.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["bisect_monotone", "calibrate_reference_power", "calibrate_wall_attenuation"]
+
+
+def bisect_monotone(
+    measure: Callable[[float], float],
+    target: float,
+    low: float,
+    high: float,
+    increasing: bool,
+    iterations: int = 20,
+) -> float:
+    """Bisection on a (noisy-)monotone measurement.
+
+    Parameters
+    ----------
+    measure:
+        Maps the tuned parameter to the observed metric.  Monte-Carlo
+        noise is fine: with a seeded ``measure`` the function is
+        deterministic, and bisection tolerates small non-monotonicity.
+    target:
+        Desired metric value.
+    low, high:
+        Parameter bracket.
+    increasing:
+        Whether ``measure`` increases with the parameter.
+    """
+    if not low < high:
+        raise ValueError("need low < high")
+    check_positive_int(iterations, "iterations")
+    lo, hi = float(low), float(high)
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        value = measure(mid)
+        too_high = value > target
+        if too_high == increasing:
+            hi = mid
+        else:
+            lo = mid
+    return (lo + hi) / 2.0
+
+
+def calibrate_reference_power(
+    build_testbed: Callable[[float], object],
+    tx_name: str,
+    rx_name: str,
+    target_ber: float,
+    low_dbm: float = -70.0,
+    high_dbm: float = 0.0,
+    n_bits: int = 40_000,
+    seed: int = 0,
+    iterations: int = 14,
+) -> float:
+    """Find the reference power placing a direct link at ``target_ber``.
+
+    ``build_testbed(reference_power_dbm)`` must return a fresh
+    :class:`repro.testbed.radio.SimulatedTestbed` whose nodes use the given
+    reference power.  Returns the calibrated dBm value.
+    """
+    check_probability(target_ber, "target_ber")
+
+    def measure(ref_dbm: float) -> float:
+        testbed = build_testbed(ref_dbm)
+        result = testbed.run_relay_experiment(
+            tx_name, [], rx_name, n_bits=n_bits, rng=seed
+        )
+        return result.ber
+
+    # BER decreases with power
+    return bisect_monotone(
+        measure, target_ber, low_dbm, high_dbm, increasing=False, iterations=iterations
+    )
+
+
+def calibrate_wall_attenuation(
+    build_testbed: Callable[[float], object],
+    tx_name: str,
+    rx_name: str,
+    target_ber: float,
+    low_db: float = 0.5,
+    high_db: float = 40.0,
+    n_bits: int = 40_000,
+    seed: int = 0,
+    iterations: int = 14,
+) -> float:
+    """Find the obstacle attenuation placing a blocked link at ``target_ber``.
+
+    ``build_testbed(attenuation_db)`` must return a fresh testbed with the
+    obstacle set to the given value (e.g. ``table2_testbed``).
+    """
+    check_probability(target_ber, "target_ber")
+
+    def measure(wall_db: float) -> float:
+        testbed = build_testbed(wall_db)
+        result = testbed.run_relay_experiment(
+            tx_name, [], rx_name, n_bits=n_bits, rng=seed
+        )
+        return result.ber
+
+    # BER increases with the wall
+    return bisect_monotone(
+        measure, target_ber, low_db, high_db, increasing=True, iterations=iterations
+    )

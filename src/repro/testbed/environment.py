@@ -1,0 +1,123 @@
+"""The three Section 6.4 floor plans as ready-made testbeds.
+
+Geometry comes from the paper's descriptions; attenuation values are
+calibration parameters chosen so that the *baseline* (non-cooperative)
+links land near the paper's measured error rates — see the per-function
+docstrings and EXPERIMENTS.md.  All distances in meters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.indoor import IndoorChannel, Wall
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.testbed.radio import RadioNode, SimulatedTestbed
+
+__all__ = ["table2_testbed", "table3_testbed", "table4_testbed", "FEET"]
+
+#: Meters per foot (the paper mixes units: "2 meters", "30 feet", "12 feet").
+FEET = 0.3048
+
+#: 2.4 GHz indoor office propagation: ~40 dB at 1 m, exponent 3.
+_PATHLOSS = LogDistancePathLoss(reference_loss_db=40.0, exponent=3.0)
+
+#: Receiver noise power for the 250 kbps testbed links:
+#: -174 dBm/Hz + 10 log10(250 kHz) + 10 dB noise figure ≈ -110 dBm.
+_NOISE_DBM = -110.0
+
+
+def table2_testbed(board_attenuation_db: float = 20.0) -> SimulatedTestbed:
+    """Single-relay overlay testbed (Table 2).
+
+    "the transmitter, relay and receiver are located in the corners of an
+    equilateral triangle.  The distance between every two nodes is about
+    2 meters.  A thick board is put between the transmitter and receiver."
+
+    The triangle: Tx at (0, 0), Rx at (2, 0), relay at the apex
+    (1, sqrt(3)).  The board is a segment crossing only the Tx-Rx side.
+    ``board_attenuation_db`` = 20 dB calibrates the obstructed direct link
+    to the paper's ~11% average BER (a dense shelf/white-board at 2.45 GHz
+    plus the destructive geometry it induces).
+    """
+    apex = (1.0, float(np.sqrt(3.0)))
+    channel = IndoorChannel(
+        pathloss=_PATHLOSS,
+        walls=[Wall(start=(1.0, -0.25), end=(1.0, 0.25), attenuation_db=board_attenuation_db)],
+        noise_power_dbm=_NOISE_DBM,
+    )
+    # Low software amplitude: the 2 m links must sit near the error floor
+    # for the obstructed path to show ~10% BER.
+    amplitude = 55.0
+    nodes = [
+        RadioNode("tx", (0.0, 0.0), tx_amplitude=amplitude),
+        RadioNode("relay", apex, tx_amplitude=amplitude),
+        RadioNode("rx", (2.0, 0.0), tx_amplitude=amplitude),
+    ]
+    return SimulatedTestbed(channel, nodes, rician_k=4.0)
+
+
+def table3_testbed(
+    lab_wall_db: float = 9.0, corridor_wall_db: float = 18.0
+) -> SimulatedTestbed:
+    """Multi-relay overlay testbed (Table 3).
+
+    "the transmitter and receiver are separated in two labs with distance
+    more than 30 feet and multiple concrete walls.  Three relays are
+    uniformly put in the corridor between the transmitter and receiver."
+
+    Layout: Tx at (0, 0) inside lab A; Rx at (10, 0) inside lab B
+    (~33 ft); three interior lab walls cross the direct path at x = 2, 5
+    and 8 (``lab_wall_db`` each — light concrete/block).  The corridor runs
+    parallel above the labs behind a long separator wall at y = 1.6
+    (``corridor_wall_db`` — the heavier lab/corridor partition every relay
+    path crosses twice, once per side).  Relays sit in the corridor at
+    x = 2.5, 5, 7.5; the single-relay baseline uses the corridor midpoint.
+
+    Calibration targets (paper Table 3): direct ~23% BER, single mid-relay
+    ~10.6%, three relays ~2.9%.
+    """
+    walls = [
+        Wall(start=(2.0, -1.5), end=(2.0, 1.5), attenuation_db=lab_wall_db),
+        Wall(start=(5.0, -1.5), end=(5.0, 1.5), attenuation_db=lab_wall_db),
+        Wall(start=(8.0, -1.5), end=(8.0, 1.5), attenuation_db=lab_wall_db),
+        Wall(start=(-1.0, 1.6), end=(11.0, 1.6), attenuation_db=corridor_wall_db),
+    ]
+    channel = IndoorChannel(pathloss=_PATHLOSS, walls=walls, noise_power_dbm=_NOISE_DBM)
+    amplitude = 800.0
+    corridor_y = 2.5
+    nodes = [
+        RadioNode("tx", (0.0, 0.0), tx_amplitude=amplitude),
+        RadioNode("relay1", (2.5, corridor_y), tx_amplitude=amplitude),
+        RadioNode("relay2", (5.0, corridor_y), tx_amplitude=amplitude),
+        RadioNode("relay3", (7.5, corridor_y), tx_amplitude=amplitude),
+        RadioNode("relay_mid", (5.0, corridor_y), tx_amplitude=amplitude),
+        RadioNode("rx", (10.0, 0.0), tx_amplitude=amplitude),
+    ]
+    return SimulatedTestbed(channel, nodes, rician_k=2.0)
+
+
+def table4_testbed() -> SimulatedTestbed:
+    """Underlay testbed (Table 4).
+
+    "The two secondary transmitters are next to each other and the distance
+    between them and the secondary receiver is about 12 feet."  Transmit
+    amplitudes are swept over {800, 600, 400} by the experiment; no
+    obstacles — the sweep itself provides the SNR ladder.
+    """
+    channel = IndoorChannel(pathloss=_PATHLOSS, walls=[], noise_power_dbm=_NOISE_DBM)
+    rx_distance = 12.0 * FEET
+    # Calibration (see EXPERIMENTS.md): -42 dBm at amplitude 800 puts the
+    # solo link's mean SNR just above the ~9.5 dB packet-survival threshold
+    # of a 12 000-bit GMSK packet, and the strong 12-ft line of sight
+    # (K = 8) makes the PER-vs-amplitude transition as steep as the paper's
+    # measurements.  The {800, 600, 400} ladder then walks the solo PER
+    # through ~{25, 68, 99}% (paper: 24.9, 70.3, 97.1) while coherent
+    # two-transmitter cooperation keeps the PER an order of magnitude lower.
+    tx_ref_dbm = -42.0
+    nodes = [
+        RadioNode("tx1", (0.0, 0.0), tx_amplitude=800.0, reference_power_dbm=tx_ref_dbm),
+        RadioNode("tx2", (0.0, 0.15), tx_amplitude=800.0, reference_power_dbm=tx_ref_dbm),
+        RadioNode("rx", (rx_distance, 0.0), tx_amplitude=800.0),
+    ]
+    return SimulatedTestbed(channel, nodes, rician_k=8.0)

@@ -1,0 +1,42 @@
+"""Shared low-level utilities: unit conversions, the Gaussian Q-function,
+random-number-generator plumbing and argument validation.
+
+Every formula in the paper mixes dB, dBm, dBi and linear quantities; the
+:mod:`repro.utils.units` helpers keep those conversions in one audited place.
+"""
+
+from repro.utils.qfunc import inv_qfunc, qfunc
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.units import (
+    db_to_linear,
+    dbi_to_linear,
+    dbm_per_hz_to_watts_per_hz,
+    dbm_to_watts,
+    linear_to_db,
+    linear_to_dbm,
+    watts_to_dbm,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "qfunc",
+    "inv_qfunc",
+    "as_rng",
+    "spawn_rngs",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "linear_to_dbm",
+    "dbi_to_linear",
+    "dbm_per_hz_to_watts_per_hz",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_in_range",
+]

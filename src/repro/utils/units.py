@@ -1,0 +1,95 @@
+"""Unit conversions between decibel-style and linear quantities.
+
+The energy model of Section 2.3 of the paper quotes its constants in a
+mixture of units: circuit powers in mW, the link margin ``M_l`` in dB, the
+noise spectral densities ``sigma^2`` and ``N_0`` in dBm/Hz, the combined
+antenna gain ``G_t G_r`` in dBi.  All internal computation in this library is
+done in SI units (watts, joules, meters, hertz); these helpers are the only
+place where dB-domain values are converted.
+
+All functions accept scalars or NumPy arrays and broadcast element-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "linear_to_dbm",
+    "dbi_to_linear",
+    "dbm_per_hz_to_watts_per_hz",
+    "milliwatts_to_watts",
+]
+
+
+def db_to_linear(value_db: ArrayLike) -> ArrayLike:
+    """Convert a power ratio in dB to a linear ratio.
+
+    ``x_lin = 10 ** (x_dB / 10)``.
+    """
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(value: ArrayLike) -> ArrayLike:
+    """Convert a linear power ratio to dB.
+
+    Raises
+    ------
+    ValueError
+        If any element is not strictly positive (log of a non-positive
+        power ratio is undefined).
+    """
+    arr = np.asarray(value, dtype=float)
+    if np.any(arr <= 0.0):
+        raise ValueError("linear_to_db requires strictly positive values")
+    return 10.0 * np.log10(arr)
+
+
+def dbm_to_watts(value_dbm: ArrayLike) -> ArrayLike:
+    """Convert a power in dBm to watts: ``P_W = 10**(P_dBm/10) * 1e-3``."""
+    return np.power(10.0, np.asarray(value_dbm, dtype=float) / 10.0) * 1e-3
+
+
+def watts_to_dbm(value_w: ArrayLike) -> ArrayLike:
+    """Convert a power in watts to dBm."""
+    arr = np.asarray(value_w, dtype=float)
+    if np.any(arr <= 0.0):
+        raise ValueError("watts_to_dbm requires strictly positive values")
+    return 10.0 * np.log10(arr / 1e-3)
+
+
+def linear_to_dbm(value_w: ArrayLike) -> ArrayLike:
+    """Alias of :func:`watts_to_dbm` kept for symmetry with older call sites."""
+    return watts_to_dbm(value_w)
+
+
+def dbi_to_linear(value_dbi: ArrayLike) -> ArrayLike:
+    """Convert an antenna gain in dBi to a linear gain.
+
+    dBi is dB relative to an isotropic radiator, so numerically this is the
+    same transform as :func:`db_to_linear`; a separate name keeps call sites
+    self-documenting.
+    """
+    return db_to_linear(value_dbi)
+
+
+def dbm_per_hz_to_watts_per_hz(value_dbm_hz: ArrayLike) -> ArrayLike:
+    """Convert a power spectral density in dBm/Hz to W/Hz.
+
+    Used for the thermal noise floor ``sigma^2 = -174 dBm/Hz`` and the
+    receiver-referred density ``N_0 = -171 dBm/Hz`` of the paper.
+    """
+    return dbm_to_watts(value_dbm_hz)
+
+
+def milliwatts_to_watts(value_mw: ArrayLike) -> ArrayLike:
+    """Convert mW to W (the circuit powers of Section 2.3 are quoted in mW)."""
+    return np.asarray(value_mw, dtype=float) * 1e-3

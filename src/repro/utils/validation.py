@@ -1,0 +1,71 @@
+"""Argument-validation helpers shared across the library.
+
+Kept deliberately small: each helper raises ``ValueError`` (or ``TypeError``
+for wrong types) with a message naming the offending parameter, so that a
+mis-configured experiment fails at the API boundary rather than deep inside
+a vectorized kernel with an inscrutable NumPy error.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Optional
+
+__all__ = [
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_in_range",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require a real, strictly positive, finite scalar; return it as float."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value)!r}")
+    value = float(value)
+    if not value > 0.0 or value != value or value == float("inf"):
+        raise ValueError(f"{name} must be strictly positive and finite, got {value}")
+    return value
+
+
+def check_positive_int(value: int, name: str, maximum: Optional[int] = None) -> int:
+    """Require a strictly positive integer, optionally bounded above."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value)!r}")
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    if maximum is not None and value > maximum:
+        raise ValueError(f"{name} must be <= {maximum}, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require a probability in the open interval (0, 1)."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value)!r}")
+    value = float(value)
+    if not (0.0 < value < 1.0):
+        raise ValueError(f"{name} must lie strictly in (0, 1), got {value}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    inclusive: bool = True,
+) -> float:
+    """Require ``low <= value <= high`` (or strict, if ``inclusive=False``)."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value)!r}")
+    value = float(value)
+    ok = (low <= value <= high) if inclusive else (low < value < high)
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {bracket[0]}{low}, {high}{bracket[1]}, got {value}"
+        )
+    return value

@@ -1,0 +1,29 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One moderate profile for everything: property tests run enough cases to
+# mean something without dominating the suite's runtime.
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded generator for Monte-Carlo tests."""
+    return np.random.default_rng(123456789)
+
+
+@pytest.fixture(scope="session")
+def energy_model():
+    """A paper-constant energy model shared across tests (stateless)."""
+    from repro.energy.model import EnergyModel
+
+    return EnergyModel()

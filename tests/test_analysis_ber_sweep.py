@@ -1,0 +1,90 @@
+"""BER waterfall sweep and Wilson interval tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ber_sweep import sweep_ber, wilson_interval
+from repro.modulation import BPSKModem
+from repro.modulation.theory import ber_bpsk_rayleigh
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(10, 1000)
+        assert low < 0.01 < high
+
+    def test_zero_errors_finite_upper_bound(self):
+        low, high = wilson_interval(0, 10_000)
+        assert low == 0.0
+        assert 0.0 < high < 1e-3
+
+    def test_all_errors(self):
+        low, high = wilson_interval(100, 100)
+        assert high == 1.0
+        assert low > 0.9
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=1000, max_value=100_000),
+    )
+    @settings(max_examples=40)
+    def test_valid_interval(self, errors, trials):
+        low, high = wilson_interval(errors, trials)
+        assert 0.0 <= low <= errors / trials <= high <= 1.0
+
+    def test_narrows_with_samples(self):
+        w1 = np.diff(wilson_interval(10, 1000))[0]
+        w2 = np.diff(wilson_interval(100, 10_000))[0]
+        assert w2 < w1
+
+    def test_higher_confidence_wider(self):
+        narrow = np.diff(wilson_interval(10, 1000, confidence=0.9))[0]
+        wide = np.diff(wilson_interval(10, 1000, confidence=0.99))[0]
+        assert wide > narrow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.0)
+
+
+class TestSweep:
+    def test_waterfall_matches_theory(self, rng):
+        points = sweep_ber(
+            BPSKModem(), [5.0, 10.0, 15.0], target_errors=300, rng=rng
+        )
+        for pt in points:
+            theory = float(ber_bpsk_rayleigh(pt.snr_db))
+            assert pt.ci_low <= theory * 1.1 and theory * 0.9 <= pt.ci_high
+
+    def test_monotone_decreasing(self, rng):
+        points = sweep_ber(BPSKModem(), [4.0, 8.0, 12.0, 16.0], rng=rng)
+        bers = [p.ber for p in points]
+        assert all(b2 < b1 for b1, b2 in zip(bers, bers[1:]))
+
+    def test_sample_escalation_at_low_ber(self, rng):
+        points = sweep_ber(
+            BPSKModem(),
+            [0.0, 20.0],
+            target_errors=200,
+            initial_bits=20_000,
+            max_bits=400_000,
+            rng=rng,
+        )
+        # high-SNR point needs far more bits to collect its errors
+        assert points[1].n_bits > points[0].n_bits
+
+    def test_max_bits_respected(self, rng):
+        points = sweep_ber(
+            BPSKModem(), [40.0], target_errors=10_000, max_bits=50_000, rng=rng
+        )
+        assert points[0].n_bits <= 50_000
+
+    def test_interval_brackets_estimate(self, rng):
+        for pt in sweep_ber(BPSKModem(), [8.0], rng=rng):
+            assert pt.ci_low <= pt.ber <= pt.ci_high

@@ -1,0 +1,89 @@
+"""MIMO capacity tests against known information-theoretic anchors."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.capacity import (
+    capacity_samples,
+    capacity_slope,
+    ergodic_capacity,
+    outage_capacity,
+)
+
+
+class TestErgodic:
+    def test_siso_closed_form_anchor(self, rng):
+        """SISO Rayleigh ergodic capacity at 10 dB is the classic
+        ~2.9 b/s/Hz (E[log2(1 + snr |h|^2)], snr = 10)."""
+        c = ergodic_capacity(1, 1, 10.0, n_channels=100_000, rng=rng)
+        # exact value: e^{1/snr} E_1(1/snr) / ln 2 at snr = 10 -> 2.901
+        assert c == pytest.approx(2.90, abs=0.05)
+
+    def test_receive_diversity_adds_capacity(self, rng):
+        c1 = ergodic_capacity(1, 1, 10.0, rng=np.random.default_rng(1))
+        c2 = ergodic_capacity(1, 2, 10.0, rng=np.random.default_rng(1))
+        c4 = ergodic_capacity(1, 4, 10.0, rng=np.random.default_rng(1))
+        assert c1 < c2 < c4
+
+    def test_mimo_beats_same_total_antennas_split(self, rng):
+        """2x2 exceeds 1x4 at high SNR: multiplexing beats pure diversity."""
+        gen = np.random.default_rng(2)
+        c22 = ergodic_capacity(2, 2, 25.0, n_channels=30_000, rng=gen)
+        c14 = ergodic_capacity(1, 4, 25.0, n_channels=30_000, rng=gen)
+        assert c22 > c14
+
+    def test_capacity_increases_with_snr(self, rng):
+        lo = ergodic_capacity(2, 2, 5.0, rng=np.random.default_rng(3))
+        hi = ergodic_capacity(2, 2, 15.0, rng=np.random.default_rng(3))
+        assert hi > lo
+
+
+class TestOutage:
+    def test_outage_below_ergodic(self, rng):
+        gen = np.random.default_rng(4)
+        out = outage_capacity(2, 2, 10.0, outage_probability=0.05, rng=gen)
+        erg = ergodic_capacity(2, 2, 10.0, rng=np.random.default_rng(4))
+        assert out < erg
+
+    def test_diversity_tightens_outage(self, rng):
+        """More antennas harden the capacity distribution: the 5% outage
+        rate gains more than the mean does."""
+        gen1, gen2 = np.random.default_rng(5), np.random.default_rng(5)
+        out_siso = outage_capacity(1, 1, 10.0, 0.05, rng=gen1)
+        out_mimo = outage_capacity(2, 2, 10.0, 0.05, rng=gen2)
+        assert out_mimo > 3.0 * out_siso
+
+    def test_monotone_in_outage_probability(self, rng):
+        gen = np.random.default_rng(6)
+        samples_seed = 6
+        strict = outage_capacity(2, 2, 10.0, 0.01, rng=np.random.default_rng(samples_seed))
+        lax = outage_capacity(2, 2, 10.0, 0.2, rng=np.random.default_rng(samples_seed))
+        assert strict < lax
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            outage_capacity(1, 1, 10.0, outage_probability=0.0, rng=rng)
+
+
+class TestMultiplexingGain:
+    @pytest.mark.parametrize("mt,mr,expected", [(1, 1, 1), (2, 2, 2), (3, 2, 2)])
+    def test_slope_approaches_min_antennas(self, mt, mr, expected):
+        slope = capacity_slope(mt, mr, 25.0, 35.0, n_channels=20_000, rng=7)
+        assert slope == pytest.approx(expected, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            capacity_slope(1, 1, 20.0, 10.0)
+
+
+class TestSamples:
+    def test_positive(self, rng):
+        samples = capacity_samples(2, 3, 10.0, n_channels=1000, rng=rng)
+        assert samples.shape == (1000,)
+        assert np.all(samples > 0.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            capacity_samples(0, 1, 10.0, rng=rng)
+        with pytest.raises(ValueError):
+            capacity_samples(1, 1, -1.0, rng=rng)

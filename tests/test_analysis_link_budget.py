@@ -1,0 +1,71 @@
+"""Link-budget ledger tests."""
+
+import pytest
+
+from repro.analysis.link_budget import BudgetItem, LinkBudget
+from repro.channel.indoor import IndoorChannel, Wall
+from repro.channel.shadowing import LogNormalShadowing
+
+
+class TestLedger:
+    def test_accumulation(self):
+        budget = (
+            LinkBudget(0.0, noise_power_dbm=-100.0)
+            .add_loss("path", 60.0)
+            .add_gain("antennas", 5.0)
+        )
+        assert budget.received_power_dbm == pytest.approx(-55.0)
+        assert budget.snr_db == pytest.approx(45.0)
+
+    def test_margin(self):
+        budget = LinkBudget(0.0, -100.0).add_loss("path", 80.0)
+        assert budget.margin_db(required_snr_db=10.0) == pytest.approx(10.0)
+        assert budget.margin_db(required_snr_db=30.0) == pytest.approx(-10.0)
+
+    def test_sign_conventions_enforced(self):
+        budget = LinkBudget(0.0)
+        with pytest.raises(ValueError):
+            budget.add_gain("negative gain", -3.0)
+        with pytest.raises(ValueError):
+            budget.add_loss("negative loss", -3.0)
+
+    def test_items_recorded(self):
+        budget = LinkBudget(10.0).add_loss("wall", 12.0)
+        assert budget.items == (BudgetItem("wall", -12.0),)
+
+    def test_to_text_lists_everything(self):
+        text = LinkBudget(0.0).add_loss("path", 60.0).to_text()
+        assert "path" in text and "SNR" in text and "noise floor" in text
+
+
+class TestFromIndoorLink:
+    def test_matches_channel_snr_exactly(self):
+        channel = IndoorChannel(
+            walls=[Wall((1.0, -1.0), (1.0, 1.0), 12.0)],
+            shadowing=LogNormalShadowing(sigma_db=6.0),
+            noise_power_dbm=-110.0,
+        )
+        tx, rx, power = (0.0, 0.0), (3.0, 0.0), -20.0
+        budget = LinkBudget.from_indoor_link(channel, tx, rx, power)
+        assert budget.snr_db == pytest.approx(
+            channel.average_snr_db(tx, rx, power), rel=1e-12
+        )
+
+    def test_wall_line_item_present(self):
+        channel = IndoorChannel(walls=[Wall((1.0, -1.0), (1.0, 1.0), 12.0)])
+        budget = LinkBudget.from_indoor_link(channel, (0.0, 0.0), (2.0, 0.0), 0.0)
+        names = [item.name for item in budget.items]
+        assert "walls/obstacles" in names
+
+    def test_fading_margin_subtracts(self):
+        channel = IndoorChannel()
+        plain = LinkBudget.from_indoor_link(channel, (0.0, 0.0), (5.0, 0.0), 0.0)
+        padded = LinkBudget.from_indoor_link(
+            channel, (0.0, 0.0), (5.0, 0.0), 0.0, fading_margin_db=10.0
+        )
+        assert padded.snr_db == pytest.approx(plain.snr_db - 10.0)
+
+    def test_clear_link_has_no_wall_item(self):
+        channel = IndoorChannel()
+        budget = LinkBudget.from_indoor_link(channel, (0.0, 0.0), (2.0, 0.0), 0.0)
+        assert all("wall" not in item.name for item in budget.items)

@@ -1,0 +1,119 @@
+"""Game-theoretic underlay baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_game import (
+    GameOutcome,
+    PowerControlGame,
+    interference_guarantee_comparison,
+)
+
+
+def _symmetric_game(price=1e9, cross=1e-9):
+    g = np.array([[1e-6, cross], [cross, 1e-6]])
+    h = np.array([1e-8, 1e-8])
+    return PowerControlGame(g, h, noise_w=1e-13, price=price, p_max_w=0.1)
+
+
+class TestConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            PowerControlGame(np.ones((2, 3)), np.ones(2))
+
+    def test_rejects_wrong_pu_gain_length(self):
+        with pytest.raises(ValueError):
+            PowerControlGame(np.ones((2, 2)), np.ones(3))
+
+    def test_rejects_nonpositive_gains(self):
+        g = np.array([[1.0, 0.0], [0.1, 1.0]])
+        with pytest.raises(ValueError):
+            PowerControlGame(g, np.ones(2))
+
+
+class TestEquilibrium:
+    def test_converges(self):
+        outcome = _symmetric_game().run()
+        assert outcome.converged
+        assert isinstance(outcome, GameOutcome)
+
+    def test_equilibrium_is_fixed_point(self):
+        game = _symmetric_game()
+        outcome = game.run()
+        np.testing.assert_allclose(
+            game.best_response(outcome.powers_w), outcome.powers_w, atol=1e-12
+        )
+
+    def test_symmetric_players_equal_powers(self):
+        outcome = _symmetric_game().run()
+        assert outcome.powers_w[0] == pytest.approx(outcome.powers_w[1], rel=1e-6)
+
+    def test_equilibrium_is_nash(self):
+        """No unilateral deviation improves a player's utility."""
+        game = _symmetric_game(price=1e11)
+        outcome = game.run()
+        base = game.utilities(outcome.powers_w)
+        for player in range(2):
+            for deviation in (0.5, 0.9, 1.1, 2.0):
+                p = outcome.powers_w.copy()
+                p[player] = np.clip(p[player] * deviation, 0.0, game.p_max_w)
+                if p[player] == outcome.powers_w[player]:
+                    continue
+                assert game.utilities(p)[player] <= base[player] + 1e-9
+
+    def test_powers_respect_cap(self):
+        outcome = _symmetric_game(price=1.0).run()  # negligible price
+        assert np.all(outcome.powers_w <= 0.1 + 1e-15)
+
+    def test_higher_price_lower_interference(self):
+        low = _symmetric_game(price=1e10).run()
+        high = _symmetric_game(price=1e12).run()
+        assert high.pu_interference_w < low.pu_interference_w
+        assert high.total_power_w < low.total_power_w
+
+    def test_huge_price_shuts_everyone_off(self):
+        outcome = _symmetric_game(price=1e30).run()
+        np.testing.assert_allclose(outcome.powers_w, 0.0)
+        assert outcome.pu_interference_w == 0.0
+
+    def test_rates_positive_at_equilibrium(self):
+        outcome = _symmetric_game(price=1e10).run()
+        assert np.all(outcome.rates_bps_hz > 0.0)
+
+
+class TestPaperCritique:
+    def test_aggregate_interference_grows_with_population(self):
+        """The Section 1 critique: per-player pricing caps nobody's sum."""
+        results = interference_guarantee_comparison(
+            n_sus_values=(2, 4, 8), n_geometries=40, rng=0
+        )
+        means = [results[n]["mean_interference_w"] for n in (2, 4, 8)]
+        assert means[0] < means[1] < means[2]
+        # roughly linear in the player count
+        assert means[2] / means[0] == pytest.approx(4.0, rel=0.4)
+
+    def test_guarantee_erodes_with_population(self):
+        results = interference_guarantee_comparison(
+            n_sus_values=(2, 8), n_geometries=40, rng=0
+        )
+        assert results[2]["violation_rate"] < 0.2
+        assert results[8]["violation_rate"] > 0.8
+
+    def test_game_converges_reliably(self):
+        results = interference_guarantee_comparison(
+            n_sus_values=(4,), n_geometries=40, rng=1
+        )
+        assert results[4]["convergence_rate"] > 0.9
+
+    def test_cooperative_mimo_guarantee_contrast(self):
+        """The cooperative paradigm's margin holds regardless of how many
+        clusters transmit, because each hop's peak PA is bounded by
+        construction — the contrast the paper draws."""
+        from repro.core.underlay import UnderlaySystem
+        from repro.energy.model import EnergyModel
+
+        system = UnderlaySystem(EnergyModel())
+        for _ in range(3):  # any number of simultaneous hops
+            assert system.meets_noise_floor(
+                0.001, 2, 3, 1.0, 200.0, 10e3, required_margin=10.0
+            )

@@ -1,0 +1,118 @@
+"""Multi-null beamforming tests."""
+
+import numpy as np
+import pytest
+
+from repro.beamforming.multinull import (
+    null_steering_weights,
+    steering_vector,
+    weighted_amplitude,
+)
+
+WAVELENGTH = 30.0
+
+
+def _array(n, spacing=15.0):
+    """n elements on the y-axis, centered."""
+    ys = (np.arange(n) - (n - 1) / 2.0) * spacing
+    return np.stack([np.zeros(n), ys], axis=1)
+
+
+class TestSteeringVector:
+    def test_unit_modulus(self):
+        a = steering_vector(_array(4), (100.0, 20.0), WAVELENGTH)
+        np.testing.assert_allclose(np.abs(a), 1.0)
+
+    def test_conjugate_weights_cophase(self):
+        tx = _array(3)
+        point = (80.0, -10.0)
+        a = steering_vector(tx, point, WAVELENGTH)
+        amp = weighted_amplitude(tx, np.conj(a) / np.sqrt(3), point, WAVELENGTH)
+        assert amp == pytest.approx(np.sqrt(3), rel=1e-9)  # full array gain
+
+    def test_rejects_bad_wavelength(self):
+        with pytest.raises(ValueError):
+            steering_vector(_array(2), (1.0, 1.0), 0.0)
+
+
+class TestNullSteering:
+    def test_single_null_exact(self):
+        tx = _array(2)
+        pr = np.array([5.0, -140.0])
+        sr = np.array([70.0, 0.0])
+        w = null_steering_weights(tx, sr, [pr], WAVELENGTH)
+        assert weighted_amplitude(tx, w, pr, WAVELENGTH) < 1e-9
+        assert weighted_amplitude(tx, w, sr, WAVELENGTH) > 1.0
+
+    def test_matches_pairwise_scheme(self):
+        """For two elements and one null, the projection reproduces the
+        Algorithm 3 pair (same nulling, comparable broadside gain)."""
+        from repro.core.interweave import InterweaveSystem
+
+        tx = np.array([[0.0, 7.5], [0.0, -7.5]])
+        pr = np.array([3.0, -130.0])
+        sr = np.array([60.0, 0.0])
+        w = null_steering_weights(tx, sr, [pr], WAVELENGTH)
+        system = InterweaveSystem(st1=(0.0, 7.5), st2=(0.0, -7.5))
+        delta = system.pair.delay_for_null(pr, exact=True)
+        pair_amp = system.pair.amplitude_at(sr, delta)
+        # the projection weights have unit total norm; rescale to the
+        # pair's 2-antenna total power (|w_i| = 1 each -> norm sqrt(2))
+        ls_amp = weighted_amplitude(tx, w * np.sqrt(2.0), sr, WAVELENGTH)
+        assert ls_amp == pytest.approx(pair_amp, rel=0.05)
+
+    def test_three_nulls_with_four_elements(self):
+        tx = _array(4)
+        nulls = [np.array([20.0, -200.0]), np.array([-50.0, 180.0]), np.array([150.0, 90.0])]
+        sr = np.array([100.0, 5.0])
+        w = null_steering_weights(tx, sr, nulls, WAVELENGTH)
+        for pr in nulls:
+            assert weighted_amplitude(tx, w, pr, WAVELENGTH) < 1e-9
+        assert weighted_amplitude(tx, w, sr, WAVELENGTH) > 0.5
+
+    def test_unit_norm_weights(self):
+        w = null_steering_weights(
+            _array(3), (90.0, 0.0), [(0.0, -200.0)], WAVELENGTH
+        )
+        assert np.linalg.norm(w) == pytest.approx(1.0)
+
+    def test_no_nulls_is_conjugate_beamforming(self):
+        tx = _array(3)
+        sr = (50.0, 30.0)
+        w = null_steering_weights(tx, sr, [], WAVELENGTH)
+        expected = np.conj(steering_vector(tx, sr, WAVELENGTH))
+        expected /= np.linalg.norm(expected)
+        # equal up to a global phase
+        ratio = w / expected
+        np.testing.assert_allclose(np.abs(ratio), 1.0, rtol=1e-9)
+        assert np.std(np.angle(ratio)) < 1e-9
+
+    def test_too_many_nulls_rejected(self):
+        with pytest.raises(ValueError):
+            null_steering_weights(
+                _array(2), (50.0, 0.0), [(0.0, -100.0), (0.0, 100.0)], WAVELENGTH
+            )
+
+    def test_target_inside_nulled_subspace_rejected(self):
+        tx = _array(2)
+        point = np.array([0.0, -500.0])
+        with pytest.raises(ValueError):
+            # nulling the target itself leaves no gain
+            null_steering_weights(tx, point, [point], WAVELENGTH)
+
+    def test_more_elements_more_gain(self):
+        pr = np.array([10.0, -300.0])
+        sr = np.array([120.0, 0.0])
+        amps = []
+        for n in (2, 3, 4):
+            tx = _array(n)
+            w = null_steering_weights(tx, sr, [pr], WAVELENGTH)
+            # per-element unit power scaling for a fair comparison
+            amps.append(weighted_amplitude(tx, w * np.sqrt(n), sr, WAVELENGTH))
+        assert amps[0] < amps[1] < amps[2]
+
+
+class TestWeightedAmplitude:
+    def test_weight_count_checked(self):
+        with pytest.raises(ValueError):
+            weighted_amplitude(_array(3), np.ones(2), (1.0, 1.0), WAVELENGTH)

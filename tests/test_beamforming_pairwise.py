@@ -1,0 +1,117 @@
+"""Pairwise null-steering tests: the delta formula, nulls, gains."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beamforming.pairwise import (
+    NullSteeringPair,
+    pair_amplitude,
+    phase_delay_for_null,
+)
+
+
+@pytest.fixture
+def pair():
+    # Table 1 geometry: 15 m spacing, wavelength 2r
+    return NullSteeringPair(st1=(0.0, 7.5), st2=(0.0, -7.5), wavelength=30.0)
+
+
+class TestDeltaFormula:
+    def test_paper_example(self):
+        """'delta = pi when r = w and alpha = 0' (Section 5)."""
+        assert phase_delay_for_null(1.0, 0.0, 1.0) == pytest.approx(np.pi)
+
+    def test_half_wave_broadside(self):
+        # r = w/2, alpha = 90 deg: delta = -pi
+        assert phase_delay_for_null(0.5, np.pi / 2, 1.0) == pytest.approx(-np.pi)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            phase_delay_for_null(0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            phase_delay_for_null(1.0, 0.0, -1.0)
+
+
+class TestPairAmplitude:
+    def test_in_phase_doubles(self):
+        assert pair_amplitude(1.0, 1.0, 0.0) == pytest.approx(2.0)
+
+    def test_antiphase_cancels(self):
+        assert pair_amplitude(1.0, 1.0, np.pi) == pytest.approx(0.0, abs=1e-12)
+
+    def test_unequal_amplitudes(self):
+        assert pair_amplitude(2.0, 1.0, np.pi) == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=-10.0, max_value=10.0),
+    )
+    def test_triangle_bounds(self, g1, g2, delta):
+        amp = pair_amplitude(g1, g2, delta)
+        assert abs(g1 - g2) - 1e-9 <= amp <= g1 + g2 + 1e-9
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pair_amplitude(-1.0, 1.0, 0.0)
+
+
+class TestNullSteering:
+    @given(
+        st.floats(min_value=-140.0, max_value=140.0),
+        st.floats(min_value=60.0, max_value=150.0),
+    )
+    @settings(max_examples=40)
+    def test_exact_delay_nulls_everywhere(self, x, y_mag):
+        pair = NullSteeringPair(st1=(0.0, 7.5), st2=(0.0, -7.5), wavelength=30.0)
+        pr = np.array([x, np.copysign(y_mag, x if x != 0 else 1.0)])
+        delta = pair.delay_for_null(pr, exact=True)
+        assert pair.amplitude_at(pr, delta) < 1e-9
+
+    def test_paper_delay_nulls_far_field_on_axis(self, pair):
+        pr = np.array([0.0, -5000.0])  # far away along the baseline
+        delta = pair.delay_for_null(pr, exact=False)
+        assert pair.amplitude_at(pr, delta) < 1e-3
+
+    def test_paper_delay_small_residual_at_finite_range(self, pair):
+        pr = np.array([10.0, -140.0])
+        delta = pair.delay_for_null(pr, exact=False)
+        residual = pair.amplitude_at(pr, delta)
+        assert residual < 0.15  # small leak, the Table 1 regime
+
+    def test_broadside_gain_near_two(self, pair):
+        """With the null steered down the baseline, a broadside receiver
+        sees nearly the full coherent pair gain."""
+        pr = np.array([0.0, -120.0])
+        delta = pair.delay_for_null(pr, exact=True)
+        sr = np.array([80.0, 0.0])
+        assert pair.amplitude_at(sr, delta) > 1.9
+
+    def test_alpha_angle(self, pair):
+        # Pr directly below: the St1->Pr and St1->St2 directions coincide
+        assert pair.alpha(np.array([0.0, -100.0])) == pytest.approx(0.0, abs=1e-9)
+        # Pr directly above: opposite
+        assert pair.alpha(np.array([0.0, 100.0])) == pytest.approx(np.pi)
+
+    def test_paper_delta_at_matches_amplitude(self, pair):
+        """pair_amplitude(paper_delta_at(...)) equals the exact field."""
+        pr = np.array([5.0, -130.0])
+        delta = pair.delay_for_null(pr, exact=True)
+        point = np.array([60.0, 10.0])
+        from_field = pair.amplitude_at(point, delta)
+        from_delta = pair_amplitude(1.0, 1.0, pair.paper_delta_at(point, delta))
+        assert from_field == pytest.approx(from_delta, rel=1e-9)
+
+    def test_siso_reference_is_unity(self, pair):
+        assert pair.siso_reference_amplitude(np.array([50.0, 0.0])) == pytest.approx(1.0)
+
+    def test_default_wavelength_is_twice_spacing(self):
+        pair = NullSteeringPair(st1=(0.0, 1.0), st2=(0.0, -1.0), wavelength=4.0)
+        assert pair.spacing == pytest.approx(2.0)
+        assert pair.wavelength == 4.0
+
+    def test_rejects_coincident_pair(self):
+        with pytest.raises(ValueError):
+            NullSteeringPair(st1=(1.0, 1.0), st2=(1.0, 1.0), wavelength=2.0)

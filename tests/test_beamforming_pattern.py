@@ -1,0 +1,68 @@
+"""Radiation pattern tests: null placement, symmetry, multipath."""
+
+import numpy as np
+import pytest
+
+from repro.beamforming.pattern import (
+    design_null_delay,
+    pattern_null_angle,
+    radiation_pattern,
+)
+from repro.channel.multipath import MultipathEnvironment
+
+WAVELENGTH = 0.1224
+SPACING = WAVELENGTH / 2.0
+
+
+class TestDesign:
+    @pytest.mark.parametrize("target", [30.0, 60.0, 90.0, 120.0, 150.0])
+    def test_null_lands_on_target(self, target):
+        delta = design_null_delay(SPACING, WAVELENGTH, target)
+        angle, depth = pattern_null_angle(SPACING, WAVELENGTH, delta)
+        assert angle == pytest.approx(target, abs=0.5)
+        assert depth < 1e-3
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            design_null_delay(0.0, WAVELENGTH, 120.0)
+
+
+class TestPattern:
+    def test_max_two_min_zero(self):
+        delta = design_null_delay(SPACING, WAVELENGTH, 120.0)
+        angles = np.linspace(0.0, 180.0, 721)
+        amps = radiation_pattern(SPACING, WAVELENGTH, delta, angles)
+        assert amps.max() == pytest.approx(2.0, abs=0.01)
+        assert amps.min() < 1e-2
+
+    def test_mirror_symmetry_about_axis(self):
+        """A linear array's pattern is symmetric under theta -> -theta."""
+        delta = design_null_delay(SPACING, WAVELENGTH, 60.0)
+        up = radiation_pattern(SPACING, WAVELENGTH, delta, np.array([40.0, 70.0]))
+        down = radiation_pattern(SPACING, WAVELENGTH, delta, np.array([-40.0, -70.0]))
+        np.testing.assert_allclose(up, down, rtol=1e-9)
+
+    def test_finite_radius_close_to_far_field(self):
+        delta = design_null_delay(SPACING, WAVELENGTH, 120.0)
+        angles = np.arange(0.0, 181.0, 20.0)
+        near = radiation_pattern(SPACING, WAVELENGTH, delta, angles, radius=1.0)
+        far = radiation_pattern(SPACING, WAVELENGTH, delta, angles, radius=1e4)
+        np.testing.assert_allclose(near, far, atol=0.05)
+
+    def test_multipath_fills_null(self):
+        delta = design_null_delay(SPACING, WAVELENGTH, 120.0)
+        room = MultipathEnvironment.random_indoor(rng=5)
+        clean = radiation_pattern(SPACING, WAVELENGTH, delta, np.array([120.0]), radius=1.0)
+        dirty = radiation_pattern(
+            SPACING, WAVELENGTH, delta, np.array([120.0]), radius=1.0, environment=room
+        )
+        assert clean[0] < 1e-2
+        assert dirty[0] > clean[0]
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            radiation_pattern(SPACING, WAVELENGTH, 0.0, np.array([0.0]), radius=-1.0)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            pattern_null_angle(SPACING, WAVELENGTH, 0.0, resolution_deg=0.0)

@@ -1,0 +1,90 @@
+"""Jakes/Clarke fading process tests: statistics and correlation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.doppler import JakesFadingProcess, coherence_time_s, max_doppler_hz
+
+
+class TestHelpers:
+    def test_doppler_at_2_45ghz_walking(self):
+        fd = max_doppler_hz(1.0, 0.1224)
+        assert fd == pytest.approx(8.17, rel=0.01)
+
+    def test_coherence_time(self):
+        assert coherence_time_s(10.0) == pytest.approx(0.0423)
+
+    def test_quasi_static_packets_justified(self):
+        """A 48 ms packet at 250 kbps vs pedestrian coherence time: the
+        testbed's per-packet fading assumption is borderline-correct, and
+        static nodes (fd -> 0) make it exact."""
+        fd = max_doppler_hz(0.5, 0.1224)  # slow indoor motion
+        assert coherence_time_s(fd) > 0.048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_doppler_hz(0.0, 1.0)
+        with pytest.raises(ValueError):
+            coherence_time_s(-1.0)
+
+
+class TestProcess:
+    def test_unit_mean_power(self):
+        proc = JakesFadingProcess(doppler_hz=10.0, n_oscillators=64, rng=0)
+        t = np.linspace(0.0, 100.0, 50_000)
+        h = proc.sample(t)
+        assert np.mean(np.abs(h) ** 2) == pytest.approx(1.0, rel=0.15)
+
+    def test_deterministic_in_time(self):
+        proc = JakesFadingProcess(doppler_hz=5.0, rng=1)
+        a = proc.sample(np.array([0.0, 0.5, 1.0]))
+        b = proc.sample(np.array([0.0, 0.5, 1.0]))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        t = np.array([0.3])
+        a = JakesFadingProcess(10.0, rng=1).sample(t)
+        b = JakesFadingProcess(10.0, rng=2).sample(t)
+        assert a != b
+
+    def test_autocorrelation_tracks_bessel(self):
+        """Empirical autocorrelation vs J0(2 pi fd tau): same first zero
+        region and high correlation at small lags (averaged over
+        process realizations)."""
+        fd = 10.0
+        lags = np.array([0.0, 0.005, 0.01, 0.02, 0.0383])
+        theory = JakesFadingProcess(fd, rng=0).theoretical_autocorrelation(lags)
+        est = np.zeros(len(lags), dtype=complex)
+        n_procs = 200
+        for seed in range(n_procs):
+            proc = JakesFadingProcess(fd, n_oscillators=32, rng=seed)
+            t0 = np.linspace(0.0, 1.0, 200)
+            h0 = proc.sample(t0)
+            for i, lag in enumerate(lags):
+                h1 = proc.sample(t0 + lag)
+                est[i] += np.mean(h0 * np.conj(h1))
+        est = (est / n_procs).real
+        # exact at zero lag, Bessel-shaped decay after
+        assert est[0] == pytest.approx(1.0, abs=0.05)
+        np.testing.assert_allclose(est, theory, atol=0.08)
+
+    def test_first_bessel_zero_decorrelates(self):
+        # J0's first zero: 2 pi fd tau = 2.405 -> tau = 0.0383 s at 10 Hz
+        proc = JakesFadingProcess(10.0, rng=0)
+        assert abs(proc.theoretical_autocorrelation(np.array([0.0383]))[0]) < 0.01
+
+    def test_block_gains(self):
+        proc = JakesFadingProcess(10.0, rng=3)
+        gains = proc.block_gains(100, 1e-3)
+        assert gains.shape == (100,)
+        # 1 ms blocks at 10 Hz Doppler: adjacent blocks highly correlated
+        corr = np.corrcoef(np.abs(gains[:-1]), np.abs(gains[1:]))[0, 1]
+        assert corr > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JakesFadingProcess(doppler_hz=0.0)
+        with pytest.raises(ValueError):
+            JakesFadingProcess(10.0, n_oscillators=0)
+        with pytest.raises(ValueError):
+            JakesFadingProcess(10.0, rng=0).block_gains(0, 1.0)

@@ -1,0 +1,90 @@
+"""Interweave system tests: pairing, PU selection, trials."""
+
+import numpy as np
+import pytest
+
+from repro.core.interweave import InterweaveSystem, form_pairs
+
+
+@pytest.fixture
+def system():
+    return InterweaveSystem(st1=(0.0, 7.5), st2=(0.0, -7.5))
+
+
+class TestFormPairs:
+    def test_even_count_all_paired(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [11.0, 0.0]])
+        pairs = form_pairs(pts)
+        assert sorted(pairs) == [(0, 1), (2, 3)]
+
+    def test_odd_count_leaves_one_out(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [50.0, 50.0]])
+        pairs = form_pairs(pts)
+        assert pairs == [(0, 1)]
+
+    def test_empty_and_single(self):
+        assert form_pairs(np.zeros((0, 2))) == []
+        assert form_pairs(np.array([[1.0, 2.0]])) == []
+
+    def test_closest_pairs_first(self):
+        # a tight pair and a looser pair: greedy keeps spacings minimal
+        pts = np.array([[0.0, 0.0], [0.5, 0.0], [5.0, 0.0], [7.0, 0.0]])
+        pairs = form_pairs(pts)
+        assert (0, 1) in pairs
+        assert (2, 3) in pairs
+
+
+class TestPrimarySelection:
+    def test_prefers_axis_aligned(self, system):
+        candidates = np.array([[100.0, 0.0], [0.0, 100.0]])  # broadside vs axial
+        idx, pos = system.pick_primary(candidates)
+        assert idx == 1
+        np.testing.assert_allclose(pos, [0.0, 100.0])
+
+    def test_prefers_farther_at_same_angle(self, system):
+        candidates = np.array([[0.0, -50.0], [0.0, -140.0]])
+        idx, _ = system.pick_primary(candidates)
+        assert idx == 1
+
+    def test_rejects_empty(self, system):
+        with pytest.raises(ValueError):
+            system.pick_primary(np.zeros((0, 2)))
+
+
+class TestTrials:
+    def test_trial_fields(self, system):
+        candidates = np.array([[0.0, -120.0], [80.0, 10.0]])
+        srs = np.array([[60.0, 0.0], [62.0, 3.0]])
+        trial = system.run_trial(candidates, srs)
+        assert trial.picked_pr == (0.0, -120.0)
+        assert trial.siso_amplitude_at_sr == pytest.approx(1.0)
+        assert 1.5 < trial.gain_over_siso <= 2.0
+        assert trial.residual_at_pr < 0.1
+
+    def test_exact_delay_kills_residual(self, system):
+        candidates = np.array([[10.0, -130.0]])
+        srs = np.array([[60.0, 0.0]])
+        approx = system.run_trial(candidates, srs, exact_delay=False)
+        exact = system.run_trial(candidates, srs, exact_delay=True)
+        assert exact.residual_at_pr < 1e-9
+        assert exact.residual_at_pr <= approx.residual_at_pr
+
+    def test_run_table1_deterministic(self, system):
+        a = system.run_table1(n_trials=3, rng=5)
+        b = system.run_table1(n_trials=3, rng=5)
+        assert [t.picked_pr for t in a] == [t.picked_pr for t in b]
+        assert [t.amplitude_at_sr for t in a] == [t.amplitude_at_sr for t in b]
+
+    def test_run_table1_statistics(self, system):
+        trials = system.run_table1(n_trials=10, rng=2013)
+        gains = [t.gain_over_siso for t in trials]
+        assert 1.8 < float(np.mean(gains)) <= 2.0
+        assert all(t.residual_at_pr < 0.1 for t in trials)
+
+    def test_wavelength_defaults_to_twice_spacing(self):
+        system = InterweaveSystem(st1=(0.0, 2.0), st2=(0.0, -2.0))
+        assert system.pair.wavelength == pytest.approx(8.0)
+
+    def test_rejects_coincident_transmitters(self):
+        with pytest.raises(ValueError):
+            InterweaveSystem(st1=(1.0, 1.0), st2=(1.0, 1.0))

@@ -1,0 +1,91 @@
+"""Overlay system tests: Algorithm 1 accounting and the distance analysis."""
+
+import pytest
+
+from repro.core.overlay import OverlaySystem
+from repro.energy.model import EnergyModel
+
+
+@pytest.fixture(scope="module")
+def system():
+    return OverlaySystem(EnergyModel())
+
+
+@pytest.fixture(scope="module")
+def system_div():
+    return OverlaySystem(EnergyModel(ebar_convention="diversity_only"))
+
+
+class TestRelayEnergy:
+    def test_components(self, system):
+        res = system.relay_energy(p=0.001, m=3, d_pt_su=100.0, d_su_pr=150.0, bandwidth=10e3)
+        assert res.m == 3
+        assert res.su_total == pytest.approx(res.su_tx + res.su_rx)
+        # reception is circuit-only, far below the long-haul transmit energy
+        assert res.su_rx < res.su_tx
+        assert res.primary_rx < res.primary_tx
+
+    def test_b_choices_minimize(self, system):
+        res = system.relay_energy(0.001, 2, 100.0, 100.0, 10e3)
+        for b in (1, 2, 4, 8):
+            alt = system.model.mimo_tx(0.001, b, 2, 1, 100.0, 10e3).total
+            assert res.su_tx <= alt + 1e-30
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            system.relay_energy(0.001, 0, 100.0, 100.0, 10e3)
+        with pytest.raises(ValueError):
+            system.relay_energy(0.001, 2, -1.0, 100.0, 10e3)
+
+
+class TestDirectLink:
+    def test_energy_grows_with_distance(self, system):
+        _, e_near = system.direct_link_energy(150.0, 0.005, 40e3)
+        _, e_far = system.direct_link_energy(350.0, 0.005, 40e3)
+        assert e_far > e_near
+
+    def test_stricter_ber_costs_more(self, system):
+        _, lax = system.direct_link_energy(250.0, 0.005, 40e3)
+        _, strict = system.direct_link_energy(250.0, 0.0005, 40e3)
+        assert strict > lax
+
+
+class TestDistanceAnalysis:
+    def test_fig6_shapes(self, system_div):
+        res = system_div.distance_analysis(d1=250.0, m=3, bandwidth=40e3)
+        # relays can sit beyond the direct distance at 10x better BER
+        assert res.d2 > res.d1
+        assert res.d3 > res.d1
+        # the paper's asymmetry: farther from Pr than from Pt
+        assert res.d3 > res.d2
+
+    def test_paper_convention_symmetric(self, system):
+        res = system.distance_analysis(d1=250.0, m=3, bandwidth=40e3)
+        # reception energy drags D3 slightly below D2, nothing more
+        assert res.d3 == pytest.approx(res.d2, rel=0.15)
+
+    def test_distances_grow_with_d1(self, system_div):
+        near = system_div.distance_analysis(150.0, 3, 40e3)
+        far = system_div.distance_analysis(350.0, 3, 40e3)
+        assert far.d2 > near.d2 and far.d3 > near.d3
+
+    def test_more_relays_reach_farther(self, system_div):
+        m2 = system_div.distance_analysis(250.0, 2, 40e3)
+        m3 = system_div.distance_analysis(250.0, 3, 40e3)
+        assert m3.d3 > m2.d3
+
+    def test_sweep_covers_grid(self, system_div):
+        rows = system_div.distance_sweep((150.0, 250.0), (2, 3), (20e3, 40e3))
+        assert len(rows) == 2 * 2 * 2
+        assert {(r.m, r.bandwidth) for r in rows} == {
+            (2, 20e3), (3, 20e3), (2, 40e3), (3, 40e3)
+        }
+
+    def test_default_ber_targets(self, system_div):
+        res = system_div.distance_analysis(200.0, 2, 20e3)
+        assert res.p_direct == 0.005
+        assert res.p_relay == 0.0005
+
+    def test_empty_b_range_rejected(self):
+        with pytest.raises(ValueError):
+            OverlaySystem(EnergyModel(), b_range=())

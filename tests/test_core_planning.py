@@ -1,0 +1,128 @@
+"""Route-planning tests: Pareto fronts and the latency-energy knapsack."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.planning import HopOption, RoutePlan, hop_options, plan_route
+from repro.energy.model import EnergyModel
+from repro.network.comimonet import CooperativeLink
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+def _link(mt=3, mr=3, length=180.0, tx=0, rx=1):
+    return CooperativeLink(
+        tx_cluster_id=tx, rx_cluster_id=rx, mt=mt, mr=mr, length_m=length
+    )
+
+
+BANDWIDTH = 10e3
+P = 0.001
+N_BITS = 100_000.0
+D_LOCAL = 2.0
+
+
+class TestHopOptions:
+    def test_pareto_front_is_sorted_and_undominated(self, model):
+        options = hop_options(model, _link(), D_LOCAL, BANDWIDTH, P, N_BITS)
+        times = [o.time_s for o in options]
+        energies = [o.energy_j for o in options]
+        assert times == sorted(times)
+        # energy strictly decreases along the time-sorted frontier
+        assert all(e2 < e1 for e1, e2 in zip(energies, energies[1:]))
+
+    def test_includes_both_modes(self, model):
+        options = hop_options(model, _link(), D_LOCAL, BANDWIDTH, P, N_BITS)
+        modes = {(o.mt, o.mr) for o in options}
+        assert (1, 1) in modes or (3, 3) in modes
+        # with allow_siso=False only the cooperative mode appears
+        coop_only = hop_options(
+            model, _link(), D_LOCAL, BANDWIDTH, P, N_BITS, allow_siso=False
+        )
+        assert {(o.mt, o.mr) for o in coop_only} == {(3, 3)}
+
+    def test_siso_link_has_single_mode(self, model):
+        options = hop_options(model, _link(mt=1, mr=1), D_LOCAL, BANDWIDTH, P, N_BITS)
+        assert {(o.mt, o.mr) for o in options} == {(1, 1)}
+
+
+class TestPlanRoute:
+    def _route(self):
+        return [_link(tx=0, rx=1), _link(tx=1, rx=2, length=150.0)]
+
+    def test_unconstrained_picks_cheapest(self, model):
+        plan = plan_route(model, self._route(), D_LOCAL, BANDWIDTH, P, N_BITS)
+        assert plan.feasible
+        for link, choice in zip(self._route(), plan.choices):
+            options = hop_options(model, link, D_LOCAL, BANDWIDTH, P, N_BITS)
+            assert choice.energy_j == pytest.approx(
+                min(o.energy_j for o in options)
+            )
+
+    def test_budget_respected(self, model):
+        relaxed = plan_route(model, self._route(), D_LOCAL, BANDWIDTH, P, N_BITS)
+        budget = relaxed.total_time_s * 0.5
+        plan = plan_route(
+            model, self._route(), D_LOCAL, BANDWIDTH, P, N_BITS, latency_budget_s=budget
+        )
+        assert plan.feasible
+        assert plan.total_time_s <= budget + 1e-9
+
+    def test_tighter_budget_costs_more_energy(self, model):
+        relaxed = plan_route(model, self._route(), D_LOCAL, BANDWIDTH, P, N_BITS)
+        tight = plan_route(
+            model,
+            self._route(),
+            D_LOCAL,
+            BANDWIDTH,
+            P,
+            N_BITS,
+            latency_budget_s=relaxed.total_time_s * 0.4,
+        )
+        assert tight.feasible
+        assert tight.total_energy_j >= relaxed.total_energy_j
+
+    def test_impossible_budget_infeasible(self, model):
+        plan = plan_route(
+            model, self._route(), D_LOCAL, BANDWIDTH, P, N_BITS, latency_budget_s=1e-6
+        )
+        assert not plan.feasible
+        assert plan.choices == ()
+
+    def test_matches_brute_force(self, model):
+        """DP result equals exhaustive search on a 2-hop route."""
+        route = self._route()
+        per_hop = [
+            hop_options(model, link, D_LOCAL, BANDWIDTH, P, N_BITS) for link in route
+        ]
+        relaxed = plan_route(model, route, D_LOCAL, BANDWIDTH, P, N_BITS)
+        budget = relaxed.total_time_s * 0.6
+        best = None
+        for combo in itertools.product(*per_hop):
+            t = sum(o.time_s for o in combo)
+            e = sum(o.energy_j for o in combo)
+            if t <= budget and (best is None or e < best):
+                best = e
+        plan = plan_route(
+            model, route, D_LOCAL, BANDWIDTH, P, N_BITS, latency_budget_s=budget
+        )
+        assert plan.feasible
+        # DP time quantization may force a marginally costlier choice
+        assert plan.total_energy_j == pytest.approx(best, rel=0.05)
+        assert plan.total_energy_j >= best - 1e-12
+
+    def test_empty_route(self, model):
+        plan = plan_route(model, [], D_LOCAL, BANDWIDTH, P, N_BITS)
+        assert plan.feasible
+        assert plan.total_time_s == 0.0
+        assert plan.total_energy_j == 0.0
+
+    def test_plan_types(self, model):
+        plan = plan_route(model, self._route(), D_LOCAL, BANDWIDTH, P, N_BITS)
+        assert isinstance(plan, RoutePlan)
+        assert all(isinstance(c, HopOption) for c in plan.choices)

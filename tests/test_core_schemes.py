@@ -1,0 +1,103 @@
+"""Cooperative scheme tests: step plans and hop energy accounting."""
+
+import pytest
+
+from repro.core.schemes import cooperative_scheme, hop_energy
+from repro.network.comimonet import LinkKind
+
+
+class TestStepPlans:
+    def test_siso_single_step(self):
+        steps = cooperative_scheme(1, 1)
+        assert len(steps) == 1
+        assert not steps[0].local
+        assert steps[0].n_tx == 1 and steps[0].n_rx == 1
+
+    def test_miso_two_steps(self):
+        steps = cooperative_scheme(3, 1)
+        assert [s.name for s in steps] == ["intra-A broadcast", "long-haul MISO"]
+        assert steps[0].n_tx == 1 and steps[0].n_rx == 2
+
+    def test_simo_two_steps(self):
+        steps = cooperative_scheme(1, 3)
+        assert [s.name for s in steps] == ["long-haul SIMO", "intra-B collection"]
+
+    def test_mimo_three_steps(self):
+        steps = cooperative_scheme(3, 2)
+        assert len(steps) == 3
+        assert steps[1].n_tx == 3 and steps[1].n_rx == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            cooperative_scheme(0, 1)
+
+
+class TestHopEnergy:
+    def _hop(self, energy_model, mt, mr, **overrides):
+        args = dict(p=0.001, b=2, mt=mt, mr=mr, local_distance=2.0,
+                    longhaul_distance=150.0, bandwidth=10e3)
+        args.update(overrides)
+        return hop_energy(energy_model, **args)
+
+    def test_siso_total_by_hand(self, energy_model):
+        hop = self._hop(energy_model, 1, 1)
+        expected = (
+            energy_model.mimo_tx(0.001, 2, 1, 1, 150.0, 10e3).total
+            + energy_model.mimo_rx(2, 10e3).total
+        )
+        assert hop.total == pytest.approx(expected)
+        assert hop.pa_local_a == 0.0 and hop.pa_local_b == 0.0
+
+    def test_mimo_total_by_hand(self, energy_model):
+        mt, mr = 3, 2
+        hop = self._hop(energy_model, mt, mr)
+        ltx = energy_model.local_tx(0.001, 2, 2.0, 10e3)
+        lrx = energy_model.local_rx(2, 10e3)
+        mtx = energy_model.mimo_tx(0.001, 2, mt, mr, 150.0, 10e3)
+        mrx = energy_model.mimo_rx(2, 10e3)
+        expected = (
+            ltx.total + (mt - 1) * lrx.total  # intra-A broadcast
+            + mt * mtx.total + mr * mrx.total  # long haul
+            + mr * ltx.total + mr * lrx.total  # intra-B collection
+        )
+        assert hop.total == pytest.approx(expected)
+
+    def test_pa_peak_definition(self, energy_model):
+        """E_PA = max(e_PA^{Lt}, mt * e_PA^{MIMOt}) — Section 4."""
+        hop = self._hop(energy_model, 2, 2)
+        ltx_pa = energy_model.local_tx(0.001, 2, 2.0, 10e3).pa
+        mtx_pa = 2 * energy_model.mimo_tx(0.001, 2, 2, 2, 150.0, 10e3).pa
+        assert hop.pa_peak == pytest.approx(max(ltx_pa, mtx_pa))
+
+    def test_pa_total_is_sum_of_parts(self, energy_model):
+        hop = self._hop(energy_model, 2, 3)
+        assert hop.pa_total == pytest.approx(
+            hop.pa_local_a + hop.pa_longhaul + hop.pa_local_b
+        )
+
+    def test_longhaul_pa_conventions(self, energy_model):
+        """The 1/mt of formula (3) cancels the mt simultaneous transmitters,
+        so the total radiated long-haul energy equals (1+alpha) e_bar C D^2.
+        Under the symmetric table (diversity_only) that makes (2,1) and
+        (1,2) radiate identically; under the paper convention e_bar itself
+        carries the extra mt, making (2,1) radiate mt times more."""
+        from repro.energy.model import EnergyModel
+
+        div_model = EnergyModel(ebar_convention="diversity_only")
+        d21 = self._hop(div_model, 2, 1)
+        d12 = self._hop(div_model, 1, 2)
+        assert d21.pa_longhaul == pytest.approx(d12.pa_longhaul, rel=1e-9)
+
+        p21 = self._hop(energy_model, 2, 1)
+        p12 = self._hop(energy_model, 1, 2)
+        assert p21.pa_longhaul == pytest.approx(2.0 * p12.pa_longhaul, rel=1e-9)
+
+    def test_kind_classified(self, energy_model):
+        assert self._hop(energy_model, 1, 1).kind is LinkKind.SISO
+        assert self._hop(energy_model, 2, 2).kind is LinkKind.MIMO
+
+    def test_rejects_bad_distances(self, energy_model):
+        with pytest.raises(ValueError):
+            self._hop(energy_model, 2, 2, local_distance=0.0)
+        with pytest.raises(ValueError):
+            self._hop(energy_model, 2, 2, longhaul_distance=-1.0)

@@ -1,0 +1,59 @@
+"""Hop airtime (latency) accounting tests — the Section 2.2 time slots."""
+
+import pytest
+
+from repro.core.schemes import hop_timing
+
+
+class TestHopTiming:
+    def test_siso_is_pure_stream(self):
+        t = hop_timing(10_000, b=2, mt=1, mr=1, bandwidth=10e3)
+        assert t.intra_a_s == 0.0
+        assert t.intra_b_s == 0.0
+        assert t.longhaul_s == pytest.approx(10_000 / (2 * 10e3))
+        assert t.stbc_rate == 1.0
+
+    def test_alamouti_rate_one_no_stretch(self):
+        siso = hop_timing(10_000, 2, 1, 1, 10e3)
+        miso2 = hop_timing(10_000, 2, 2, 1, 10e3)
+        assert miso2.longhaul_s == pytest.approx(siso.longhaul_s)
+        # but the intra-A broadcast adds a phase
+        assert miso2.total_s > siso.total_s
+
+    def test_rate_half_codes_double_longhaul(self):
+        two = hop_timing(10_000, 2, 2, 1, 10e3)
+        three = hop_timing(10_000, 2, 3, 1, 10e3)
+        four = hop_timing(10_000, 2, 4, 1, 10e3)
+        assert three.stbc_rate == 0.5
+        assert three.longhaul_s == pytest.approx(2.0 * two.longhaul_s)
+        assert four.longhaul_s == pytest.approx(three.longhaul_s)
+
+    def test_intra_b_scales_with_mr(self):
+        t = hop_timing(8_000, 1, 1, 3, 10e3)
+        stream = 8_000 / 10e3
+        assert t.intra_b_s == pytest.approx(3 * stream)
+        assert t.intra_a_s == 0.0
+
+    def test_total_is_phase_sum(self):
+        t = hop_timing(5_000, 2, 3, 2, 20e3)
+        assert t.total_s == pytest.approx(t.intra_a_s + t.longhaul_s + t.intra_b_s)
+
+    def test_higher_b_faster(self):
+        slow = hop_timing(10_000, 1, 2, 2, 10e3)
+        fast = hop_timing(10_000, 4, 2, 2, 10e3)
+        assert fast.total_s == pytest.approx(slow.total_s / 4.0)
+
+    def test_energy_latency_tradeoff_exists(self):
+        """mt = 3 saves long-haul energy (diversity) but costs airtime
+        (rate-1/2 code + broadcast) — the ablation DESIGN.md calls out."""
+        siso = hop_timing(10_000, 2, 1, 1, 10e3)
+        coop = hop_timing(10_000, 2, 3, 3, 10e3)
+        assert coop.total_s > 2.0 * siso.total_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hop_timing(0, 2, 1, 1, 10e3)
+        with pytest.raises(ValueError):
+            hop_timing(100, 2, 0, 1, 10e3)
+        with pytest.raises(ValueError):
+            hop_timing(100, 2, 1, 1, 0.0)

@@ -1,0 +1,123 @@
+"""e_bar_b solver tests: paper anchors, inversion, Monte-Carlo cross-check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.ebar import (
+    DEFAULT_N0,
+    average_ber,
+    average_ber_monte_carlo,
+    solve_ebar,
+)
+
+
+class TestPaperAnchors:
+    def test_siso_b2_anchor(self):
+        """Section 6.2 quotes 1.90e-18 for (p=0.001, b=2, SISO)."""
+        value = solve_ebar(0.001, 2, 1, 1)
+        assert value == pytest.approx(1.90e-18, rel=0.10)
+
+    def test_2x3_anchor_same_order(self):
+        """Section 6.2 quotes 3.20e-20 for the 2x3 MIMO link; ours agrees
+        within the convention uncertainty (same order of magnitude)."""
+        value = solve_ebar(0.001, 2, 2, 3)
+        assert 1e-20 < value < 1e-19
+
+    def test_siso_to_mimo_gap(self):
+        """The ~59x gap between the two quoted values is reproduced."""
+        gap = solve_ebar(0.001, 2, 1, 1) / solve_ebar(0.001, 2, 2, 3)
+        assert gap == pytest.approx(59.0, rel=0.8)
+
+    def test_siso_closed_form(self):
+        """For b=1 SISO the exact Rayleigh inversion is available:
+        ebar = N0 * g/(1+g) inverted from p = (1 - sqrt(g/(1+g)))/2."""
+        p = 0.005
+        mu = 1.0 - 2.0 * p
+        c = mu**2 / (1.0 - mu**2)
+        assert solve_ebar(p, 1, 1, 1) == pytest.approx(c * DEFAULT_N0, rel=1e-9)
+
+
+class TestInversion:
+    @given(
+        st.sampled_from([0.1, 0.01, 0.001, 0.0005]),
+        st.integers(1, 8),
+        st.integers(1, 4),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=30)
+    def test_roundtrip(self, p, b, mt, mr):
+        from repro.modulation.theory import mqam_ber_coefficients
+
+        a, _ = mqam_ber_coefficients(b)
+        if p >= a / 2:
+            return  # infeasible target for this constellation
+        ebar = solve_ebar(p, b, mt, mr)
+        assert float(average_ber(ebar, b, mt, mr)) == pytest.approx(p, rel=1e-6)
+
+    def test_monotone_in_target(self):
+        values = [solve_ebar(p, 2, 2, 2) for p in (0.05, 0.01, 0.001, 0.0005)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_diversity(self):
+        values = [solve_ebar(0.001, 2, 1, mr) for mr in (1, 2, 3, 4)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_infeasible_target_rejected(self):
+        # BER 0.45 is above b=4's zero-energy ceiling a/2 = 0.375
+        with pytest.raises(ValueError):
+            solve_ebar(0.45, 4, 1, 1)
+
+
+class TestConventions:
+    def test_paper_convention_scales_with_mt(self):
+        # gamma_b carries 1/mt -> doubling mt doubles the required ebar at
+        # fixed diversity... the diversity changes too; compare conventions
+        paper = solve_ebar(0.001, 2, 3, 1, convention="paper")
+        div = solve_ebar(0.001, 2, 3, 1, convention="diversity_only")
+        assert paper == pytest.approx(3.0 * div, rel=1e-9)
+
+    def test_conventions_agree_for_mt_1(self):
+        a = solve_ebar(0.001, 2, 1, 3, convention="paper")
+        b = solve_ebar(0.001, 2, 1, 3, convention="diversity_only")
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_diversity_only_symmetric(self):
+        a = solve_ebar(0.001, 2, 3, 2, convention="diversity_only")
+        b = solve_ebar(0.001, 2, 2, 3, convention="diversity_only")
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_unknown_convention_rejected(self):
+        with pytest.raises(ValueError):
+            average_ber(1e-19, 2, 1, 1, convention="bogus")
+
+
+class TestAverageBer:
+    def test_zero_energy_gives_ceiling(self):
+        from repro.modulation.theory import mqam_ber_coefficients
+
+        a, _ = mqam_ber_coefficients(4)
+        assert float(average_ber(0.0, 4, 2, 2)) == pytest.approx(a / 2)
+
+    def test_broadcasts(self):
+        out = average_ber(np.array([1e-20, 1e-19, 1e-18]), 2, 2, 2)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) < 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            average_ber(-1e-20, 2, 1, 1)
+
+
+class TestMonteCarlo:
+    @pytest.mark.parametrize("mt,mr", [(1, 1), (2, 1), (2, 3)])
+    def test_closed_form_agrees_with_mc(self, mt, mr, rng):
+        p = 0.002
+        ebar = solve_ebar(p, 2, mt, mr)
+        mc = average_ber_monte_carlo(ebar, 2, mt, mr, n_channels=300_000, rng=rng)
+        assert mc == pytest.approx(p, rel=0.08)
+
+    def test_rejects_nonpositive_ebar(self, rng):
+        with pytest.raises(ValueError):
+            average_ber_monte_carlo(0.0, 2, 1, 1, rng=rng)

@@ -1,0 +1,127 @@
+"""EbarTable tests: grid building, lookup semantics, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.energy.ebar import solve_ebar
+from repro.energy.table import EbarTable
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return EbarTable(
+        p_values=(0.01, 0.001),
+        b_values=(1, 2, 4),
+        mt_values=(1, 2),
+        mr_values=(1, 2),
+    )
+
+
+class TestBuild:
+    def test_size(self, small_table):
+        assert len(small_table) == 2 * 3 * 2 * 2
+
+    def test_matches_solver(self, small_table):
+        assert small_table.lookup(0.001, 2, 2, 2) == pytest.approx(
+            solve_ebar(0.001, 2, 2, 2)
+        )
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            EbarTable(p_values=())
+
+
+class TestLookup:
+    def test_p_snaps_to_nearest(self, small_table):
+        assert small_table.lookup(0.0012, 2, 1, 1) == small_table.lookup(0.001, 2, 1, 1)
+
+    def test_off_grid_b_rejected(self, small_table):
+        with pytest.raises(KeyError):
+            small_table.lookup(0.001, 3, 1, 1)
+
+    def test_off_grid_m_rejected(self, small_table):
+        with pytest.raises(KeyError):
+            small_table.lookup(0.001, 2, 4, 1)
+
+    def test_callable_interface(self, small_table):
+        assert small_table(0.001, 2, 1, 2) == small_table.lookup(0.001, 2, 1, 2)
+
+    def test_infeasible_entry_is_nan_and_raises(self):
+        # p = 0.4 is above b=4's ceiling 0.375 -> NaN entry
+        table = EbarTable(p_values=(0.4,), b_values=(1, 4), mt_values=(1,), mr_values=(1,))
+        with pytest.raises(KeyError):
+            table.lookup(0.4, 4, 1, 1)
+        # but b = 1 (ceiling 0.5) works
+        assert table.lookup(0.4, 1, 1, 1) > 0
+
+
+class TestSelection:
+    def test_min_ebar_b_is_true_minimum(self, small_table):
+        b, value = small_table.min_ebar_b(0.001, 2, 2)
+        for cand in small_table.b_values:
+            assert value <= small_table.lookup(0.001, cand, 2, 2) + 1e-30
+        assert b in small_table.b_values
+
+    def test_feasible_b_excludes_nan(self):
+        table = EbarTable(p_values=(0.4,), b_values=(1, 4), mt_values=(1,), mr_values=(1,))
+        assert table.feasible_b(0.4, 1, 1) == (1,)
+
+
+class TestModelIntegration:
+    def test_plugs_into_energy_model(self, small_table):
+        from repro.energy.model import EnergyModel
+
+        model = EnergyModel(ebar_provider=small_table)
+        exact = EnergyModel()
+        via_table = model.mimo_tx(0.001, 2, 2, 2, 150.0, 10e3).total
+        direct = exact.mimo_tx(0.001, 2, 2, 2, 150.0, 10e3).total
+        assert via_table == pytest.approx(direct, rel=1e-9)
+
+
+class TestSerialization:
+    def test_roundtrip(self, small_table):
+        arrays = small_table.to_arrays()
+        rebuilt = EbarTable.from_arrays(arrays)
+        assert len(rebuilt) == len(small_table)
+        assert rebuilt.lookup(0.001, 2, 2, 2) == small_table.lookup(0.001, 2, 2, 2)
+
+    def test_savez_roundtrip(self, small_table, tmp_path):
+        path = tmp_path / "table.npz"
+        np.savez(path, **small_table.to_arrays())
+        with np.load(path) as data:
+            rebuilt = EbarTable.from_arrays(data)
+        assert rebuilt.lookup(0.01, 1, 1, 2) == small_table.lookup(0.01, 1, 1, 2)
+
+
+class TestInterpolation:
+    def test_exact_on_grid_points(self, small_table):
+        for p in small_table.p_values:
+            assert small_table.lookup_interpolated(p, 2, 1, 1) == pytest.approx(
+                small_table.lookup(p, 2, 1, 1), rel=1e-12
+            )
+
+    def test_between_grid_points_accurate(self, small_table):
+        """Log-log interpolation lands within a few percent of the exact
+        solver at an off-grid BER."""
+        p_mid = 0.003
+        interpolated = small_table.lookup_interpolated(p_mid, 2, 2, 2)
+        exact = solve_ebar(p_mid, 2, 2, 2)
+        assert interpolated == pytest.approx(exact, rel=0.1)
+
+    def test_monotone_in_p(self, small_table):
+        values = [
+            small_table.lookup_interpolated(p, 2, 1, 1)
+            for p in (0.008, 0.005, 0.002, 0.0012)
+        ]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_clamps_outside_grid(self, small_table):
+        below = small_table.lookup_interpolated(1e-6, 2, 1, 1)
+        assert below == pytest.approx(small_table.lookup(0.001, 2, 1, 1), rel=1e-12)
+        above = small_table.lookup_interpolated(0.4, 1, 1, 1)
+        assert above == pytest.approx(small_table.lookup(0.01, 1, 1, 1), rel=1e-12)
+
+    def test_all_nan_column_raises(self):
+        table = EbarTable(p_values=(0.4,), b_values=(4,), mt_values=(1,), mr_values=(1,))
+        with pytest.raises(KeyError):
+            table.lookup_interpolated(0.4, 4, 1, 1)

@@ -1,0 +1,139 @@
+"""Negative tests for the experiment shape checks.
+
+The ``check()`` functions are the reproduction's guard rails; these tests
+verify they actually *fire* — a check that passes tampered results would
+silently accept a broken reproduction.  Each test runs an experiment in
+fast mode, corrupts the specific quantity a paper claim rests on, and
+asserts the check rejects it.
+"""
+
+import copy
+
+import pytest
+
+from repro.experiments.registry import check_experiment, run_experiment
+
+
+def _tampered(result, mutate):
+    clone = copy.deepcopy(result)
+    mutate(clone)
+    return clone
+
+
+class TestFig6Checks:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig6", fast=True)
+
+    def test_accepts_genuine(self, result):
+        check_experiment(result)
+
+    def test_rejects_non_monotone_distance(self, result):
+        def mutate(r):
+            # make D2 shrink with D1 for one convention/bandwidth/m series
+            rows = [list(row) for row in r.rows]
+            rows[1][6] = rows[0][6] / 2.0
+            r.rows = [tuple(row) for row in rows]
+
+        with pytest.raises(AssertionError):
+            check_experiment(_tampered(result, mutate))
+
+    def test_rejects_inverted_d3_d2(self, result):
+        def mutate(r):
+            rows = []
+            for row in r.rows:
+                row = list(row)
+                if row[0] == "diversity_only":
+                    row[7] = row[6] * 0.5  # D3 below D2
+                rows.append(tuple(row))
+            r.rows = rows
+
+        with pytest.raises(AssertionError):
+            check_experiment(_tampered(result, mutate))
+
+
+class TestFig7Checks:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig7", fast=True)
+
+    def test_accepts_genuine(self, result):
+        check_experiment(result)
+
+    def test_rejects_cheap_siso(self, result):
+        def mutate(r):
+            rows = []
+            for row in r.rows:
+                row = list(row)
+                if row[1] == 1 and row[2] == 1:
+                    row[5] = 1e-9  # SISO suddenly cheaper than cooperation
+                rows.append(tuple(row))
+            r.rows = rows
+
+        with pytest.raises(AssertionError):
+            check_experiment(_tampered(result, mutate))
+
+
+class TestTable1Checks:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table1", fast=True)
+
+    def test_accepts_genuine(self, result):
+        check_experiment(result)
+
+    def test_rejects_lost_diversity_gain(self, result):
+        def mutate(r):
+            rows = [list(row) for row in r.rows]
+            for row in rows:
+                row[4] = 1.2  # gain collapses
+            r.rows = [tuple(row) for row in rows]
+
+        with pytest.raises(AssertionError):
+            check_experiment(_tampered(result, mutate))
+
+    def test_rejects_leaky_null(self, result):
+        def mutate(r):
+            rows = [list(row) for row in r.rows]
+            rows[0][5] = 0.8  # strong interference at the primary
+            r.rows = [tuple(row) for row in rows]
+
+        with pytest.raises(AssertionError):
+            check_experiment(_tampered(result, mutate))
+
+
+class TestTable4Checks:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table4", fast=True)
+
+    def test_accepts_genuine(self, result):
+        check_experiment(result)
+
+    def test_rejects_cooperation_losing(self, result):
+        def mutate(r):
+            rows = [list(row) for row in r.rows]
+            rows[0][1] = rows[0][2] + 0.1  # coop worse than solo at 800
+            r.rows = [tuple(row) for row in rows]
+
+        with pytest.raises(AssertionError):
+            check_experiment(_tampered(result, mutate))
+
+
+class TestGameChecks:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("game", fast=True)
+
+    def test_accepts_genuine(self, result):
+        check_experiment(result)
+
+    def test_rejects_flat_violation_rate(self, result):
+        def mutate(r):
+            rows = [list(row) for row in r.rows]
+            for row in rows:
+                row[1] = 0.0  # the game suddenly guarantees the threshold
+            r.rows = [tuple(row) for row in rows]
+
+        with pytest.raises(AssertionError):
+            check_experiment(_tampered(result, mutate))

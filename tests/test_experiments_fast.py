@@ -1,0 +1,34 @@
+"""End-to-end experiment runs (fast mode) with their shape checks.
+
+These are the integration tests of the whole reproduction: each experiment
+regenerates its table/figure on reduced Monte-Carlo sizes and must still
+satisfy every shape claim asserted against the paper.
+"""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, check_experiment, run_experiment
+
+FAST_CAPABLE = sorted(EXPERIMENTS)
+
+
+@pytest.mark.parametrize("experiment_id", FAST_CAPABLE)
+def test_experiment_fast_run_passes_checks(experiment_id):
+    result = run_experiment(experiment_id, fast=True)
+    assert result.experiment_id == experiment_id
+    assert result.rows, f"{experiment_id} produced no rows"
+    check_experiment(result)
+
+
+@pytest.mark.parametrize("experiment_id", FAST_CAPABLE)
+def test_experiment_deterministic(experiment_id):
+    a = run_experiment(experiment_id, fast=True)
+    b = run_experiment(experiment_id, fast=True)
+    assert a.rows == b.rows
+
+
+def test_text_rendering_of_every_experiment():
+    for experiment_id in FAST_CAPABLE:
+        text = run_experiment(experiment_id, fast=True).to_text()
+        assert experiment_id in text
+        assert len(text.splitlines()) > 3

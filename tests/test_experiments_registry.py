@@ -1,0 +1,122 @@
+"""Experiment registry and result-container tests."""
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="demo table",
+        columns=("kind", "x", "y"),
+        rows=[("a", 1.0, 2.0), ("b", 3.0, 4.0), ("a", 5.0, 6.0)],
+        notes="a note",
+    )
+
+
+class TestExperimentResult:
+    def test_column(self, result):
+        assert result.column("x") == [1.0, 3.0, 5.0]
+
+    def test_column_missing(self, result):
+        with pytest.raises(ValueError):
+            result.column("z")
+
+    def test_select(self, result):
+        rows = result.select(kind="a")
+        assert len(rows) == 2
+        assert all(r[0] == "a" for r in rows)
+
+    def test_select_multiple_criteria(self, result):
+        assert result.select(kind="a", x=5.0) == [("a", 5.0, 6.0)]
+
+    def test_to_text_contains_everything(self, result):
+        text = result.to_text()
+        assert "demo table" in text
+        assert "kind" in text and "x" in text
+        assert "a note" in text
+        # alignment: all body lines have equal visible width or less
+        lines = text.splitlines()
+        assert len(lines) >= 6
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        assert set(EXPERIMENTS) == {
+            "fig6",
+            "fig7",
+            "table1",
+            "fig8",
+            "table2",
+            "table3",
+            "table4",
+            "ebar",
+            "game",
+        }
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_modules_importable(self):
+        import importlib
+
+        for module_path in EXPERIMENTS.values():
+            module = importlib.import_module(module_path)
+            assert callable(module.run)
+            assert callable(module.check)
+
+
+class TestSerialization:
+    def test_to_json_dict_roundtrips_through_json(self, result):
+        import json
+
+        payload = json.dumps(result.to_json_dict())
+        parsed = json.loads(payload)
+        assert parsed["experiment_id"] == "demo"
+        assert parsed["rows"][0] == ["a", 1.0, 2.0]
+
+    def test_tuple_keys_sanitized(self):
+        r = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            columns=("a",),
+            rows=[(1,)],
+            paper_values={(1, 2): 3.0},
+        )
+        import json
+
+        parsed = json.loads(json.dumps(r.to_json_dict()))
+        assert parsed["paper_values"] == {"(1, 2)": 3.0}
+
+    def test_to_csv(self, result):
+        lines = result.to_csv().strip().splitlines()
+        assert lines[0] == "kind,x,y"
+        assert len(lines) == 4
+
+    def test_cli_export_files(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        assert (
+            main(
+                [
+                    "run",
+                    "ebar",
+                    "--no-check",
+                    "--json",
+                    str(json_path),
+                    "--csv",
+                    str(csv_path),
+                ]
+            )
+            == 0
+        )
+        assert json_path.exists() and csv_path.exists()

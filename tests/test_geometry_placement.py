@@ -1,0 +1,90 @@
+"""Placement generator tests: containment, determinism, spacing."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.placement import (
+    place_on_arc,
+    place_on_segment,
+    random_in_annulus,
+    random_in_disk,
+    random_in_rectangle,
+)
+
+
+class TestDisk:
+    def test_all_points_inside(self):
+        pts = random_in_disk(500, center=(3.0, -2.0), radius=5.0, rng=0)
+        r = np.linalg.norm(pts - np.array([3.0, -2.0]), axis=1)
+        assert np.all(r <= 5.0 + 1e-12)
+
+    def test_area_uniformity(self):
+        # Under area-uniform sampling, ~25% of points land within r/2.
+        pts = random_in_disk(20000, radius=1.0, rng=1)
+        inside_half = np.mean(np.linalg.norm(pts, axis=1) < 0.5)
+        assert inside_half == pytest.approx(0.25, abs=0.02)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_in_disk(10, rng=5), random_in_disk(10, rng=5)
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            random_in_disk(-1)
+        with pytest.raises(ValueError):
+            random_in_disk(3, radius=0.0)
+
+
+class TestAnnulus:
+    def test_containment(self):
+        pts = random_in_annulus(400, inner_radius=2.0, outer_radius=3.0, rng=2)
+        r = np.linalg.norm(pts, axis=1)
+        assert np.all(r >= 2.0 - 1e-12)
+        assert np.all(r <= 3.0 + 1e-12)
+
+    def test_rejects_inverted_radii(self):
+        with pytest.raises(ValueError):
+            random_in_annulus(5, inner_radius=3.0, outer_radius=2.0)
+
+
+class TestRectangle:
+    def test_containment(self):
+        pts = random_in_rectangle(300, low=(-1.0, 2.0), high=(4.0, 3.0), rng=3)
+        assert np.all(pts[:, 0] >= -1.0) and np.all(pts[:, 0] <= 4.0)
+        assert np.all(pts[:, 1] >= 2.0) and np.all(pts[:, 1] <= 3.0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            random_in_rectangle(5, low=(0.0, 0.0), high=(0.0, 1.0))
+
+
+class TestSegment:
+    def test_single_relay_at_midpoint(self):
+        pts = place_on_segment((0.0, 0.0), (10.0, 0.0), 1)
+        np.testing.assert_allclose(pts, [[5.0, 0.0]])
+
+    def test_three_relays_evenly_spaced(self):
+        pts = place_on_segment((0.0, 0.0), (8.0, 0.0), 3)
+        np.testing.assert_allclose(pts[:, 0], [2.0, 4.0, 6.0])
+
+    def test_endpoint_margin(self):
+        pts = place_on_segment((0.0, 0.0), (10.0, 0.0), 1, endpoint_margin=0.25)
+        np.testing.assert_allclose(pts, [[5.0, 0.0]])  # midpoint unaffected
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ValueError):
+            place_on_segment((0, 0), (1, 0), 2, endpoint_margin=0.5)
+
+
+class TestArc:
+    def test_figure8_measurement_arc(self):
+        pts = place_on_arc((0.0, 0.0), 1.0, 0.0, 180.0, 20.0)
+        assert pts.shape == (10, 2)  # 0, 20, ..., 180
+        np.testing.assert_allclose(np.linalg.norm(pts, axis=1), 1.0)
+        np.testing.assert_allclose(pts[0], [1.0, 0.0], atol=1e-12)
+        np.testing.assert_allclose(pts[-1], [-1.0, 0.0], atol=1e-12)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            place_on_arc((0, 0), 1.0, 0.0, 90.0, 0.0)

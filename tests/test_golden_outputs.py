@@ -1,0 +1,57 @@
+"""Golden-file regression tests for every experiment.
+
+The fast-mode output of each experiment is pinned to a committed CSV
+(``tests/golden/``).  Any change to the numerical core — the ē_b solver,
+the link simulator, a testbed calibration, even a seed-threading change —
+shows up here as a precise diff instead of a silent drift of the
+reproduction.  Regenerate deliberately with::
+
+    python -c "
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+    for name in sorted(EXPERIMENTS):
+        open(f'tests/golden/{name}_fast.csv', 'w').write(
+            run_experiment(name, fast=True).to_csv())
+    "
+"""
+
+import csv
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+
+def _parse(text: str):
+    rows = list(csv.reader(text.strip().splitlines()))
+    return rows[0], rows[1:]
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_matches_golden(name):
+    golden_path = GOLDEN_DIR / f"{name}_fast.csv"
+    assert golden_path.exists(), f"missing golden file for {name}"
+    golden_header, golden_rows = _parse(golden_path.read_text())
+
+    result = run_experiment(name, fast=True)
+    header, rows = _parse(result.to_csv())
+
+    assert header == golden_header, f"{name}: column schema changed"
+    assert len(rows) == len(golden_rows), f"{name}: row count changed"
+    for i, (got, want) in enumerate(zip(rows, golden_rows)):
+        for j, (g, w) in enumerate(zip(got, want)):
+            try:
+                g_val, w_val = float(g), float(w)
+            except ValueError:
+                assert g == w, f"{name} row {i} col {header[j]}: {g!r} != {w!r}"
+                continue
+            assert g_val == pytest.approx(w_val, rel=1e-9, abs=1e-300), (
+                f"{name} row {i} col {header[j]}: {g_val} != {w_val}"
+            )
+
+
+def test_no_orphan_golden_files():
+    on_disk = {p.stem.replace("_fast", "") for p in GOLDEN_DIR.glob("*_fast.csv")}
+    assert on_disk == set(EXPERIMENTS)

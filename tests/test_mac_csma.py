@@ -1,0 +1,134 @@
+"""CSMA/CA simulator tests: conservation, contention behaviour, config."""
+
+import pytest
+
+from repro.mac.csma import CsmaCaSimulator, CsmaConfig, MacStats
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        CsmaConfig()
+
+    def test_rejects_bad_durations(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(slot_us=0.0)
+
+    def test_rejects_bad_cw(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(cw_min=64, cw_max=32)
+
+    def test_rejects_bad_retry(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(retry_limit=0)
+
+
+class TestSingleStation:
+    def test_no_collisions_alone(self):
+        sim = CsmaCaSimulator(n_stations=1, rng=0)
+        stats = sim.run(1_000_000)
+        assert stats.collisions == 0
+        assert stats.dropped == 0
+        assert stats.delivered > 0
+
+    def test_throughput_bounded_by_airtime(self):
+        cfg = CsmaConfig()
+        sim = CsmaCaSimulator(n_stations=1, config=cfg, rng=0)
+        stats = sim.run(1_000_000)
+        per_frame = cfg.frame_us + cfg.sifs_us + cfg.ack_us + cfg.difs_us
+        upper = 1e6 / per_frame
+        assert stats.throughput_frames_per_s() <= upper * 1.01
+
+
+class TestContention:
+    def test_collisions_grow_with_stations(self):
+        probs = []
+        for n in (2, 8, 24):
+            sim = CsmaCaSimulator(n_stations=n, rng=1)
+            stats = sim.run(2_000_000)
+            probs.append(stats.collision_probability)
+        assert probs[0] < probs[1] < probs[2]
+        assert probs[0] > 0.0
+
+    def test_attempts_conserved(self):
+        sim = CsmaCaSimulator(n_stations=6, rng=2)
+        stats = sim.run(2_000_000)
+        assert stats.attempts == stats.delivered + stats.collisions
+
+    def test_larger_cw_fewer_collisions(self):
+        tight = CsmaCaSimulator(n_stations=8, config=CsmaConfig(cw_min=4), rng=3)
+        wide = CsmaCaSimulator(n_stations=8, config=CsmaConfig(cw_min=64), rng=3)
+        assert (
+            wide.run(2_000_000).collision_probability
+            < tight.run(2_000_000).collision_probability
+        )
+
+    def test_drops_happen_under_extreme_contention(self):
+        cfg = CsmaConfig(cw_min=2, cw_max=2, retry_limit=1)
+        sim = CsmaCaSimulator(n_stations=16, config=cfg, rng=4)
+        assert sim.run(2_000_000).dropped > 0
+
+
+class TestUnsaturated:
+    def test_low_load_delivers_nearly_everything(self):
+        sim = CsmaCaSimulator(
+            n_stations=3, saturated=False, arrival_rate_fps=20.0, rng=5
+        )
+        stats = sim.run(5_000_000)  # 5 s
+        expected = 3 * 20.0 * 5.0
+        assert stats.delivered == pytest.approx(expected, rel=0.35)
+        assert stats.collision_probability < 0.1
+
+    def test_utilization_below_saturated(self):
+        sat = CsmaCaSimulator(n_stations=3, saturated=True, rng=6).run(2_000_000)
+        idle = CsmaCaSimulator(
+            n_stations=3, saturated=False, arrival_rate_fps=10.0, rng=6
+        ).run(2_000_000)
+        assert idle.channel_utilization < sat.channel_utilization
+
+
+class TestStats:
+    def test_empty_stats_safe(self):
+        stats = MacStats()
+        assert stats.collision_probability == 0.0
+        assert stats.mean_access_delay_us == 0.0
+        assert stats.throughput_frames_per_s() == 0.0
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            CsmaCaSimulator(n_stations=1).run(0.0)
+
+    def test_rejects_bad_station_count(self):
+        with pytest.raises(ValueError):
+            CsmaCaSimulator(n_stations=0)
+
+
+class TestRtsCts:
+    def test_overhead_properties(self):
+        plain = CsmaConfig()
+        handshake = CsmaConfig(rts_cts=True)
+        assert handshake.success_overhead_us > plain.success_overhead_us
+        assert handshake.collision_cost_us < plain.collision_cost_us
+
+    def test_helps_under_heavy_contention_with_long_frames(self):
+        """The classical RTS/CTS payoff: many stations, big frames."""
+        plain = CsmaCaSimulator(
+            n_stations=24, config=CsmaConfig(frame_us=8000.0, cw_min=8), rng=7
+        ).run(5_000_000)
+        rts = CsmaCaSimulator(
+            n_stations=24,
+            config=CsmaConfig(frame_us=8000.0, cw_min=8, rts_cts=True),
+            rng=7,
+        ).run(5_000_000)
+        assert rts.delivered > plain.delivered
+
+    def test_hurts_when_uncontended(self):
+        """Alone on the channel the handshake is pure overhead."""
+        plain = CsmaCaSimulator(n_stations=1, rng=8).run(2_000_000)
+        rts = CsmaCaSimulator(
+            n_stations=1, config=CsmaConfig(rts_cts=True), rng=8
+        ).run(2_000_000)
+        assert rts.delivered < plain.delivered
+
+    def test_rejects_bad_rts_timing(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(rts_us=0.0)

@@ -1,0 +1,102 @@
+"""Differential PSK tests: phase-reference independence and penalties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.channel.awgn import complex_gaussian
+from repro.modulation.dpsk import DBPSKModem, DQPSKModem
+from repro.modulation.theory import ber_bpsk_awgn
+
+bit_arrays = st.lists(st.integers(0, 1), min_size=1, max_size=128).map(
+    lambda l: np.array(l, dtype=np.int8)
+)
+
+
+class TestDBPSK:
+    def test_burst_length(self):
+        out = DBPSKModem().modulate(np.array([0, 1, 1]))
+        assert out.shape == (4,)  # reference symbol + 3
+
+    def test_constant_envelope(self):
+        out = DBPSKModem().modulate(np.array([0, 1, 0, 1, 1]))
+        np.testing.assert_allclose(np.abs(out), 1.0)
+
+    @given(bit_arrays)
+    def test_roundtrip(self, bits):
+        modem = DBPSKModem()
+        np.testing.assert_array_equal(modem.demodulate(modem.modulate(bits)), bits)
+
+    @given(bit_arrays, st.floats(min_value=-np.pi, max_value=np.pi))
+    def test_unknown_channel_phase_irrelevant(self, bits, phase):
+        """The whole point of differential encoding: a constant unknown
+        rotation (no equalization!) does not affect the decisions."""
+        modem = DBPSKModem()
+        rotated = modem.modulate(bits) * np.exp(1j * phase)
+        np.testing.assert_array_equal(modem.demodulate(rotated), bits)
+
+    def test_short_burst_rejected(self):
+        with pytest.raises(ValueError):
+            DBPSKModem().demodulate(np.array([1.0 + 0j]))
+
+    def test_awgn_penalty_vs_coherent(self, rng):
+        """DBPSK sits between coherent BPSK and BPSK 3 dB worse."""
+        snr_db = 8.0
+        modem = DBPSKModem()
+        n = 400_000
+        bits = rng.integers(0, 2, n, dtype=np.int8)
+        tx = modem.modulate(bits)
+        noise_var = 1.0 / 10 ** (snr_db / 10)
+        rx = tx + complex_gaussian(tx.shape, noise_var, rng)
+        ber = float(np.mean(modem.demodulate(rx) != bits))
+        assert float(ber_bpsk_awgn(snr_db)) < ber < float(ber_bpsk_awgn(snr_db - 3.0))
+
+    def test_single_symbol_error_hits_two_bits(self, rng):
+        """Flip one mid-burst symbol: exactly the two adjacent differential
+        decisions break."""
+        modem = DBPSKModem()
+        bits = np.zeros(20, dtype=np.int8)
+        tx = modem.modulate(bits)
+        tx[10] = -tx[10]
+        errors = int(np.sum(modem.demodulate(tx) != bits))
+        assert errors == 2
+
+
+class TestDQPSK:
+    def test_burst_length(self):
+        out = DQPSKModem().modulate(np.array([0, 0, 1, 1]))
+        assert out.shape == (3,)
+
+    @given(bit_arrays.filter(lambda b: b.size % 2 == 0 and b.size > 0))
+    def test_roundtrip(self, bits):
+        modem = DQPSKModem()
+        np.testing.assert_array_equal(modem.demodulate(modem.modulate(bits)), bits)
+
+    @given(
+        bit_arrays.filter(lambda b: b.size % 2 == 0 and b.size > 0),
+        st.floats(min_value=-np.pi, max_value=np.pi),
+    )
+    def test_phase_rotation_immunity(self, bits, phase):
+        modem = DQPSKModem()
+        rotated = modem.modulate(bits) * np.exp(1j * phase)
+        np.testing.assert_array_equal(modem.demodulate(rotated), bits)
+
+    def test_gray_steps_one_bit_apart(self):
+        """Adjacent phase increments differ in one bit (Gray mapping)."""
+        steps = DQPSKModem._PHASE_STEP
+        inv = {v: k for k, v in steps.items()}
+        for s in range(4):
+            a, b = inv[s], inv[(s + 1) % 4]
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+    def test_small_noise_tolerated(self, rng):
+        modem = DQPSKModem()
+        bits = rng.integers(0, 2, 2000, dtype=np.int8)
+        tx = modem.modulate(bits)
+        rx = tx + complex_gaussian(tx.shape, 0.01, rng)
+        np.testing.assert_array_equal(modem.demodulate(rx), bits)
+
+    def test_short_burst_rejected(self):
+        with pytest.raises(ValueError):
+            DQPSKModem().demodulate(np.array([1.0 + 0j]))

@@ -1,0 +1,86 @@
+"""GMSK tests: waveform physics and the symbol-level equivalent modem."""
+
+import numpy as np
+import pytest
+
+from repro.modulation.gmsk import GMSKModem, GMSKWaveform
+
+
+class TestModem:
+    def test_bt_03_efficiency(self):
+        modem = GMSKModem(bt=0.3)
+        assert modem.snr_efficiency == pytest.approx(0.89)
+
+    def test_efficiency_increases_with_bt(self):
+        # wider filter -> less ISI -> closer to MSK/antipodal
+        effs = [GMSKModem(bt=bt).snr_efficiency for bt in (0.2, 0.25, 0.3, 0.5)]
+        assert all(b > a for a, b in zip(effs, effs[1:]))
+
+    def test_extreme_bt_clamped(self):
+        assert GMSKModem(bt=0.05).snr_efficiency == GMSKModem(bt=0.2).snr_efficiency
+        assert GMSKModem(bt=3.0).snr_efficiency == GMSKModem(bt=0.5).snr_efficiency
+
+    def test_rejects_nonpositive_bt(self):
+        with pytest.raises(ValueError):
+            GMSKModem(bt=0.0)
+
+    def test_roundtrip(self, rng):
+        modem = GMSKModem()
+        bits = rng.integers(0, 2, 1000, dtype=np.int8)
+        np.testing.assert_array_equal(modem.demodulate(modem.modulate(bits)), bits)
+
+
+class TestWaveform:
+    def test_constant_envelope(self, rng):
+        wf = GMSKWaveform(bt=0.3, samples_per_symbol=8)
+        bits = rng.integers(0, 2, 64)
+        samples = wf.modulate(bits)
+        np.testing.assert_allclose(np.abs(samples), 1.0, rtol=1e-12)
+
+    def test_phase_continuity(self, rng):
+        """No phase jumps: per-sample increments stay below pi/2 / sps * margin."""
+        wf = GMSKWaveform(bt=0.3, samples_per_symbol=8)
+        bits = rng.integers(0, 2, 64)
+        freq = wf.instantaneous_frequency(wf.modulate(bits))
+        assert np.max(np.abs(freq)) < np.pi / 2 / 8 * 1.5
+
+    def test_all_ones_gives_steady_rotation(self):
+        """A constant bit stream settles to an MSK tone: pi/2 per symbol."""
+        wf = GMSKWaveform(bt=0.3, samples_per_symbol=8)
+        samples = wf.modulate(np.zeros(40, dtype=int))
+        freq = wf.instantaneous_frequency(samples)
+        # steady state in the middle of the burst (tiny ripple from the
+        # truncated Gaussian pulse tails)
+        mid = freq[len(freq) // 3 : 2 * len(freq) // 3]
+        np.testing.assert_allclose(mid, np.pi / 2 / 8, rtol=1e-3)
+
+    def test_alternating_bits_lower_deviation_than_msk(self, rng):
+        """The Gaussian filter smooths 0101... transitions: the phase
+        excursion stays below the full MSK +-pi/2 per symbol."""
+        wf = GMSKWaveform(bt=0.3, samples_per_symbol=8)
+        alternating = wf.modulate(np.arange(64) % 2)
+        freq = wf.instantaneous_frequency(alternating)
+        assert np.max(np.abs(freq)) < np.pi / 2 / 8
+
+    def test_narrower_bt_smoother(self, rng):
+        bits = (np.arange(64) % 2).astype(int)
+        tight = GMSKWaveform(bt=0.2, samples_per_symbol=8)
+        loose = GMSKWaveform(bt=0.5, samples_per_symbol=8)
+        f_tight = tight.instantaneous_frequency(tight.modulate(bits))
+        f_loose = loose.instantaneous_frequency(loose.modulate(bits))
+        assert np.max(np.abs(f_tight)) < np.max(np.abs(f_loose))
+
+    def test_output_length(self):
+        wf = GMSKWaveform(bt=0.3, samples_per_symbol=4, pulse_span=4)
+        samples = wf.modulate(np.zeros(10, dtype=int))
+        assert samples.size == (10 + 4) * 4 - 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GMSKWaveform(samples_per_symbol=1)
+        with pytest.raises(ValueError):
+            GMSKWaveform(pulse_span=0)
+        with pytest.raises(ValueError):
+            GMSKWaveform(bt=-0.1)
+        with pytest.raises(ValueError):
+            GMSKWaveform().modulate(np.array([0, 2]))

@@ -1,0 +1,72 @@
+"""Gray coding and bit packing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.modulation.gray import bits_to_ints, gray_decode, gray_encode, ints_to_bits
+
+
+class TestGrayCode:
+    def test_first_eight_codes(self):
+        # the canonical binary-reflected sequence
+        expected = [0, 1, 3, 2, 6, 7, 5, 4]
+        np.testing.assert_array_equal(gray_encode(np.arange(8)), expected)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=50))
+    def test_roundtrip(self, values):
+        arr = np.array(values, dtype=np.int64)
+        np.testing.assert_array_equal(gray_decode(gray_encode(arr)), arr)
+
+    @given(st.integers(min_value=0, max_value=2**20 - 2))
+    def test_adjacent_codes_differ_in_one_bit(self, v):
+        a = int(gray_encode(np.array([v]))[0])
+        b = int(gray_encode(np.array([v + 1]))[0])
+        assert bin(a ^ b).count("1") == 1
+
+    def test_bijective_over_range(self):
+        n = 1 << 10
+        codes = gray_encode(np.arange(n))
+        assert len(np.unique(codes)) == n
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gray_encode(np.array([-1]))
+        with pytest.raises(ValueError):
+            gray_decode(np.array([-1]))
+
+
+class TestBitPacking:
+    def test_known_value(self):
+        bits = np.array([1, 0, 1, 1], dtype=np.int8)
+        assert bits_to_ints(bits, 4)[0] == 0b1011
+
+    def test_msb_first(self):
+        assert bits_to_ints(np.array([1, 0, 0]), 3)[0] == 4
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_roundtrip(self, width, count, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 1 << width, count, dtype=np.int64)
+        bits = ints_to_bits(values, width)
+        assert bits.dtype == np.int8
+        np.testing.assert_array_equal(bits_to_ints(bits, width), values)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_ints(np.array([1, 0, 1]), 2)
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(ValueError):
+            ints_to_bits(np.array([4]), 2)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            ints_to_bits(np.array([0]), 0)
+        with pytest.raises(ValueError):
+            bits_to_ints(np.array([0]), 0)

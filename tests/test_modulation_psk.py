@@ -1,0 +1,85 @@
+"""BPSK/QPSK modem tests: mapping, energy, round-trip, decisions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.modulation.psk import BPSKModem, QPSKModem
+
+bit_arrays = st.lists(st.integers(0, 1), min_size=0, max_size=256).map(
+    lambda l: np.array(l, dtype=np.int8)
+)
+
+
+class TestBPSK:
+    def test_mapping(self):
+        out = BPSKModem().modulate(np.array([0, 1]))
+        np.testing.assert_array_equal(out, [1.0 + 0j, -1.0 + 0j])
+
+    def test_unit_energy(self):
+        out = BPSKModem().modulate(np.array([0, 1, 1, 0]))
+        np.testing.assert_allclose(np.abs(out), 1.0)
+
+    @given(bit_arrays)
+    def test_roundtrip(self, bits):
+        modem = BPSKModem()
+        np.testing.assert_array_equal(modem.demodulate(modem.modulate(bits)), bits)
+
+    def test_decision_threshold(self):
+        modem = BPSKModem()
+        np.testing.assert_array_equal(
+            modem.demodulate(np.array([0.1, -0.1, 2.0, -3.0])), [0, 1, 0, 1]
+        )
+
+    def test_imaginary_noise_ignored(self):
+        modem = BPSKModem()
+        assert modem.demodulate(np.array([1.0 + 5j]))[0] == 0
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BPSKModem().modulate(np.array([0, 2]))
+
+
+class TestQPSK:
+    def test_unit_average_energy(self):
+        modem = QPSKModem()
+        bits = np.array([0, 0, 0, 1, 1, 0, 1, 1])
+        out = modem.modulate(bits)
+        np.testing.assert_allclose(np.abs(out), 1.0)
+
+    def test_four_distinct_points(self):
+        modem = QPSKModem()
+        bits = np.array([0, 0, 0, 1, 1, 0, 1, 1])
+        points = modem.modulate(bits)
+        assert len(set(np.round(points, 9))) == 4
+
+    @given(bit_arrays.filter(lambda b: b.size % 2 == 0))
+    def test_roundtrip(self, bits):
+        modem = QPSKModem()
+        np.testing.assert_array_equal(modem.demodulate(modem.modulate(bits)), bits)
+
+    def test_gray_property(self):
+        """Adjacent constellation points (90 deg apart) differ in one bit."""
+        modem = QPSKModem()
+        labels = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        points = {
+            lab: complex(modem.modulate(np.array(lab))[0]) for lab in labels
+        }
+        for a in labels:
+            for b in labels:
+                hamming = sum(x != y for x, y in zip(a, b))
+                phase_gap = abs(np.angle(points[a] / points[b]))
+                if hamming == 2:  # opposite corners are pi apart
+                    assert phase_gap == pytest.approx(np.pi)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            QPSKModem().modulate(np.array([1]))
+
+    def test_metadata(self):
+        modem = QPSKModem()
+        assert modem.bits_per_symbol == 2
+        assert modem.constellation_size == 4
+        assert modem.snr_efficiency == 1.0
+        assert modem.name == "QPSK"

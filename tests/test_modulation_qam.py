@@ -1,0 +1,97 @@
+"""QAM modem tests: every b in 2..16, Gray property, normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.modulation import modem_for_bits_per_symbol
+from repro.modulation.qam import QAMModem
+
+
+class TestConstruction:
+    def test_rejects_b_below_2(self):
+        with pytest.raises(ValueError):
+            QAMModem(1)
+
+    @pytest.mark.parametrize("b", range(2, 17))
+    def test_constellation_size(self, b):
+        modem = QAMModem(b)
+        assert modem.constellation_size == 2**b
+        assert modem.constellation.shape == (2**b,)
+
+
+class TestNormalization:
+    @pytest.mark.parametrize("b", [2, 3, 4, 5, 6, 8, 10])
+    def test_unit_average_energy(self, b):
+        points = QAMModem(b).constellation
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("b", [2, 4, 6])
+    def test_square_qam_symmetric_rails(self, b):
+        points = QAMModem(b).constellation
+        assert np.mean(points.real**2) == pytest.approx(np.mean(points.imag**2))
+
+
+class TestRoundTrip:
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_noiseless_roundtrip(self, b, seed):
+        modem = QAMModem(b)
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, 20 * b, dtype=np.int8)
+        np.testing.assert_array_equal(modem.demodulate(modem.modulate(bits)), bits)
+
+    @pytest.mark.parametrize("b", [2, 3, 4, 7, 16])
+    def test_all_symbols_distinct(self, b):
+        points = QAMModem(b).constellation
+        assert len(set(np.round(points, 9))) == 2**b
+
+    def test_small_noise_tolerated(self, rng):
+        modem = QAMModem(4)
+        bits = rng.integers(0, 2, 4000, dtype=np.int8)
+        symbols = modem.modulate(bits)
+        # half the minimum distance of 16-QAM is ~0.316; noise well below
+        noisy = symbols + 0.01 * (rng.standard_normal(1000) + 1j * rng.standard_normal(1000))
+        np.testing.assert_array_equal(modem.demodulate(noisy), bits)
+
+
+class TestGrayProperty:
+    @pytest.mark.parametrize("b", [2, 4, 6])
+    def test_nearest_neighbours_differ_in_one_bit(self, b):
+        """Every pair of closest constellation points differs in exactly
+        one bit — the property formula (5)'s BER coefficient relies on."""
+        modem = QAMModem(b)
+        points = modem.constellation
+        n = points.size
+        dist = np.abs(points[:, None] - points[None, :])
+        np.fill_diagonal(dist, np.inf)
+        dmin = dist.min()
+        ii, jj = np.where(np.isclose(dist, dmin))
+        for i, j in zip(ii, jj):
+            assert bin(i ^ j).count("1") == 1
+
+
+class TestClipping:
+    def test_far_outliers_clip_to_edge(self):
+        modem = QAMModem(4)
+        bits = modem.demodulate(np.array([100.0 + 100.0j]))
+        # decodes to *some* valid corner rather than crashing
+        assert bits.shape == (4,)
+        assert set(bits.tolist()) <= {0, 1}
+
+
+class TestFactory:
+    def test_b1_is_bpsk(self):
+        assert modem_for_bits_per_symbol(1).name == "BPSK"
+
+    def test_b2_is_qpsk(self):
+        assert modem_for_bits_per_symbol(2).name == "QPSK"
+
+    @pytest.mark.parametrize("b", [3, 4, 9])
+    def test_higher_b_is_qam(self, b):
+        modem = modem_for_bits_per_symbol(b)
+        assert isinstance(modem, QAMModem)
+        assert modem.bits_per_symbol == b

@@ -1,0 +1,132 @@
+"""Theoretical BER tests: anchors, closed forms, asymptotics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.modulation.theory import (
+    ber_bpsk_awgn,
+    ber_bpsk_rayleigh,
+    ber_mqam_awgn,
+    instantaneous_ber,
+    mqam_ber_coefficients,
+    rayleigh_diversity_avg_qfunc,
+)
+
+
+class TestCoefficients:
+    def test_bpsk(self):
+        assert mqam_ber_coefficients(1) == (1.0, 2.0)
+
+    def test_qpsk_matches_bpsk_kernel(self):
+        # b = 2: a = (4/2)(1 - 1/2) = 1, g = 6/3 = 2 — same as BPSK per bit
+        a, g = mqam_ber_coefficients(2)
+        assert (a, g) == (pytest.approx(1.0), pytest.approx(2.0))
+
+    def test_16qam(self):
+        a, g = mqam_ber_coefficients(4)
+        assert a == pytest.approx(0.75)
+        assert g == pytest.approx(12.0 / 15.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            mqam_ber_coefficients(0)
+
+
+class TestAwgnCurves:
+    def test_bpsk_textbook_point(self):
+        # BPSK at 9.6 dB: BER ~1e-5 (classic anchor)
+        assert ber_bpsk_awgn(9.6) == pytest.approx(1e-5, rel=0.1)
+
+    def test_bpsk_at_zero_snr_is_half(self):
+        assert ber_bpsk_awgn(-100.0) == pytest.approx(0.5, abs=1e-3)
+
+    def test_qpsk_equals_bpsk_per_bit(self):
+        np.testing.assert_allclose(
+            ber_mqam_awgn(np.array([0.0, 5.0, 10.0]), 2),
+            ber_bpsk_awgn(np.array([0.0, 5.0, 10.0])),
+        )
+
+    def test_higher_order_worse_at_fixed_ebn0(self):
+        assert ber_mqam_awgn(10.0, 6) > ber_mqam_awgn(10.0, 2)
+
+    def test_monotone_decreasing(self):
+        snrs = np.linspace(-5, 15, 40)
+        assert np.all(np.diff(ber_bpsk_awgn(snrs)) < 0)
+
+
+class TestRayleigh:
+    def test_closed_form_anchor(self):
+        # at 10 dB mean SNR: 0.5(1 - sqrt(10/11)) ~ 0.0233
+        assert ber_bpsk_rayleigh(10.0) == pytest.approx(0.0233, rel=0.01)
+
+    def test_much_worse_than_awgn(self):
+        assert ber_bpsk_rayleigh(10.0) > 100 * ber_bpsk_awgn(10.0)
+
+    def test_inverse_snr_asymptote(self):
+        # Rayleigh BPSK falls off as 1/(4 gamma)
+        ber = ber_bpsk_rayleigh(40.0)
+        assert ber == pytest.approx(1.0 / (4.0 * 1e4), rel=0.01)
+
+
+class TestDiversityAverage:
+    def test_k1_matches_rayleigh_closed_form(self):
+        for snr_db in (0.0, 5.0, 10.0, 20.0):
+            c = 10 ** (snr_db / 10)
+            assert rayleigh_diversity_avg_qfunc(c, 1) == pytest.approx(
+                float(ber_bpsk_rayleigh(snr_db)), rel=1e-12
+            )
+
+    def test_matches_monte_carlo(self, rng):
+        from repro.utils.qfunc import qfunc
+
+        c, k = 2.0, 4
+        g = rng.gamma(k, 1.0, 400_000)
+        mc = np.mean(qfunc(np.sqrt(2 * c * g)))
+        assert rayleigh_diversity_avg_qfunc(c, k) == pytest.approx(mc, rel=0.02)
+
+    @given(st.floats(min_value=0.01, max_value=1e4), st.integers(1, 16))
+    def test_bounded_by_half(self, c, k):
+        val = rayleigh_diversity_avg_qfunc(c, k)
+        assert 0.0 <= val <= 0.5
+
+    @given(st.integers(1, 12))
+    def test_monotone_in_c(self, k):
+        cs = np.logspace(-2, 3, 30)
+        vals = rayleigh_diversity_avg_qfunc(cs, k)
+        assert np.all(np.diff(vals) < 0)
+
+    @given(st.floats(min_value=0.5, max_value=100.0))
+    def test_monotone_in_diversity(self, c):
+        vals = [rayleigh_diversity_avg_qfunc(c, k) for k in range(1, 8)]
+        assert all(b < a for a, b in zip(vals, vals[1:]))
+
+    def test_diversity_slope(self):
+        """At high SNR, k-branch diversity falls as gamma^-k: a 10x SNR
+        increase buys ~10^k in BER."""
+        for k in (1, 2, 3):
+            hi = rayleigh_diversity_avg_qfunc(1e4, k)
+            lo = rayleigh_diversity_avg_qfunc(1e3, k)
+            assert lo / hi == pytest.approx(10.0**k, rel=0.15)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            rayleigh_diversity_avg_qfunc(1.0, 0)
+        with pytest.raises(ValueError):
+            rayleigh_diversity_avg_qfunc(-1.0, 2)
+
+
+class TestInstantaneous:
+    def test_matches_kernel(self):
+        a, g = mqam_ber_coefficients(4)
+        from repro.utils.qfunc import qfunc
+
+        gamma = 3.7
+        assert instantaneous_ber(gamma, 4) == pytest.approx(
+            a * float(qfunc(np.sqrt(g * gamma)))
+        )
+
+    def test_rejects_negative_gamma(self):
+        with pytest.raises(ValueError):
+            instantaneous_ber(-0.1, 2)

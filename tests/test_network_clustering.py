@@ -1,0 +1,97 @@
+"""d-clustering tests: invariants via hypothesis, determinism, caps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.clustering import cluster_diameter, d_cluster, validate_clustering
+
+point_sets = st.integers(min_value=0, max_value=10_000).map(
+    lambda seed: np.random.default_rng(seed).uniform(0, 50, size=(seed % 40 + 1, 2))
+)
+
+
+class TestInvariants:
+    @given(point_sets, st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=40)
+    def test_partition_and_diameter(self, pts, d):
+        clusters = d_cluster(pts, d)
+        validate_clustering(pts, clusters, d)  # raises on violation
+
+    @given(point_sets, st.floats(min_value=0.5, max_value=20.0), st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_size_cap(self, pts, d, cap):
+        clusters = d_cluster(pts, d, max_size=cap)
+        validate_clustering(pts, clusters, d, max_size=cap)
+
+
+class TestBehaviour:
+    def test_far_points_separate(self):
+        pts = np.array([[0.0, 0.0], [100.0, 0.0]])
+        assert len(d_cluster(pts, 1.0)) == 2
+
+    def test_close_points_merge(self):
+        pts = np.array([[0.0, 0.0], [0.5, 0.0], [0.0, 0.5]])
+        assert len(d_cluster(pts, 2.0)) == 1
+
+    def test_tiny_d_gives_singletons(self):
+        pts = np.random.default_rng(0).uniform(0, 10, (20, 2))
+        clusters = d_cluster(pts, 1e-6)
+        assert len(clusters) == 20
+
+    def test_huge_d_gives_one_cluster(self):
+        pts = np.random.default_rng(1).uniform(0, 10, (20, 2))
+        assert len(d_cluster(pts, 1e6)) == 1
+
+    def test_deterministic(self):
+        pts = np.random.default_rng(2).uniform(0, 30, (25, 2))
+        assert d_cluster(pts, 5.0) == d_cluster(pts, 5.0)
+
+    def test_empty_input(self):
+        assert d_cluster(np.zeros((0, 2)), 1.0) == []
+
+    def test_greedy_compactness(self):
+        """Two well-separated blobs of 3 nodes end up as two clusters."""
+        rng = np.random.default_rng(3)
+        blob1 = rng.uniform(0, 1, (3, 2))
+        blob2 = rng.uniform(0, 1, (3, 2)) + 100.0
+        clusters = d_cluster(np.vstack([blob1, blob2]), 3.0)
+        assert sorted(map(sorted, clusters)) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            d_cluster(np.zeros((2, 2)), 0.0)
+        with pytest.raises(ValueError):
+            d_cluster(np.zeros((2, 2)), 1.0, max_size=0)
+
+
+class TestDiameter:
+    def test_singleton_zero(self):
+        assert cluster_diameter(np.array([[1.0, 1.0]]), [0]) == 0.0
+
+    def test_pair(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert cluster_diameter(pts, [0, 1]) == pytest.approx(5.0)
+
+
+class TestValidateErrors:
+    def test_detects_missing_node(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            validate_clustering(pts, [[0, 1]], d=1.0)
+
+    def test_detects_duplicate(self):
+        pts = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            validate_clustering(pts, [[0, 1], [1]], d=1.0)
+
+    def test_detects_oversized_diameter(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        with pytest.raises(ValueError):
+            validate_clustering(pts, [[0, 1]], d=1.0)
+
+    def test_detects_cap_violation(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            validate_clustering(pts, [[0, 1, 2]], d=1.0, max_size=2)

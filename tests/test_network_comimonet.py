@@ -1,0 +1,147 @@
+"""CoMIMONet tests: construction, links, routing, reconfiguration."""
+
+import numpy as np
+import pytest
+
+from repro.network.comimonet import CoMIMONet, LinkKind
+from repro.network.node import SUNode
+
+
+def _line_network(n_clusters=4, nodes_per_cluster=3, spacing=100.0, battery=50.0, seed=0):
+    rng = np.random.default_rng(seed)
+    nodes = []
+    nid = 0
+    for c in range(n_clusters):
+        for _ in range(nodes_per_cluster):
+            jitter = rng.uniform(-0.8, 0.8, 2)
+            nodes.append(
+                SUNode(nid, (c * spacing + jitter[0], jitter[1]), battery_j=battery)
+            )
+            nid += 1
+    return CoMIMONet(nodes, cluster_diameter=2.5, longhaul_range=spacing * 1.2)
+
+
+class TestLinkKind:
+    @pytest.mark.parametrize(
+        "mt,mr,kind",
+        [(1, 1, LinkKind.SISO), (3, 1, LinkKind.MISO), (1, 2, LinkKind.SIMO), (2, 2, LinkKind.MIMO)],
+    )
+    def test_classification(self, mt, mr, kind):
+        assert LinkKind.classify(mt, mr) is kind
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            LinkKind.classify(0, 1)
+
+
+class TestConstruction:
+    def test_clusters_formed(self):
+        net = _line_network()
+        assert net.n_clusters == 4
+        assert all(c.size == 3 for c in net.clusters)
+
+    def test_cluster_graph_is_chain(self):
+        net = _line_network()
+        degrees = sorted(net.cluster_graph.degree(c.cluster_id) for c in net.clusters)
+        assert degrees == [1, 1, 2, 2]
+
+    def test_backbone_spans(self):
+        net = _line_network()
+        assert net.backbone.is_connected()
+        assert net.backbone.n_edges == net.n_clusters - 1
+
+    def test_max_cluster_size_respected(self):
+        rng = np.random.default_rng(1)
+        nodes = [
+            SUNode(i, tuple(rng.uniform(0, 1.5, 2)), battery_j=10.0) for i in range(9)
+        ]
+        net = CoMIMONet(nodes, cluster_diameter=3.0, longhaul_range=10.0, max_cluster_size=4)
+        assert all(c.size <= 4 for c in net.clusters)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CoMIMONet([], 1.0, 10.0)
+
+    def test_rejects_bad_backbone_kind(self):
+        with pytest.raises(ValueError):
+            CoMIMONet([SUNode(0, (0, 0))], 1.0, 10.0, backbone="star")
+
+    def test_cluster_of_node(self):
+        net = _line_network()
+        cluster = net.cluster_of_node(0)
+        assert any(n.node_id == 0 for n in cluster.nodes)
+        with pytest.raises(KeyError):
+            net.cluster_of_node(999)
+
+
+class TestLinks:
+    def test_link_descriptor(self):
+        net = _line_network()
+        link = net.link_between(0, 1)
+        assert link.mt == 3 and link.mr == 3
+        assert link.kind is LinkKind.MIMO
+        assert 95.0 < link.length_m < 110.0
+
+    def test_no_link_raises(self):
+        net = _line_network()
+        with pytest.raises(KeyError):
+            net.link_between(0, 3)  # 300 m apart, out of range
+
+    def test_dead_members_shrink_link(self):
+        net = _line_network(battery=5.0)
+        tx = net.cluster(0)
+        tx.nodes[0].consume(5.0)
+        link = net.link_between(0, 1)
+        assert link.mt == 2
+
+
+class TestRouting:
+    def test_route_end_to_end(self):
+        net = _line_network()
+        route = net.route(0, 3)
+        assert [l.tx_cluster_id for l in route] == [0, 1, 2]
+        assert [l.rx_cluster_id for l in route] == [1, 2, 3]
+
+    def test_route_to_self_is_empty(self):
+        net = _line_network()
+        assert net.route(2, 2) == []
+
+    def test_disconnected_raises(self):
+        nodes = [SUNode(0, (0.0, 0.0)), SUNode(1, (1000.0, 0.0))]
+        net = CoMIMONet(nodes, cluster_diameter=1.0, longhaul_range=10.0)
+        with pytest.raises(ValueError):
+            net.route(0, 1)
+
+
+class TestReconfigure:
+    def test_heads_rotate_by_battery(self):
+        net = _line_network(battery=50.0)
+        cluster = net.cluster(0)
+        head = cluster.head
+        head.consume(45.0)  # drain far below peers
+        net.reconfigure()
+        assert net.cluster(0).head is not head
+
+    def test_dead_cluster_dropped(self):
+        net = _line_network(battery=5.0)
+        for node in net.cluster(3).nodes:
+            node.consume(5.0)
+        net.reconfigure()
+        assert all(c.cluster_id != 3 for c in net.clusters)
+        with pytest.raises(ValueError):
+            net.route(0, 3)
+
+    def test_bfs_backbone_variant(self):
+        rng = np.random.default_rng(2)
+        nodes = [
+            SUNode(i, tuple(rng.uniform(0, 120, 2)), battery_j=10.0) for i in range(12)
+        ]
+        net = CoMIMONet(nodes, cluster_diameter=20.0, longhaul_range=150.0, backbone="bfs")
+        # spanning forest: every component of the cluster graph is spanned
+        for comp in net.cluster_graph.connected_components():
+            sub_edges = [
+                (u, v)
+                for u, v, _ in net.backbone.edges()
+                if u in comp and v in comp
+            ]
+            assert len(sub_edges) == len(comp) - 1

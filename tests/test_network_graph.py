@@ -1,0 +1,181 @@
+"""Graph algorithm tests, cross-validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.graph import Graph, build_communication_graph
+
+
+def _random_graph(seed: int, n: int = 12, p: float = 0.35):
+    rng = np.random.default_rng(seed)
+    g = Graph()
+    for i in range(n):
+        g.add_vertex(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j, float(rng.uniform(0.1, 5.0)))
+    return g
+
+
+def _to_nx(g: Graph) -> nx.Graph:
+    out = nx.Graph()
+    out.add_nodes_from(g.vertices)
+    for u, v, w in g.edges():
+        out.add_edge(u, v, weight=w)
+    return out
+
+
+class TestBasics:
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        g.add_edge("a", "b", 2.0)
+        assert set(g.vertices) == {"a", "b"}
+        assert g.has_edge("a", "b") and g.has_edge("b", "a")
+        assert g.weight("a", "b") == 2.0
+        assert g.n_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph().add_edge(1, 1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Graph().add_edge(1, 2, -1.0)
+
+    def test_remove_vertex(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.remove_vertex(2)
+        assert 2 not in g.vertices
+        assert not g.has_edge(1, 2)
+        assert g.degree(1) == 0
+
+    def test_remove_missing_vertex(self):
+        with pytest.raises(KeyError):
+            Graph().remove_vertex(7)
+
+
+class TestComponents:
+    def test_two_components(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        comps = {frozenset(c) for c in g.connected_components()}
+        assert comps == {frozenset({1, 2}), frozenset({3, 4})}
+        assert not g.is_connected()
+
+    def test_empty_graph_connected(self):
+        assert Graph().is_connected()
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20)
+    def test_matches_networkx(self, seed):
+        g = _random_graph(seed)
+        ours = sorted(sorted(c) for c in g.connected_components())
+        theirs = sorted(sorted(c) for c in nx.connected_components(_to_nx(g)))
+        assert ours == theirs
+
+
+class TestShortestPaths:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20)
+    def test_bfs_hop_count_matches_networkx(self, seed):
+        g = _random_graph(seed)
+        gx = _to_nx(g)
+        for target in (1, 5, 11):
+            ours = g.bfs_shortest_path(0, target)
+            if ours is None:
+                assert not nx.has_path(gx, 0, target)
+            else:
+                assert len(ours) - 1 == nx.shortest_path_length(gx, 0, target)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20)
+    def test_dijkstra_matches_networkx(self, seed):
+        g = _random_graph(seed)
+        gx = _to_nx(g)
+        dist, _ = g.dijkstra(0)
+        theirs = nx.single_source_dijkstra_path_length(gx, 0)
+        assert set(dist) == set(theirs)
+        for v, d in theirs.items():
+            assert dist[v] == pytest.approx(d)
+
+    def test_weighted_path_is_consistent(self):
+        g = Graph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 1.0)
+        g.add_edge("a", "c", 5.0)
+        assert g.shortest_weighted_path("a", "c") == ["a", "b", "c"]
+
+    def test_trivial_path(self):
+        g = Graph()
+        g.add_vertex("x")
+        assert g.bfs_shortest_path("x", "x") == ["x"]
+
+    def test_missing_vertex_raises(self):
+        with pytest.raises(KeyError):
+            Graph().bfs_shortest_path(0, 1)
+
+
+class TestSpanningTrees:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20)
+    def test_mst_weight_matches_networkx(self, seed):
+        g = _random_graph(seed, p=0.6)
+        if not g.is_connected():
+            return
+        ours = sum(w for _, _, w in g.minimum_spanning_tree().edges())
+        theirs = sum(
+            d["weight"] for _, _, d in nx.minimum_spanning_tree(_to_nx(g)).edges(data=True)
+        )
+        assert ours == pytest.approx(theirs)
+
+    def test_mst_is_tree(self):
+        g = _random_graph(3, p=0.8)
+        if g.is_connected():
+            tree = g.minimum_spanning_tree()
+            assert tree.n_edges == tree.n_vertices - 1
+            assert tree.is_connected()
+
+    def test_mst_requires_connected(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_vertex(3)
+        with pytest.raises(ValueError):
+            g.minimum_spanning_tree()
+
+    def test_bfs_tree_spans_component(self):
+        g = _random_graph(5, p=0.5)
+        comp = next(c for c in g.connected_components() if 0 in c)
+        tree = g.bfs_tree(0)
+        assert set(tree.vertices) == comp
+        assert tree.n_edges == len(comp) - 1
+
+
+class TestCommunicationGraph:
+    def test_range_threshold(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        g = build_communication_graph(pts, radio_range=1.5)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(1, 2)
+
+    def test_edge_weight_is_distance(self):
+        pts = np.array([[0.0, 0.0], [0.0, 2.0]])
+        g = build_communication_graph(pts, radio_range=5.0)
+        assert g.weight(0, 1) == pytest.approx(2.0)
+
+    def test_isolated_nodes_kept(self):
+        pts = np.array([[0.0, 0.0], [100.0, 0.0]])
+        g = build_communication_graph(pts, radio_range=1.0)
+        assert g.n_vertices == 2
+        assert g.n_edges == 0
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            build_communication_graph(np.zeros((2, 2)), radio_range=0.0)

@@ -1,0 +1,103 @@
+"""Mobility model and re-clustering interval tests."""
+
+import numpy as np
+import pytest
+
+from repro.network.mobility import RandomWaypointMobility, simulate_recluster_interval
+
+
+class TestRandomWaypoint:
+    def test_positions_stay_in_arena(self):
+        model = RandomWaypointMobility(arena=(50.0, 30.0))
+        start = model.initial_positions(10, rng=0)
+        traj = model.walk(start, duration_s=120.0, step_s=1.0, rng=0)
+        assert np.all(traj[..., 0] >= -1e-9) and np.all(traj[..., 0] <= 50.0 + 1e-9)
+        assert np.all(traj[..., 1] >= -1e-9) and np.all(traj[..., 1] <= 30.0 + 1e-9)
+
+    def test_trajectory_shape(self):
+        model = RandomWaypointMobility()
+        start = model.initial_positions(5, rng=1)
+        traj = model.walk(start, duration_s=10.0, step_s=1.0, rng=1)
+        assert traj.shape == (11, 5, 2)
+        np.testing.assert_array_equal(traj[0], start)
+
+    def test_speed_respected(self):
+        model = RandomWaypointMobility(speed_range=(1.0, 2.0))
+        start = model.initial_positions(8, rng=2)
+        traj = model.walk(start, duration_s=60.0, step_s=1.0, rng=2)
+        step_lengths = np.linalg.norm(np.diff(traj, axis=0), axis=-1)
+        assert np.max(step_lengths) <= 2.0 + 1e-9
+
+    def test_nodes_actually_move(self):
+        model = RandomWaypointMobility(speed_range=(1.0, 1.0))
+        start = model.initial_positions(5, rng=3)
+        traj = model.walk(start, duration_s=30.0, step_s=1.0, rng=3)
+        displacement = np.linalg.norm(traj[-1] - traj[0], axis=-1)
+        assert np.all(displacement > 0.0)
+
+    def test_pause_slows_progress(self):
+        fast = RandomWaypointMobility(speed_range=(1.5, 1.5), pause_s=0.0)
+        slow = RandomWaypointMobility(speed_range=(1.5, 1.5), pause_s=20.0)
+        start = fast.initial_positions(10, rng=4)
+        path_fast = fast.walk(start, 120.0, 1.0, rng=4)
+        path_slow = slow.walk(start.copy(), 120.0, 1.0, rng=4)
+        dist_fast = np.sum(np.linalg.norm(np.diff(path_fast, axis=0), axis=-1))
+        dist_slow = np.sum(np.linalg.norm(np.diff(path_slow, axis=0), axis=-1))
+        assert dist_slow < dist_fast
+
+    def test_deterministic(self):
+        model = RandomWaypointMobility()
+        start = model.initial_positions(4, rng=5)
+        a = model.walk(start.copy(), 20.0, 1.0, rng=6)
+        b = model.walk(start.copy(), 20.0, 1.0, rng=6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(arena=(0.0, 10.0))
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(speed_range=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(pause_s=-1.0)
+        model = RandomWaypointMobility()
+        with pytest.raises(ValueError):
+            model.walk(np.zeros((3, 3)), 10.0, 1.0)
+
+
+class TestReclusterInterval:
+    def test_faster_nodes_break_clusters_sooner(self):
+        slow = RandomWaypointMobility(arena=(100.0, 100.0), speed_range=(0.1, 0.2))
+        fast = RandomWaypointMobility(arena=(100.0, 100.0), speed_range=(2.0, 4.0))
+        t_slow = np.mean(
+            simulate_recluster_interval(
+                20, 15.0, slow, max_duration_s=120.0, n_trials=10, rng=0
+            )
+        )
+        t_fast = np.mean(
+            simulate_recluster_interval(
+                20, 15.0, fast, max_duration_s=120.0, n_trials=10, rng=0
+            )
+        )
+        assert t_fast < t_slow
+
+    def test_looser_diameter_lasts_longer(self):
+        mobility = RandomWaypointMobility(arena=(100.0, 100.0), speed_range=(1.0, 2.0))
+        tight = np.mean(
+            simulate_recluster_interval(
+                20, 8.0, mobility, max_duration_s=120.0, n_trials=10, rng=1
+            )
+        )
+        loose = np.mean(
+            simulate_recluster_interval(
+                20, 40.0, mobility, max_duration_s=120.0, n_trials=10, rng=1
+            )
+        )
+        assert loose >= tight
+
+    def test_intervals_bounded_by_window(self):
+        mobility = RandomWaypointMobility()
+        intervals = simulate_recluster_interval(
+            10, 20.0, mobility, max_duration_s=30.0, n_trials=5, rng=2
+        )
+        assert len(intervals) == 5
+        assert all(0.0 < t <= 30.0 for t in intervals)

@@ -1,0 +1,73 @@
+"""SUNode tests: battery accounting, positions, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.network.node import SUNode
+
+
+class TestConstruction:
+    def test_basic(self):
+        node = SUNode(3, (1.0, 2.0), battery_j=10.0)
+        assert node.node_id == 3
+        np.testing.assert_allclose(node.position, [1.0, 2.0])
+        assert node.remaining_j == 10.0
+
+    def test_default_battery_infinite(self):
+        assert SUNode(0, (0.0, 0.0)).remaining_j == float("inf")
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            SUNode(-1, (0.0, 0.0))
+
+    def test_rejects_zero_battery(self):
+        with pytest.raises(ValueError):
+            SUNode(0, (0.0, 0.0), battery_j=0.0)
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(ValueError):
+            SUNode(0, (0.0, 0.0, 0.0))
+
+    def test_position_read_only(self):
+        node = SUNode(0, (1.0, 1.0))
+        with pytest.raises(ValueError):
+            node.position[0] = 5.0
+
+
+class TestEnergy:
+    def test_consume_accumulates(self):
+        node = SUNode(0, (0.0, 0.0), battery_j=5.0)
+        node.consume(2.0)
+        node.consume(1.0)
+        assert node.consumed_j == 3.0
+        assert node.remaining_j == 2.0
+        assert node.alive
+
+    def test_exhaustion(self):
+        node = SUNode(0, (0.0, 0.0), battery_j=1.0)
+        node.consume(1.0)
+        assert not node.alive
+        assert node.remaining_j == 0.0
+
+    def test_consume_after_death_raises(self):
+        node = SUNode(0, (0.0, 0.0), battery_j=1.0)
+        node.consume(1.0)
+        with pytest.raises(RuntimeError):
+            node.consume(0.1)
+
+    def test_overdraw_clamps_remaining(self):
+        node = SUNode(0, (0.0, 0.0), battery_j=1.0)
+        node.consume(5.0)
+        assert node.remaining_j == 0.0
+
+    def test_negative_consume_rejected(self):
+        with pytest.raises(ValueError):
+            SUNode(0, (0.0, 0.0)).consume(-1.0)
+
+
+class TestGeometry:
+    def test_distance_to(self):
+        a = SUNode(0, (0.0, 0.0))
+        b = SUNode(1, (3.0, 4.0))
+        assert a.distance_to(b) == 5.0
+        assert b.distance_to(a) == 5.0

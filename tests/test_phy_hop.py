@@ -1,0 +1,92 @@
+"""Full cooperative-hop simulation tests (Section 2.2 end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.modulation import BPSKModem, QPSKModem
+from repro.phy.hop import simulate_hop
+
+
+class TestBasics:
+    def test_siso_reduces_to_plain_link(self, rng):
+        r = simulate_hop(60_000, BPSKModem(), 25.0, 10.0, 1, 1, rng=rng)
+        assert r.member_broadcast_bers == ()
+        from repro.modulation.theory import ber_bpsk_rayleigh
+
+        assert r.ber == pytest.approx(float(ber_bpsk_rayleigh(10.0)), rel=0.15)
+
+    def test_member_ber_count(self, rng):
+        r = simulate_hop(20_000, BPSKModem(), 25.0, 10.0, 3, 2, rng=rng)
+        assert len(r.member_broadcast_bers) == 2
+
+    def test_deterministic(self):
+        a = simulate_hop(10_000, BPSKModem(), 20.0, 8.0, 2, 2, rng=5)
+        b = simulate_hop(10_000, BPSKModem(), 20.0, 8.0, 2, 2, rng=5)
+        assert a.ber == b.ber
+
+    def test_qpsk_supported(self, rng):
+        r = simulate_hop(40_000, QPSKModem(), 25.0, 12.0, 2, 2, rng=rng)
+        assert 0.0 <= r.ber < 0.05
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_hop(0, BPSKModem(), 20.0, 10.0, 1, 1, rng=rng)
+        with pytest.raises(ValueError):
+            simulate_hop(100, BPSKModem(), 20.0, 10.0, 5, 1, rng=rng)
+        with pytest.raises(ValueError):
+            simulate_hop(100, BPSKModem(), 20.0, 10.0, 1, 1, intra_rician_k=-1, rng=rng)
+
+
+class TestDiversityGains:
+    def test_cooperation_improves_with_clean_intra(self, rng):
+        """With strong local links the hop realizes the diversity gain the
+        energy model promises."""
+        kwargs = dict(intra_snr_db=30.0, longhaul_snr_db=10.0, rng=rng)
+        siso = simulate_hop(150_000, BPSKModem(), mt=1, mr=1, **kwargs)
+        miso = simulate_hop(150_000, BPSKModem(), mt=2, mr=1, **kwargs)
+        mimo = simulate_hop(150_000, BPSKModem(), mt=2, mr=2, **kwargs)
+        assert miso.ber < siso.ber / 2.0
+        assert mimo.ber < miso.ber
+
+    def test_receive_side_cooperation_helps(self, rng):
+        kwargs = dict(intra_snr_db=30.0, longhaul_snr_db=8.0, rng=rng)
+        simo = simulate_hop(150_000, BPSKModem(), mt=1, mr=2, **kwargs)
+        siso = simulate_hop(150_000, BPSKModem(), mt=1, mr=1, **kwargs)
+        assert simo.ber < siso.ber / 2.0
+
+
+class TestErrorPropagation:
+    def test_weak_intra_links_floor_the_hop(self, rng):
+        """A noisy broadcast phase poisons the antenna streams: the hop BER
+        is floored near the member decode error rate, however good the
+        long haul is — the effect the analytic model abstracts away."""
+        r = simulate_hop(
+            120_000, BPSKModem(), intra_snr_db=6.0, longhaul_snr_db=40.0,
+            mt=2, mr=1, rng=rng,
+        )
+        member_ber = r.member_broadcast_bers[0]
+        assert member_ber > 0.001
+        assert r.ber > member_ber / 10.0
+
+    def test_intra_quality_monotone(self, rng):
+        bers = []
+        for intra in (8.0, 15.0, 30.0):
+            r = simulate_hop(
+                80_000, BPSKModem(), intra_snr_db=intra, longhaul_snr_db=12.0,
+                mt=2, mr=2, rng=np.random.default_rng(3),
+            )
+            bers.append(r.ber)
+        assert bers[0] > bers[2]
+
+    def test_forwarding_noise_costs_something(self, rng):
+        """Sample-and-forward at modest intra SNR is worse than an ideal
+        co-located receive array."""
+        ideal = simulate_hop(
+            120_000, BPSKModem(), intra_snr_db=60.0, longhaul_snr_db=6.0,
+            mt=1, mr=3, rng=np.random.default_rng(4),
+        )
+        noisy = simulate_hop(
+            120_000, BPSKModem(), intra_snr_db=10.0, longhaul_snr_db=6.0,
+            mt=1, mr=3, rng=np.random.default_rng(4),
+        )
+        assert noisy.ber > ideal.ber

@@ -1,0 +1,134 @@
+"""Link simulator tests: BER against closed forms, PER semantics."""
+
+import numpy as np
+import pytest
+
+from repro.modulation import BPSKModem, GMSKModem, QAMModem, QPSKModem
+from repro.modulation.theory import ber_bpsk_awgn, ber_bpsk_rayleigh
+from repro.phy.link import LinkResult, simulate_link, simulate_packet_link, transmit_bits
+
+
+class TestAgainstTheory:
+    def test_bpsk_awgn_matches_qfunction(self, rng):
+        snr_db = 6.0
+        result = simulate_link(400_000, BPSKModem(), snr_db, fading="awgn", rng=rng)
+        assert result.ber == pytest.approx(float(ber_bpsk_awgn(snr_db)), rel=0.1)
+
+    def test_bpsk_rayleigh_matches_closed_form(self, rng):
+        snr_db = 10.0
+        result = simulate_link(400_000, BPSKModem(), snr_db, fading="rayleigh", rng=rng)
+        assert result.ber == pytest.approx(float(ber_bpsk_rayleigh(snr_db)), rel=0.08)
+
+    def test_qpsk_per_bit_matches_bpsk(self, rng):
+        """QPSK at the same Es/N0 carries 2 bits: per-bit SNR halves, so
+        compare QPSK at snr to BPSK at snr - 3 dB."""
+        q = simulate_link(400_000, QPSKModem(), 10.0, fading="awgn", rng=rng)
+        b = simulate_link(400_000, BPSKModem(), 7.0, fading="awgn", rng=rng)
+        assert q.ber == pytest.approx(b.ber, rel=0.15)
+
+    def test_gmsk_efficiency_penalty(self, rng):
+        """GMSK's 0.89 SNR efficiency ~ 0.5 dB: its BER sits between BPSK
+        at snr and BPSK at snr - 1 dB."""
+        snr = 7.0
+        gmsk = simulate_link(600_000, GMSKModem(), snr, fading="awgn", rng=rng)
+        upper = float(ber_bpsk_awgn(snr - 1.0))
+        lower = float(ber_bpsk_awgn(snr))
+        assert lower < gmsk.ber < upper
+
+    def test_alamouti_2x1_diversity_two(self, rng):
+        """Alamouti 2x1 with total-power normalization equals MRC with two
+        half-power branches: closed form from the diversity average."""
+        from repro.modulation.theory import rayleigh_diversity_avg_qfunc
+
+        snr_db = 12.0
+        snr = 10 ** (snr_db / 10)
+        expected = float(rayleigh_diversity_avg_qfunc(snr / 2.0, 2))
+        result = simulate_link(600_000, BPSKModem(), snr_db, mt=2, mr=1, rng=rng)
+        assert result.ber == pytest.approx(expected, rel=0.15)
+
+    def test_simo_1x2_mrc(self, rng):
+        from repro.modulation.theory import rayleigh_diversity_avg_qfunc
+
+        snr_db = 8.0
+        snr = 10 ** (snr_db / 10)
+        expected = float(rayleigh_diversity_avg_qfunc(snr, 2))
+        result = simulate_link(600_000, BPSKModem(), snr_db, mt=1, mr=2, rng=rng)
+        assert result.ber == pytest.approx(expected, rel=0.15)
+
+
+class TestTransmitBits:
+    def test_length_preserved(self, rng):
+        bits = rng.integers(0, 2, 1013, dtype=np.int8)  # awkward length
+        out = transmit_bits(bits, BPSKModem(), 50.0, mt=3, mr=2, rng=rng)
+        assert out.shape == bits.shape
+
+    def test_high_snr_error_free(self, rng):
+        bits = rng.integers(0, 2, 5000, dtype=np.int8)
+        out = transmit_bits(bits, QAMModem(4), 60.0, fading="awgn", rng=rng)
+        np.testing.assert_array_equal(out, bits)
+
+    def test_deterministic_with_seed(self):
+        bits = np.tile([0, 1], 500).astype(np.int8)
+        a = transmit_bits(bits, BPSKModem(), 5.0, rng=77)
+        b = transmit_bits(bits, BPSKModem(), 5.0, rng=77)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rician_interpolates(self, rng):
+        """Rician K=10 BER sits between AWGN and Rayleigh."""
+        snr = 10.0
+        awgn = simulate_link(200_000, BPSKModem(), snr, fading="awgn", rng=rng).ber
+        rice = simulate_link(
+            200_000, BPSKModem(), snr, fading="rician", rician_k=10.0, rng=rng
+        ).ber
+        rayl = simulate_link(200_000, BPSKModem(), snr, fading="rayleigh", rng=rng).ber
+        assert awgn < rice < rayl
+
+    def test_unknown_fading_rejected(self, rng):
+        with pytest.raises(ValueError):
+            transmit_bits(np.zeros(8, np.int8), BPSKModem(), 5.0, fading="nakagami")
+
+    def test_bad_blocks_per_fade_rejected(self, rng):
+        with pytest.raises(ValueError):
+            transmit_bits(np.zeros(8, np.int8), BPSKModem(), 5.0, blocks_per_fade=0)
+
+
+class TestPacketLink:
+    def test_per_at_least_ber_implied(self, rng):
+        result = simulate_packet_link(
+            300, 512, BPSKModem(), 12.0, quasi_static=True, rng=rng
+        )
+        assert 0.0 <= result.per <= 1.0
+        # a packet errs iff >= 1 bit errs, so PER >= BER
+        assert result.per >= result.ber
+
+    def test_quasi_static_worse_than_fast_fading(self, rng):
+        """With per-packet fades, whole packets die together: at moderate
+        SNR the PER is far higher than with per-block interleaved fading."""
+        slow = simulate_packet_link(
+            400, 1024, BPSKModem(), 16.0, quasi_static=True, rng=rng
+        )
+        fast = simulate_packet_link(
+            400, 1024, BPSKModem(), 16.0, quasi_static=False, rng=rng
+        )
+        # fast fading sprinkles errors into nearly every packet, while
+        # quasi-static fading leaves the packets on good fades clean
+        assert fast.per > slow.per
+        assert slow.per < 0.9
+
+    def test_perfect_at_high_snr(self, rng):
+        result = simulate_packet_link(50, 256, BPSKModem(), 60.0, fading="awgn", rng=rng)
+        assert result.per == 0.0
+        assert result.n_packets == 50
+
+    def test_result_properties(self):
+        r = LinkResult(n_bits=100, n_bit_errors=5, n_packets=10, n_packet_errors=2)
+        assert r.ber == 0.05
+        assert r.per == 0.2
+        empty = LinkResult(n_bits=0, n_bit_errors=0)
+        assert empty.ber == 0.0 and empty.per == 0.0
+
+    def test_rejects_bad_counts(self, rng):
+        with pytest.raises(ValueError):
+            simulate_packet_link(0, 10, BPSKModem(), 5.0, rng=rng)
+        with pytest.raises(ValueError):
+            simulate_link(0, BPSKModem(), 5.0, rng=rng)

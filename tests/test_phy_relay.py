@@ -1,0 +1,135 @@
+"""Decode-and-forward relay chain tests."""
+
+import numpy as np
+import pytest
+
+from repro.modulation import BPSKModem
+from repro.phy.relay import RelayChainResult, simulate_relay_chain
+
+
+class TestBasics:
+    def test_direct_only(self, rng):
+        result = simulate_relay_chain(
+            50_000, BPSKModem(), [], [], direct_snr_db=8.0, fading="rayleigh", rng=rng
+        )
+        assert result.relay_bers == ()
+        assert 0.0 < result.ber < 0.1
+
+    def test_no_path_rejected(self, rng):
+        with pytest.raises(ValueError):
+            simulate_relay_chain(100, BPSKModem(), [], [], direct_snr_db=None, rng=rng)
+
+    def test_mismatched_relay_lists_rejected(self, rng):
+        with pytest.raises(ValueError):
+            simulate_relay_chain(100, BPSKModem(), [10.0], [], rng=rng)
+
+    def test_unknown_combiner_rejected(self, rng):
+        with pytest.raises(ValueError):
+            simulate_relay_chain(
+                100, BPSKModem(), [10.0], [10.0], combining="magic", rng=rng
+            )
+
+    def test_result_math(self):
+        r = RelayChainResult(n_bits=1000, n_bit_errors=25, relay_bers=(0.01,))
+        assert r.ber == 0.025
+
+
+class TestCooperationGain:
+    def test_relay_improves_obstructed_direct(self, rng):
+        """A strong relay path rescues a weak direct path — the Table 2
+        mechanism."""
+        direct_only = simulate_relay_chain(
+            150_000, BPSKModem(), [], [], direct_snr_db=2.0, rng=rng
+        )
+        cooperative = simulate_relay_chain(
+            150_000,
+            BPSKModem(),
+            [20.0],
+            [20.0],
+            direct_snr_db=2.0,
+            rng=rng,
+        )
+        assert cooperative.ber < direct_only.ber / 2.0
+
+    def test_more_relays_help(self, rng):
+        one = simulate_relay_chain(
+            150_000, BPSKModem(), [8.0], [8.0], direct_snr_db=0.0, rng=rng
+        )
+        three = simulate_relay_chain(
+            150_000,
+            BPSKModem(),
+            [8.0, 8.0, 8.0],
+            [8.0, 8.0, 8.0],
+            direct_snr_db=0.0,
+            rng=rng,
+        )
+        assert three.ber < one.ber
+
+    def test_error_propagation_from_bad_relay(self, rng):
+        """A relay that decodes garbage cannot be fully repaired downstream:
+        end-to-end BER is floored near the source-relay BER."""
+        result = simulate_relay_chain(
+            100_000,
+            BPSKModem(),
+            [-2.0],  # terrible first hop
+            [40.0],  # perfect second hop
+            direct_snr_db=None,
+            fading="rayleigh",
+            rng=rng,
+        )
+        assert result.relay_bers[0] > 0.1
+        assert result.ber == pytest.approx(result.relay_bers[0], rel=0.1)
+
+
+class TestCombiningOptions:
+    @pytest.mark.parametrize("combining", ["egc", "mrc", "sc"])
+    def test_all_combiners_run(self, combining, rng):
+        result = simulate_relay_chain(
+            30_000,
+            BPSKModem(),
+            [12.0, 12.0],
+            [12.0, 12.0],
+            direct_snr_db=5.0,
+            combining=combining,
+            rng=rng,
+        )
+        assert 0.0 <= result.ber < 0.2
+
+    def test_mrc_at_least_as_good_as_sc(self, rng):
+        kwargs = dict(
+            n_bits=200_000,
+            modem=BPSKModem(),
+            source_relay_snrs_db=[10.0, 10.0],
+            relay_dest_snrs_db=[6.0, 6.0],
+            direct_snr_db=3.0,
+            fading="rayleigh",
+        )
+        mrc = simulate_relay_chain(combining="mrc", rng=1, **kwargs)
+        sc = simulate_relay_chain(combining="sc", rng=1, **kwargs)
+        assert mrc.ber <= sc.ber * 1.1
+
+
+class TestFadingModes:
+    def test_awgn_mode(self, rng):
+        result = simulate_relay_chain(
+            50_000,
+            BPSKModem(),
+            [12.0],
+            [12.0],
+            direct_snr_db=None,
+            fading="awgn",
+            rng=rng,
+        )
+        assert result.ber < 1e-3
+
+    def test_rician_better_than_rayleigh(self, rng):
+        kwargs = dict(
+            n_bits=150_000,
+            modem=BPSKModem(),
+            source_relay_snrs_db=[10.0],
+            relay_dest_snrs_db=[10.0],
+            direct_snr_db=None,
+        )
+        rice = simulate_relay_chain(fading="rician", rician_k=8.0, rng=2, **kwargs)
+        rayl = simulate_relay_chain(fading="rayleigh", rng=2, **kwargs)
+        assert rice.ber < rayl.ber

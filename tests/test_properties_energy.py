@@ -1,0 +1,128 @@
+"""Hypothesis property tests on the energy model's structure.
+
+These pin down the *shape* guarantees the paradigm layer relies on:
+monotonicities in distance, BER target, bandwidth and diversity; the
+PA/circuit split; and the exact quadratic distance law.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.ebar import solve_ebar
+from repro.energy.model import EnergyModel
+
+MODEL = EnergyModel()
+
+bers = st.sampled_from([0.05, 0.01, 0.005, 0.001, 0.0005])
+b_values = st.integers(min_value=1, max_value=10)
+m_values = st.integers(min_value=1, max_value=4)
+distances = st.floats(min_value=10.0, max_value=500.0)
+bandwidths = st.sampled_from([10e3, 20e3, 40e3, 100e3])
+
+
+class TestMimoTxProperties:
+    @given(bers, b_values, m_values, m_values, distances, bandwidths)
+    @settings(max_examples=40)
+    def test_positive_split(self, p, b, mt, mr, d, bw):
+        e = MODEL.mimo_tx(p, b, mt, mr, d, bw)
+        assert e.pa > 0.0
+        assert e.circuit > 0.0
+        assert e.total == pytest.approx(e.pa + e.circuit)
+
+    @given(bers, b_values, m_values, m_values, distances, bandwidths)
+    @settings(max_examples=40)
+    def test_farther_costs_more(self, p, b, mt, mr, d, bw):
+        near = MODEL.mimo_tx(p, b, mt, mr, d, bw).total
+        far = MODEL.mimo_tx(p, b, mt, mr, d * 1.5, bw).total
+        assert far > near
+
+    @given(bers, b_values, m_values, m_values, distances, bandwidths)
+    @settings(max_examples=40)
+    def test_exact_square_law(self, p, b, mt, mr, d, bw):
+        pa1 = MODEL.mimo_tx(p, b, mt, mr, d, bw).pa
+        pa2 = MODEL.mimo_tx(p, b, mt, mr, 2.0 * d, bw).pa
+        assert pa2 == pytest.approx(4.0 * pa1, rel=1e-9)
+
+    @given(b_values, m_values, m_values, distances, bandwidths)
+    @settings(max_examples=40)
+    def test_stricter_target_costs_more(self, b, mt, mr, d, bw):
+        lax = MODEL.mimo_tx(0.01, b, mt, mr, d, bw).pa
+        strict = MODEL.mimo_tx(0.0005, b, mt, mr, d, bw).pa
+        assert strict > lax
+
+    @given(bers, b_values, m_values, m_values, distances)
+    @settings(max_examples=40)
+    def test_bandwidth_cuts_circuit_only(self, p, b, mt, mr, d):
+        narrow = MODEL.mimo_tx(p, b, mt, mr, d, 10e3)
+        wide = MODEL.mimo_tx(p, b, mt, mr, d, 100e3)
+        assert narrow.pa == wide.pa
+        assert wide.circuit < narrow.circuit
+
+    @given(bers, b_values, m_values, distances, bandwidths)
+    @settings(max_examples=40)
+    def test_receive_diversity_always_helps(self, p, b, mt, d, bw):
+        less = MODEL.mimo_tx(p, b, mt, 1, d, bw).pa
+        more = MODEL.mimo_tx(p, b, mt, 3, d, bw).pa
+        assert more < less
+
+
+class TestDistanceInversionProperties:
+    @given(bers, b_values, m_values, m_values, distances, bandwidths)
+    @settings(max_examples=40)
+    def test_inversion_is_exact(self, p, b, mt, mr, d, bw):
+        budget = MODEL.mimo_tx(p, b, mt, mr, d, bw).total
+        assert MODEL.max_mimo_distance(budget, p, b, mt, mr, bw) == pytest.approx(
+            d, rel=1e-9
+        )
+
+    @given(bers, b_values, m_values, m_values, bandwidths)
+    @settings(max_examples=40)
+    def test_bigger_budget_reaches_farther(self, p, b, mt, mr, bw):
+        small = MODEL.max_mimo_distance(1e-5, p, b, mt, mr, bw)
+        large = MODEL.max_mimo_distance(2e-5, p, b, mt, mr, bw)
+        assert large >= small
+
+
+class TestEbarProperties:
+    @given(bers, st.integers(1, 6), m_values, m_values)
+    @settings(max_examples=40)
+    def test_positive_and_finite(self, p, b, mt, mr):
+        from repro.modulation.theory import mqam_ber_coefficients
+
+        a, _ = mqam_ber_coefficients(b)
+        if p >= a / 2:
+            return
+        value = solve_ebar(p, b, mt, mr)
+        assert 0.0 < value < 1e-10
+
+    @given(st.integers(1, 6), m_values, m_values)
+    @settings(max_examples=30)
+    def test_strictly_monotone_in_target(self, b, mt, mr):
+        values = [solve_ebar(p, b, mt, mr) for p in (0.01, 0.001)]
+        assert values[1] > values[0]
+
+    @given(bers, st.integers(1, 6))
+    @settings(max_examples=30)
+    def test_diversity_never_hurts(self, p, b):
+        from repro.modulation.theory import mqam_ber_coefficients
+
+        a, _ = mqam_ber_coefficients(b)
+        if p >= a / 2:
+            return
+        siso = solve_ebar(p, b, 1, 1)
+        div = solve_ebar(p, b, 1, 4)
+        assert div < siso
+
+    @given(bers, st.integers(1, 6), m_values, m_values)
+    @settings(max_examples=30)
+    def test_paper_convention_scales_linearly_in_mt(self, p, b, mt, mr):
+        from repro.modulation.theory import mqam_ber_coefficients
+
+        a, _ = mqam_ber_coefficients(b)
+        if p >= a / 2:
+            return
+        paper = solve_ebar(p, b, mt, mr, convention="paper")
+        sym = solve_ebar(p, b, mt, mr, convention="diversity_only")
+        assert paper == pytest.approx(mt * sym, rel=1e-8)

@@ -1,0 +1,107 @@
+"""Cooperative sensing tests: fusion rules and the fading payoff."""
+
+import numpy as np
+import pytest
+
+from repro.sensing.cooperative import CooperativeSensor, fuse_decisions
+from repro.sensing.detector import EnergyDetector
+
+
+class TestFuseDecisions:
+    def test_or(self):
+        assert fuse_decisions([False, True, False], "or")
+        assert not fuse_decisions([False, False], "or")
+
+    def test_and(self):
+        assert fuse_decisions([True, True], "and")
+        assert not fuse_decisions([True, False], "and")
+
+    def test_majority(self):
+        assert fuse_decisions([True, True, False], "majority")
+        assert not fuse_decisions([True, False, False], "majority")
+        # exact half counts as a majority (protective of the PU)
+        assert fuse_decisions([True, False], "majority")
+
+    def test_rejects_bad_rule_and_empty(self):
+        with pytest.raises(ValueError):
+            fuse_decisions([True], "xor")
+        with pytest.raises(ValueError):
+            fuse_decisions([], "or")
+
+
+class TestClosedForms:
+    def _sensor(self, rule, n=4):
+        return CooperativeSensor(EnergyDetector(200, 0.05), n, rule)
+
+    def test_or_pfa_compounds(self):
+        sensor = self._sensor("or")
+        expected = 1 - (1 - 0.05) ** 4
+        assert sensor.false_alarm_probability() == pytest.approx(expected, rel=1e-9)
+
+    def test_and_pfa_shrinks(self):
+        sensor = self._sensor("and")
+        assert sensor.false_alarm_probability() == pytest.approx(0.05**4, rel=1e-9)
+
+    def test_or_pd_dominates_single(self):
+        sensor = self._sensor("or")
+        single = sensor.detector.detection_probability(0.05)
+        assert sensor.detection_probability(0.05) > single
+
+    def test_and_pd_below_single(self):
+        sensor = self._sensor("and")
+        single = sensor.detector.detection_probability(0.05)
+        assert sensor.detection_probability(0.05) < single
+
+    def test_majority_between(self):
+        snr = 0.05
+        p_or = self._sensor("or").detection_probability(snr)
+        p_maj = self._sensor("majority").detection_probability(snr)
+        p_and = self._sensor("and").detection_probability(snr)
+        assert p_and < p_maj < p_or
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            CooperativeSensor(EnergyDetector(10), 0)
+        with pytest.raises(ValueError):
+            CooperativeSensor(EnergyDetector(10), 2, "xor")
+
+
+class TestFadingPayoff:
+    def test_cooperation_rescues_faded_sensing(self, rng):
+        """Under Rayleigh fading, 4 OR-fused sensors detect far more
+        reliably than one — the cognitive-radio motivation for cooperative
+        sensing."""
+        detector = EnergyDetector(500, 0.05)
+        single = CooperativeSensor(detector, 1, "or")
+        quad = CooperativeSensor(detector, 4, "or")
+        mean_snr = 0.15
+        p1 = single.detection_probability_faded(mean_snr, rng=rng)
+        p4 = quad.detection_probability_faded(mean_snr, rng=rng)
+        assert p4 > p1 + 0.2
+
+    def test_faded_pd_below_awgn_pd_for_single(self, rng):
+        """Fading hurts a single detector at usable SNR (concave Pd)."""
+        detector = EnergyDetector(500, 0.05)
+        single = CooperativeSensor(detector, 1, "or")
+        mean_snr = 0.15
+        faded = single.detection_probability_faded(mean_snr, rng=rng)
+        awgn = single.detection_probability(mean_snr)
+        assert faded < awgn
+
+
+class TestLiveDecision:
+    def test_decide_counts_sample_sets(self, rng):
+        sensor = CooperativeSensor(EnergyDetector(100, 0.05), 2, "or")
+        noise = [
+            (rng.standard_normal(100) + 1j * rng.standard_normal(100)) / np.sqrt(2)
+            for _ in range(2)
+        ]
+        assert isinstance(sensor.decide(noise), bool)
+        with pytest.raises(ValueError):
+            sensor.decide(noise[:1])
+
+    def test_or_fires_when_one_sensor_sees_primary(self, rng):
+        sensor = CooperativeSensor(EnergyDetector(1000, 0.01), 2, "or")
+        quiet = (rng.standard_normal(1000) + 1j * rng.standard_normal(1000)) / np.sqrt(2)
+        loud = quiet + 1.0
+        assert sensor.decide([quiet, loud])

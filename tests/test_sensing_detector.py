@@ -1,0 +1,122 @@
+"""Energy detector tests: exact tails, CFAR design, sample complexity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensing.detector import EnergyDetector
+
+
+class TestCfarDesign:
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.floats(min_value=1e-4, max_value=0.5),
+    )
+    @settings(max_examples=40)
+    def test_threshold_hits_target_pfa(self, n, pfa):
+        det = EnergyDetector(n, pfa)
+        assert det.false_alarm_probability() == pytest.approx(pfa, rel=1e-9)
+
+    def test_threshold_grows_with_window(self):
+        assert EnergyDetector(1000, 0.05).threshold > EnergyDetector(10, 0.05).threshold
+
+    def test_stricter_pfa_raises_threshold(self):
+        assert (
+            EnergyDetector(100, 0.01).threshold > EnergyDetector(100, 0.1).threshold
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            EnergyDetector(0, 0.05)
+        with pytest.raises(ValueError):
+            EnergyDetector(10, 1.5)
+
+
+class TestDetection:
+    def test_pd_exceeds_pfa(self):
+        det = EnergyDetector(500, 0.05)
+        assert det.detection_probability(0.1) > det.false_alarm_probability()
+
+    def test_pd_monotone_in_snr(self):
+        det = EnergyDetector(200, 0.05)
+        pds = [det.detection_probability(g) for g in (0.01, 0.05, 0.2, 1.0)]
+        assert all(b > a for a, b in zip(pds, pds[1:]))
+
+    def test_pd_monotone_in_window(self):
+        snr = 0.1
+        pds = [EnergyDetector(n, 0.05).detection_probability(snr) for n in (50, 500, 5000)]
+        assert all(b > a for a, b in zip(pds, pds[1:]))
+
+    def test_zero_snr_gives_pfa(self):
+        det = EnergyDetector(100, 0.07)
+        assert det.detection_probability(0.0) == pytest.approx(0.07, rel=1e-9)
+
+    def test_rejects_negative_snr(self):
+        with pytest.raises(ValueError):
+            EnergyDetector(10).detection_probability(-0.1)
+
+
+class TestSampleComplexity:
+    def test_meets_spec_minimally(self):
+        n = EnergyDetector.samples_required(0.05, target_pfa=0.05, target_pd=0.9)
+        assert EnergyDetector(n, 0.05).detection_probability(0.05) >= 0.9
+        if n > 1:
+            assert EnergyDetector(n - 1, 0.05).detection_probability(0.05) < 0.9
+
+    def test_low_snr_quadratic_scaling(self):
+        """Halving the SNR roughly quadruples the required window."""
+        n1 = EnergyDetector.samples_required(0.02, target_pd=0.9)
+        n2 = EnergyDetector.samples_required(0.01, target_pd=0.9)
+        assert n2 / n1 == pytest.approx(4.0, rel=0.2)
+
+    def test_impossible_spec_raises(self):
+        with pytest.raises(ValueError):
+            EnergyDetector.samples_required(1e-9, max_samples=1000)
+        with pytest.raises(ValueError):
+            EnergyDetector.samples_required(0.1, target_pfa=0.5, target_pd=0.4)
+
+
+class TestOperation:
+    def test_decide_on_synthetic_samples(self, rng):
+        det = EnergyDetector(2000, 0.01)
+        noise = (rng.standard_normal(2000) + 1j * rng.standard_normal(2000)) / np.sqrt(2)
+        assert not det.decide(noise)
+        strong = noise + 0.8  # DC "primary" well above the noise floor
+        assert det.decide(strong)
+
+    def test_statistic_normalization(self):
+        det = EnergyDetector(4)
+        samples = np.array([1.0, 1.0, 1.0, 1.0], dtype=complex)
+        assert det.statistic(samples, noise_variance=2.0) == pytest.approx(2.0)
+
+    def test_monte_carlo_matches_closed_form(self, rng):
+        det = EnergyDetector(300, 0.05)
+        snr = 0.1
+        mc_pd = det.simulate(snr, n_trials=200_000, primary_present=True, rng=rng)
+        assert mc_pd == pytest.approx(det.detection_probability(snr), abs=0.01)
+        mc_pfa = det.simulate(0.0, n_trials=200_000, primary_present=False, rng=rng)
+        assert mc_pfa == pytest.approx(0.05, abs=0.01)
+
+
+class TestRocCurve:
+    def test_monotone_tradeoff(self):
+        det = EnergyDetector(300, 0.05)
+        pfa, pd = det.roc_curve(0.1)
+        assert np.all(np.diff(pfa) > 0)
+        assert np.all(np.diff(pd) >= -1e-12)  # pd grows with pfa
+        assert np.all(pd >= pfa - 1e-12)  # above the chance diagonal
+
+    def test_better_snr_dominates(self):
+        det = EnergyDetector(300, 0.05)
+        _, pd_low = det.roc_curve(0.05)
+        _, pd_high = det.roc_curve(0.3)
+        assert np.all(pd_high >= pd_low - 1e-12)
+        assert pd_high.mean() > pd_low.mean()
+
+    def test_rejects_bad_args(self):
+        det = EnergyDetector(10)
+        with pytest.raises(ValueError):
+            det.roc_curve(-1.0)
+        with pytest.raises(ValueError):
+            det.roc_curve(0.1, n_points=0)

@@ -1,0 +1,84 @@
+"""Diversity combining tests: exactness, SNR ordering, validation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import complex_gaussian
+from repro.channel.rayleigh import rayleigh_mimo_channel
+from repro.stbc.combining import (
+    equal_gain_combine,
+    maximal_ratio_combine,
+    selection_combine,
+)
+
+COMBINERS = [maximal_ratio_combine, equal_gain_combine, selection_combine]
+
+
+def _branches(rng, n=40_000, branches=3, noise_var=0.3):
+    s = np.ones(n, dtype=complex)  # all-ones pilot symbol
+    h = rayleigh_mimo_channel(1, branches, n, rng=rng)[:, :, 0]
+    y = h * s[:, None] + complex_gaussian((n, branches), noise_var, rng)
+    return s, h, y
+
+
+class TestNoiseless:
+    @pytest.mark.parametrize("combiner", COMBINERS)
+    def test_exact_recovery(self, combiner, rng):
+        n, branches = 200, 4
+        s = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        h = rayleigh_mimo_channel(1, branches, n, rng=rng)[:, :, 0]
+        y = h * s[:, None]
+        np.testing.assert_allclose(combiner(y, h), s, atol=1e-9)
+
+
+class TestUnbiasedness:
+    @pytest.mark.parametrize("combiner", COMBINERS)
+    def test_mean_preserved_under_noise(self, combiner, rng):
+        s, h, y = _branches(rng)
+        out = combiner(y, h)
+        assert np.mean(out).real == pytest.approx(1.0, abs=0.02)
+
+
+class TestSnrOrdering:
+    def test_mrc_best_then_egc_then_sc(self, rng):
+        """Post-combining error power ordering: MRC <= EGC <= SC (textbook)."""
+        s, h, y = _branches(rng, noise_var=0.5)
+        errors = {}
+        for combiner in COMBINERS:
+            out = combiner(y, h)
+            errors[combiner.__name__] = np.mean(np.abs(out - s) ** 2)
+        assert errors["maximal_ratio_combine"] < errors["equal_gain_combine"]
+        assert errors["equal_gain_combine"] < errors["selection_combine"]
+
+    def test_combining_beats_single_branch(self, rng):
+        s, h, y = _branches(rng, noise_var=0.5)
+        single = y[:, 0] / h[:, 0]
+        combined = equal_gain_combine(y, h)
+        assert np.mean(np.abs(combined - s) ** 2) < np.mean(np.abs(single - s) ** 2)
+
+
+class TestSelection:
+    def test_picks_strongest_branch(self):
+        y = np.array([[1.0 + 0j, 10.0 + 0j]])
+        h = np.array([[0.1 + 0j, 2.0 + 0j]])
+        out = selection_combine(y, h)
+        np.testing.assert_allclose(out, [5.0 + 0j])
+
+
+class TestValidation:
+    @pytest.mark.parametrize("combiner", COMBINERS)
+    def test_shape_mismatch(self, combiner):
+        with pytest.raises(ValueError):
+            combiner(np.zeros((3, 2), complex), np.zeros((3, 3), complex))
+
+    @pytest.mark.parametrize("combiner", COMBINERS)
+    def test_one_dimensional_rejected(self, combiner):
+        with pytest.raises(ValueError):
+            combiner(np.zeros(5, complex), np.zeros(5, complex))
+
+    @pytest.mark.parametrize("combiner", COMBINERS)
+    def test_zero_gain_row_rejected(self, combiner):
+        y = np.ones((1, 2), complex)
+        h = np.zeros((1, 2), complex)
+        with pytest.raises(ValueError):
+            combiner(y, h)

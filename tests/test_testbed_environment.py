@@ -1,0 +1,98 @@
+"""Floor-plan testbed tests: geometry and calibrated SNR regimes."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.environment import (
+    FEET,
+    table2_testbed,
+    table3_testbed,
+    table4_testbed,
+)
+
+
+class TestTable2Layout:
+    def test_equilateral_triangle(self):
+        tb = table2_testbed()
+        tx, relay, rx = (tb.node(n).position for n in ("tx", "relay", "rx"))
+        d = lambda a, b: np.hypot(a[0] - b[0], a[1] - b[1])
+        assert d(tx, rx) == pytest.approx(2.0)
+        assert d(tx, relay) == pytest.approx(2.0, rel=1e-6)
+        assert d(relay, rx) == pytest.approx(2.0, rel=1e-6)
+
+    def test_board_blocks_only_direct_path(self):
+        tb = table2_testbed()
+        assert not tb.channel.is_line_of_sight(
+            tb.node("tx").position, tb.node("rx").position
+        )
+        assert tb.channel.is_line_of_sight(
+            tb.node("tx").position, tb.node("relay").position
+        )
+        assert tb.channel.is_line_of_sight(
+            tb.node("relay").position, tb.node("rx").position
+        )
+
+    def test_direct_link_in_error_regime(self):
+        tb = table2_testbed()
+        snr = tb.link_snr_db("tx", "rx")
+        assert -5.0 < snr < 5.0  # the ~10% BER regime for BPSK/Rayleigh
+
+    def test_relay_links_clean(self):
+        tb = table2_testbed()
+        assert tb.link_snr_db("tx", "relay") > 15.0
+        assert tb.link_snr_db("relay", "rx") > 15.0
+
+
+class TestTable3Layout:
+    def test_distance_over_30_feet(self):
+        tb = table3_testbed()
+        tx, rx = tb.node("tx").position, tb.node("rx").position
+        assert np.hypot(tx[0] - rx[0], tx[1] - rx[1]) > 30.0 * FEET
+
+    def test_direct_path_crosses_three_lab_walls(self):
+        tb = table3_testbed(lab_wall_db=9.0, corridor_wall_db=18.0)
+        blockage = tb.channel.blockage_db(
+            tb.node("tx").position, tb.node("rx").position
+        )
+        assert blockage == pytest.approx(27.0)
+
+    def test_relay_paths_cross_corridor_wall(self):
+        tb = table3_testbed()
+        mid = tb.node("relay_mid")
+        blockage = tb.channel.blockage_db(tb.node("tx").position, mid.position)
+        assert blockage > 0.0  # corridor separator (plus possibly one lab wall)
+
+    def test_relay_chain_snrs_beat_direct(self):
+        tb = table3_testbed()
+        direct = tb.link_snr_db("tx", "rx")
+        via_mid = min(tb.link_snr_db("tx", "relay_mid"), tb.link_snr_db("relay_mid", "rx"))
+        assert via_mid > direct
+
+    def test_relays_in_corridor_row(self):
+        tb = table3_testbed()
+        ys = {tb.node(f"relay{i}").position[1] for i in (1, 2, 3)}
+        assert len(ys) == 1  # same corridor line
+
+
+class TestTable4Layout:
+    def test_transmitters_adjacent(self):
+        tb = table4_testbed()
+        t1, t2 = tb.node("tx1").position, tb.node("tx2").position
+        assert np.hypot(t1[0] - t2[0], t1[1] - t2[1]) < 0.5
+
+    def test_receiver_at_12_feet(self):
+        tb = table4_testbed()
+        t1, rx = tb.node("tx1").position, tb.node("rx").position
+        assert np.hypot(t1[0] - rx[0], t1[1] - rx[1]) == pytest.approx(12.0 * FEET)
+
+    def test_solo_snr_near_packet_threshold(self):
+        """Calibration: the amplitude-800 solo link sits near the ~9.5 dB
+        packet-survival threshold (see EXPERIMENTS.md)."""
+        tb = table4_testbed()
+        assert 9.0 < tb.link_snr_db("tx1", "rx") < 14.0
+
+    def test_amplitude_ladder_spans_the_cliff(self):
+        tb = table4_testbed()
+        tb.nodes["tx1"] = tb.nodes["tx1"].with_amplitude(400.0)
+        low = tb.link_snr_db("tx1", "rx")
+        assert low < 7.0  # amplitude 400 falls below the threshold

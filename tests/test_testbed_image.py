@@ -1,0 +1,97 @@
+"""Image workload tests: size contract, transfer semantics, verdicts."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.image import (
+    IMAGE_PACKETS,
+    PACKET_BYTES,
+    ImageTransferResult,
+    synthetic_image,
+    transfer_image,
+)
+
+
+class TestSyntheticImage:
+    def test_exact_size(self):
+        img = synthetic_image()
+        assert img.size == IMAGE_PACKETS * PACKET_BYTES == 711_000
+        assert img.dtype == np.uint8
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(synthetic_image(), synthetic_image())
+
+    def test_has_structure(self):
+        """Not a constant image: gradient + checker + disk show variance."""
+        img = synthetic_image()
+        assert img.std() > 20.0
+        assert len(np.unique(img)) > 50
+
+
+class TestTransfer:
+    def test_perfect_channel(self):
+        result = transfer_image(lambda bits, rng: bits, rng=0)
+        assert result.per == 0.0
+        assert result.mean_abs_error == 0.0
+        assert result.verdict == "recovered"
+        np.testing.assert_array_equal(result.received, synthetic_image())
+
+    def test_lossy_channel_counts_packets(self):
+        calls = []
+
+        def flip_every_third(bits, rng):
+            calls.append(None)
+            out = bits.copy()
+            if len(calls) % 3 == 0:
+                out[0] ^= 1
+            return out
+
+        result = transfer_image(flip_every_third, rng=0)
+        assert result.n_packets == IMAGE_PACKETS
+        assert result.n_packet_errors == IMAGE_PACKETS // 3
+        assert 0.30 < result.per < 0.36
+        assert result.verdict == "cannot be recovered"
+        assert result.mean_abs_error > 0.0
+
+    def test_moderate_loss_verdict(self):
+        calls = []
+
+        def flip_every_tenth(bits, rng):
+            calls.append(None)
+            out = bits.copy()
+            if len(calls) % 10 == 0:
+                out[:8] ^= 1
+            return out
+
+        result = transfer_image(flip_every_tenth, rng=0)
+        assert result.verdict == "recovered with distortions"
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_image(lambda bits, rng: bits[:-1], rng=0)
+
+    def test_rng_threaded(self):
+        seen = []
+
+        def record(bits, rng):
+            seen.append(rng)
+            return bits
+
+        transfer_image(record, rng=42)
+        assert all(r is seen[0] for r in seen)  # one generator threaded through
+
+
+class TestVerdictThresholds:
+    def _result(self, per):
+        return ImageTransferResult(
+            n_packets=100,
+            n_packet_errors=int(per * 100),
+            mean_abs_error=0.0,
+            received=np.zeros((1, 1), dtype=np.uint8),
+        )
+
+    def test_bands(self):
+        assert self._result(0.0).verdict == "recovered"
+        assert self._result(0.02).verdict == "recovered"
+        assert self._result(0.1).verdict == "recovered with distortions"
+        assert self._result(0.5).verdict == "cannot be recovered"

@@ -1,0 +1,131 @@
+"""Radio node / testbed orchestrator tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.indoor import IndoorChannel, Wall
+from repro.modulation import BPSKModem, GMSKModem
+from repro.testbed.radio import RadioNode, SimulatedTestbed
+
+
+class TestRadioNode:
+    def test_reference_power(self):
+        node = RadioNode("a", (0.0, 0.0), tx_amplitude=800.0)
+        assert node.tx_power_dbm == pytest.approx(node.reference_power_dbm)
+
+    def test_quadratic_amplitude_law(self):
+        node = RadioNode("a", (0.0, 0.0), tx_amplitude=400.0)
+        # half amplitude = -6.02 dB
+        assert node.tx_power_dbm == pytest.approx(node.reference_power_dbm - 6.02, abs=0.01)
+
+    def test_with_amplitude_copies(self):
+        node = RadioNode("a", (1.0, 2.0), tx_amplitude=800.0)
+        other = node.with_amplitude(600.0)
+        assert other.tx_amplitude == 600.0
+        assert other.position == node.position
+        assert node.tx_amplitude == 800.0
+
+    def test_rejects_nonpositive_amplitude(self):
+        with pytest.raises(ValueError):
+            RadioNode("a", (0.0, 0.0), tx_amplitude=0.0)
+
+
+def _simple_testbed(**kwargs):
+    channel = IndoorChannel(noise_power_dbm=-110.0)
+    nodes = [
+        RadioNode("tx", (0.0, 0.0), tx_amplitude=800.0),
+        RadioNode("relay", (1.0, 1.0), tx_amplitude=800.0),
+        RadioNode("rx", (2.0, 0.0), tx_amplitude=800.0),
+    ]
+    return SimulatedTestbed(channel, nodes, **kwargs)
+
+
+class TestTestbed:
+    def test_duplicate_names_rejected(self):
+        channel = IndoorChannel()
+        nodes = [RadioNode("x", (0.0, 0.0)), RadioNode("x", (1.0, 0.0))]
+        with pytest.raises(ValueError):
+            SimulatedTestbed(channel, nodes)
+
+    def test_link_snr_uses_tx_power(self):
+        tb = _simple_testbed()
+        base = tb.link_snr_db("tx", "rx")
+        tb.nodes["tx"] = tb.nodes["tx"].with_amplitude(400.0)
+        assert tb.link_snr_db("tx", "rx") == pytest.approx(base - 6.02, abs=0.01)
+
+    def test_blocked_link_goes_rayleigh(self):
+        channel = IndoorChannel(walls=[Wall((1.0, -1.0), (1.0, 1.0), 10.0)])
+        nodes = [RadioNode("tx", (0.0, 0.0)), RadioNode("rx", (2.0, 0.0))]
+        tb = SimulatedTestbed(channel, nodes, rician_k=4.0)
+        assert tb._link_k("tx", "rx") == 0.0
+
+    def test_clear_link_keeps_k(self):
+        tb = _simple_testbed(rician_k=4.0)
+        assert tb._link_k("tx", "relay") == 4.0
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            _simple_testbed(rician_k=-1.0)
+
+
+class TestRelayExperiment:
+    def test_runs_and_improves(self):
+        channel = IndoorChannel(
+            walls=[Wall((1.0, -0.5), (1.0, 0.5), 25.0)], noise_power_dbm=-110.0
+        )
+        nodes = [
+            RadioNode("tx", (0.0, 0.0), tx_amplitude=60.0),
+            RadioNode("relay", (1.0, 1.5), tx_amplitude=60.0),
+            RadioNode("rx", (2.0, 0.0), tx_amplitude=60.0),
+        ]
+        tb = SimulatedTestbed(channel, nodes)
+        direct = tb.run_relay_experiment("tx", [], "rx", n_bits=30_000, rng=0)
+        coop = tb.run_relay_experiment("tx", ["relay"], "rx", n_bits=30_000, rng=1)
+        assert coop.ber < direct.ber
+
+    def test_deterministic(self):
+        tb = _simple_testbed()
+        a = tb.run_relay_experiment("tx", ["relay"], "rx", n_bits=5_000, rng=3)
+        b = tb.run_relay_experiment("tx", ["relay"], "rx", n_bits=5_000, rng=3)
+        assert a.ber == b.ber
+
+
+class TestPacketExperiment:
+    def test_power_constraints_ordering(self):
+        """coherent (>6 dB worth) <= per_node (+3 dB) <= total."""
+        tb = _simple_testbed(rician_k=4.0)
+        # weaken the link so PER is observable
+        for name in ("tx", "relay"):
+            node = tb.nodes[name].with_amplitude(800.0)
+            node.reference_power_dbm = -52.0
+            tb.nodes[name] = node
+        pers = {}
+        for mode in ("coherent", "per_node", "total"):
+            result = tb.run_packet_experiment(
+                ["tx", "relay"], "rx", n_packets=250, packet_bits=2048,
+                modem=GMSKModem(), power_constraint=mode, rng=9,
+            )
+            pers[mode] = result.per
+        assert pers["coherent"] <= pers["per_node"] + 0.05
+        assert pers["per_node"] <= pers["total"] + 0.05
+
+    def test_solo_matches_modes(self):
+        """With one transmitter every power mode reduces to plain SISO."""
+        tb = _simple_testbed()
+        results = [
+            tb.run_packet_experiment(
+                ["tx"], "rx", n_packets=20, packet_bits=512,
+                modem=BPSKModem(), power_constraint=mode, rng=4,
+            ).per
+            for mode in ("coherent", "per_node", "total")
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_validation(self):
+        tb = _simple_testbed()
+        with pytest.raises(ValueError):
+            tb.run_packet_experiment([], "rx", 10, 128, BPSKModem())
+        with pytest.raises(ValueError):
+            tb.run_packet_experiment(["tx", "relay", "rx"], "rx", 10, 128, BPSKModem())
+        with pytest.raises(ValueError):
+            tb.run_packet_experiment(["tx"], "rx", 10, 128, BPSKModem(), power_constraint="x")

@@ -1,0 +1,50 @@
+"""RNG plumbing tests: coercion, determinism, stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(7).integers(0, 1_000_000, 10)
+        b = as_rng(7).integers(0, 1_000_000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_seedsequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(as_rng(seq), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_deterministic_from_seed(self):
+        a = [g.random() for g in spawn_rngs(42, 3)]
+        b = [g.random() for g in spawn_rngs(42, 3)]
+        assert a == b
+
+    def test_children_differ_from_each_other(self):
+        children = spawn_rngs(42, 4)
+        draws = [g.integers(0, 2**62) for g in children]
+        assert len(set(draws)) == 4

@@ -1,0 +1,81 @@
+"""Unit-conversion tests: known anchors, inverses, and error paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.units import (
+    db_to_linear,
+    dbi_to_linear,
+    dbm_per_hz_to_watts_per_hz,
+    dbm_to_watts,
+    linear_to_db,
+    milliwatts_to_watts,
+    watts_to_dbm,
+)
+
+
+class TestAnchors:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == 1.0
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_three_db_is_about_two(self):
+        assert db_to_linear(3.0) == pytest.approx(2.0, rel=0.01)
+
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_thermal_noise_floor(self):
+        # -174 dBm/Hz is the textbook room-temperature value ~4e-21 W/Hz
+        assert dbm_per_hz_to_watts_per_hz(-174.0) == pytest.approx(3.98e-21, rel=0.01)
+
+    def test_dbi_matches_db(self):
+        assert dbi_to_linear(5.0) == pytest.approx(db_to_linear(5.0))
+
+    def test_milliwatts(self):
+        assert milliwatts_to_watts(48.64) == pytest.approx(0.04864)
+
+
+class TestInverses:
+    @given(st.floats(min_value=-200.0, max_value=200.0))
+    def test_db_roundtrip(self, x):
+        assert linear_to_db(db_to_linear(x)) == pytest.approx(x, abs=1e-9)
+
+    @given(st.floats(min_value=-150.0, max_value=60.0))
+    def test_dbm_roundtrip(self, x):
+        assert watts_to_dbm(dbm_to_watts(x)) == pytest.approx(x, abs=1e-9)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_monotone(self, x):
+        assert db_to_linear(x + 1.0) > db_to_linear(x)
+
+
+class TestArrays:
+    def test_db_to_linear_broadcasts(self):
+        out = db_to_linear(np.array([0.0, 10.0, 20.0]))
+        np.testing.assert_allclose(out, [1.0, 10.0, 100.0])
+
+    def test_linear_to_db_rejects_nonpositive_array(self):
+        with pytest.raises(ValueError):
+            linear_to_db(np.array([1.0, 0.0]))
+
+
+class TestErrors:
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            linear_to_db(-3.0)
+
+    def test_watts_to_dbm_rejects_zero(self):
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)

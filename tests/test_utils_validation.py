@@ -1,0 +1,78 @@
+"""Validation helper tests: accepted values, rejections, edge values."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_and_returns_float(self):
+        assert check_positive(3, "x") == 3.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("3", "x")
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            check_positive(-1.0, "bandwidth")
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(4, "m") == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "m")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "m")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "m")
+
+    def test_maximum_enforced(self):
+        assert check_positive_int(4, "m", maximum=4) == 4
+        with pytest.raises(ValueError):
+            check_positive_int(5, "m", maximum=4)
+
+
+class TestCheckProbability:
+    def test_accepts_interior(self):
+        assert check_probability(0.005, "p") == 0.005
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_boundary_and_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+        assert check_in_range(2.0, "x", 1.0, 2.0) == 2.0
+
+    def test_exclusive_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 1.0, 2.0, inclusive=False)
+
+    def test_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(2.5, "x", 1.0, 2.0)
