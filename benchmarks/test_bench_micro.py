@@ -96,6 +96,14 @@ class TestFieldComputation:
         tx = np.array([[0.05, 0.0], [-0.05, 0.0]])
         points = rng.uniform(-3, 3, (1000, 2))
 
+        amps = benchmark(env.amplitude_at, tx, points, 0.12)
+        assert amps.shape == (1000,)
+
+    def test_indoor_field_1000_points_scalar_loop(self, benchmark, rng):
+        env = MultipathEnvironment.random_indoor(n_scatterers=8, rng=3)
+        tx = np.array([[0.05, 0.0], [-0.05, 0.0]])
+        points = rng.uniform(-3, 3, (1000, 2))
+
         def sweep():
             return [env.amplitude_at(tx, p, 0.12) for p in points]
 

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerate BENCH_energy.json: the energy-layer performance evidence
+# (vectorized grid solve vs scalar loop, cold/warm table construction).
+#
+# Usage: scripts/bench_energy.sh  [extra pytest args]
+set -e
+cd "$(dirname "$0")/.."
+REPRO_NO_CACHE=0 PYTHONPATH=src python -m pytest \
+    benchmarks/test_bench_ebar_table.py \
+    --benchmark-only \
+    --benchmark-json=BENCH_energy.json \
+    -q "$@"
+echo "wrote BENCH_energy.json"

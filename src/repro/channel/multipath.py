@@ -107,16 +107,36 @@ class MultipathEnvironment:
     # ------------------------------------------------------------------ #
 
     def path_lengths(self, tx_positions: np.ndarray, rx_position: np.ndarray) -> np.ndarray:
-        """``(n_tx, 1 + n_scat)`` path lengths: direct first, then echoes."""
+        """Path lengths per transmitter: direct first, then echoes.
+
+        ``rx_position`` may be a single ``(2,)`` point — result
+        ``(n_tx, 1 + n_scat)`` — or a batch of ``(N, 2)`` field points —
+        result ``(N, n_tx, 1 + n_scat)``.  The batched form runs the same
+        elementwise arithmetic as the scalar one, just across the leading
+        axis.
+        """
         tx = as_points(tx_positions)
         rx = np.asarray(rx_position, dtype=float)
-        d_los = np.linalg.norm(tx - rx[None, :], axis=1)  # (n_tx,)
+        if rx.ndim == 1:
+            d_los = np.linalg.norm(tx - rx[None, :], axis=1)  # (n_tx,)
+            if not self.scatterers:
+                return d_los[:, None]
+            scat = np.array([s.position for s in self.scatterers])  # (n_s, 2)
+            d_tx_s = np.linalg.norm(tx[:, None, :] - scat[None, :, :], axis=-1)
+            d_s_rx = np.linalg.norm(scat - rx[None, :], axis=1)  # (n_s,)
+            return np.concatenate([d_los[:, None], d_tx_s + d_s_rx[None, :]], axis=1)
+        if rx.ndim != 2 or rx.shape[-1] != 2:
+            raise ValueError(
+                f"rx_position must have shape (2,) or (N, 2), got {rx.shape}"
+            )
+        d_los = np.linalg.norm(tx[None, :, :] - rx[:, None, :], axis=-1)  # (N, n_tx)
         if not self.scatterers:
-            return d_los[:, None]
+            return d_los[..., None]
         scat = np.array([s.position for s in self.scatterers])  # (n_s, 2)
-        d_tx_s = np.linalg.norm(tx[:, None, :] - scat[None, :, :], axis=-1)
-        d_s_rx = np.linalg.norm(scat - rx[None, :], axis=1)  # (n_s,)
-        return np.concatenate([d_los[:, None], d_tx_s + d_s_rx[None, :]], axis=1)
+        d_tx_s = np.linalg.norm(tx[:, None, :] - scat[None, :, :], axis=-1)  # (n_tx, n_s)
+        d_s_rx = np.linalg.norm(scat[None, :, :] - rx[:, None, :], axis=-1)  # (N, n_s)
+        echoes = d_tx_s[None, :, :] + d_s_rx[:, None, :]  # (N, n_tx, n_s)
+        return np.concatenate([d_los[..., None], echoes], axis=-1)
 
     def field_at(
         self,
@@ -125,7 +145,7 @@ class MultipathEnvironment:
         wavelength_m: float,
         tx_phases_rad: np.ndarray = None,
         tx_amplitudes: np.ndarray = None,
-    ) -> complex:
+    ):
         """Coherent narrowband field at ``rx_position``.
 
         Parameters
@@ -133,7 +153,9 @@ class MultipathEnvironment:
         tx_positions:
             ``(n_tx, 2)`` transmitter coordinates.
         rx_position:
-            ``(2,)`` receiver coordinate.
+            ``(2,)`` receiver coordinate, or ``(N, 2)`` field points — the
+            batched form (used by the Figure 8 semicircle walk) returns the
+            ``N`` complex fields in one vectorized evaluation.
         wavelength_m:
             Carrier wavelength ``w``.
         tx_phases_rad:
@@ -147,8 +169,10 @@ class MultipathEnvironment:
 
         Returns
         -------
-        The complex field summed over all transmitters and paths.  Its
-        magnitude is the "amplitude" reported in Table 1 / Figure 8.
+        The complex field summed over all transmitters and paths (its
+        magnitude is the "amplitude" reported in Table 1 / Figure 8) — a
+        scalar ``complex`` for a single rx point, an ``(N,)`` complex array
+        for a batch of field points.
         """
         if wavelength_m <= 0.0:
             raise ValueError("wavelength_m must be positive")
@@ -160,14 +184,22 @@ class MultipathEnvironment:
             raise ValueError("tx_phases_rad and tx_amplitudes must have one entry per tx")
 
         k = 2.0 * np.pi / wavelength_m
-        paths = self.path_lengths(tx, np.asarray(rx_position, float))  # (n_tx, P)
-        path_amp = np.ones(paths.shape[1])
+        # (n_tx, P) for one rx point, (N, n_tx, P) for a batch; the per-tx
+        # factors broadcast against the trailing two axes either way
+        paths = self.path_lengths(tx, np.asarray(rx_position, float))
+        path_amp = np.ones(paths.shape[-1])
         if self.scatterers:
             path_amp[1:] = [s.amplitude for s in self.scatterers]
-        contrib = path_amp[None, :] * np.exp(1j * (phases[:, None] - k * paths))
+        contrib = path_amp * np.exp(1j * (phases[:, None] - k * paths))
         if self.amplitude_decay_with_distance:
             contrib = contrib / np.maximum(paths, 1e-9)
-        return complex(np.sum(amps[:, None] * contrib))
+        summand = amps[:, None] * contrib
+        # flatten each (n_tx, P) block so the batched reduction adds terms
+        # in the same order as the single-point np.sum over the whole block
+        total = summand.reshape(summand.shape[:-2] + (-1,)).sum(axis=-1)
+        if paths.ndim == 2:
+            return complex(total)
+        return total
 
     def amplitude_at(
         self,
@@ -176,10 +208,16 @@ class MultipathEnvironment:
         wavelength_m: float,
         tx_phases_rad: np.ndarray = None,
         tx_amplitudes: np.ndarray = None,
-    ) -> float:
-        """Magnitude of :meth:`field_at` (the measured received amplitude)."""
-        return abs(
-            self.field_at(
-                tx_positions, rx_position, wavelength_m, tx_phases_rad, tx_amplitudes
-            )
+    ):
+        """Magnitude of :meth:`field_at` (the measured received amplitude).
+
+        A ``float`` for one rx point, an ``(N,)`` array for a batch.
+        """
+        field = self.field_at(
+            tx_positions, rx_position, wavelength_m, tx_phases_rad, tx_amplitudes
         )
+        if isinstance(field, complex):
+            return abs(field)
+        # np.abs on complex128 can differ from abs(complex) by one ulp;
+        # np.hypot reproduces the scalar magnitude bit-for-bit
+        return np.hypot(field.real, field.imag)

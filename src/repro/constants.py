@@ -144,26 +144,28 @@ class SystemConstants:
     # Derived model quantities                                           #
     # ------------------------------------------------------------------ #
 
-    def local_gain(self, distance_m: float) -> float:
+    def local_gain(self, distance_m):
         """Local-transmission path gain ``G_d = G1 * d^kappa * M_l`` (linear).
 
         ``distance_m`` is the intra-cluster hop length ``d``; the result
         multiplies the required received energy to obtain transmit energy in
-        formula (1) of the paper.
+        formula (1) of the paper.  Accepts an array of distances (the
+        vectorized experiment sweeps), returning an array of gains.
         """
-        if distance_m <= 0.0:
+        if np.any(np.asarray(distance_m) <= 0.0):
             raise ValueError(f"distance_m must be positive, got {distance_m}")
         return self.g1_w * distance_m**self.kappa * self.link_margin_linear
 
-    def longhaul_gain(self, distance_m: float) -> float:
+    def longhaul_gain(self, distance_m):
         """Long-haul path gain ``(4 pi D)^2 / (G_t G_r lambda^2) * M_l * N_f``.
 
         This is the multiplicative factor of ``e_bar_b`` in formula (3);
         it converts required received energy per bit into transmitted energy
         per bit over the ``D``-meter cooperative link (square-law fall-off,
-        i.e. free space, as the paper assumes for the long haul).
+        i.e. free space, as the paper assumes for the long haul).  Accepts an
+        array of distances, returning elementwise gains.
         """
-        if distance_m <= 0.0:
+        if np.any(np.asarray(distance_m) <= 0.0):
             raise ValueError(f"distance_m must be positive, got {distance_m}")
         numerator = (4.0 * np.pi * distance_m) ** 2
         denominator = self.antenna_gain_linear * self.wavelength_m**2

@@ -27,7 +27,9 @@ the direct path, how far can the relay cluster sit from Pt (D2) and from Pr
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from repro.energy.model import EnergyModel
 from repro.energy.optimize import (
@@ -197,6 +199,122 @@ class OverlaySystem:
             b_miso=miso.b,
         )
 
+    # ------------------------------------------------------------------ #
+    # Vectorized D1-axis sweep                                           #
+    # ------------------------------------------------------------------ #
+
+    def _direct_energy_over_d1(
+        self, d1: np.ndarray, p_direct: float, bandwidth: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Step 1 over a D1 vector: per-point ``(b_direct, E_1)`` arrays.
+
+        For each candidate ``b`` the direct-link total is evaluated over the
+        whole distance axis at once (one ``e_bar_b`` solve per ``b`` instead
+        of one per grid point); the reduction over ``b`` replicates
+        :func:`minimize_over_b` — infeasible sizes skipped, first minimum
+        wins — on bit-identical per-point values.
+        """
+        totals = np.full((len(self.b_range), d1.size), np.inf)
+        for row, b in enumerate(self.b_range):
+            try:
+                pa = self.model.mimo_tx_pa_batch(p_direct, b, 1, 1, d1, bandwidth)
+                circuit = self.model.mimo_tx(
+                    p_direct, b, 1, 1, float(d1[0]), bandwidth
+                ).circuit
+            except ValueError:
+                continue
+            totals[row] = pa + circuit
+        if np.isinf(totals).all(axis=0).any():
+            raise ValueError("no feasible constellation size in the given range")
+        best = np.argmin(totals, axis=0)
+        b_direct = np.array(self.b_range)[best]
+        return b_direct, totals[best, np.arange(d1.size)]
+
+    def _max_distance_over_budgets(
+        self,
+        budgets: np.ndarray,
+        p_relay: float,
+        mt: int,
+        mr: int,
+        bandwidth: float,
+        with_rx_circuit: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Steps 2/3 over a budget vector: ``(b, D)`` maximizing the reach.
+
+        Vector form of :func:`maximize_mimo_distance` over all budgets at
+        once; the quadratic inversion of
+        :meth:`repro.energy.model.EnergyModel.max_mimo_distance` is applied
+        per candidate ``b`` to the whole budget axis.
+        """
+        c = self.model.constants
+        unit_gain = c.longhaul_gain(1.0)
+        reaches = np.full((len(self.b_range), budgets.size), -np.inf)
+        for row, b in enumerate(self.b_range):
+            alpha = c.peak_to_average_alpha(b)
+            circuit = (c.p_ct_w + c.p_syn_w) / (b * bandwidth)
+            extra = self.model.mimo_rx(b, bandwidth).total if with_rx_circuit else 0.0
+            headroom = budgets - circuit - extra
+            try:
+                ebar = self.model.ebar(p_relay, b, mt, mr)
+            except ValueError:
+                # Exhausted budgets still yield a 0.0 candidate (the scalar
+                # inversion returns before ever solving e_bar_b there).
+                reaches[row] = np.where(headroom <= 0.0, 0.0, -np.inf)
+                continue
+            d_squared = headroom * mt / ((1.0 + alpha) * ebar * unit_gain)
+            reaches[row] = np.where(
+                headroom <= 0.0, 0.0, np.sqrt(np.maximum(d_squared, 0.0))
+            )
+        if np.isinf(reaches).all(axis=0).any():
+            raise ValueError("no feasible constellation size in the given range")
+        best = np.argmax(reaches, axis=0)
+        return np.array(self.b_range)[best], reaches[best, np.arange(budgets.size)]
+
+    def distance_analyses(
+        self,
+        d1_values: Sequence[float],
+        m: int,
+        bandwidth: float,
+        p_direct: float = 0.005,
+        p_relay: float = 0.0005,
+    ) -> List[OverlayDistanceResult]:
+        """Vectorized :meth:`distance_analysis` over the whole D1 axis.
+
+        Produces exactly the same results as calling
+        :meth:`distance_analysis` per point (the per-``b`` kernels run the
+        identical arithmetic, just across the distance vector), while
+        solving each ``e_bar_b`` once per constellation size instead of once
+        per grid point.
+        """
+        m = check_positive_int(m, "m")
+        p_direct = check_probability(p_direct, "p_direct")
+        p_relay = check_probability(p_relay, "p_relay")
+        bandwidth = check_positive(bandwidth, "bandwidth")
+        d1 = np.asarray([check_positive(v, "d1") for v in d1_values], dtype=float)
+        b_direct, e1 = self._direct_energy_over_d1(d1, p_direct, bandwidth)
+        b_simo, d2 = self._max_distance_over_budgets(
+            e1, p_relay, 1, m, bandwidth, with_rx_circuit=False
+        )
+        b_miso, d3 = self._max_distance_over_budgets(
+            e1, p_relay, m, 1, bandwidth, with_rx_circuit=True
+        )
+        return [
+            OverlayDistanceResult(
+                d1=float(d1[i]),
+                m=m,
+                bandwidth=float(bandwidth),
+                p_direct=p_direct,
+                p_relay=p_relay,
+                e1=float(e1[i]),
+                b_direct=int(b_direct[i]),
+                d2=float(d2[i]),
+                b_simo=int(b_simo[i]),
+                d3=float(d3[i]),
+                b_miso=int(b_miso[i]),
+            )
+            for i in range(d1.size)
+        ]
+
     def distance_sweep(
         self,
         d1_values: Sequence[float],
@@ -205,10 +323,15 @@ class OverlaySystem:
         p_direct: float = 0.005,
         p_relay: float = 0.0005,
     ) -> list:
-        """The full Figure 6 grid: one result per (D1, m, B) combination."""
-        return [
-            self.distance_analysis(d1, m, bw, p_direct, p_relay)
-            for bw in bandwidths
-            for m in m_values
-            for d1 in d1_values
-        ]
+        """The full Figure 6 grid: one result per (D1, m, B) combination.
+
+        Each (m, B) cell sweeps its D1 axis vectorized via
+        :meth:`distance_analyses`.
+        """
+        results = []
+        for bw in bandwidths:
+            for m in m_values:
+                results.extend(
+                    self.distance_analyses(d1_values, m, bw, p_direct, p_relay)
+                )
+        return results

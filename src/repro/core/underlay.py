@@ -26,7 +26,9 @@ the analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Sequence
+
+import numpy as np
 
 from repro.core.schemes import HopEnergy, hop_energy
 from repro.energy.model import EnergyModel
@@ -147,6 +149,65 @@ class UnderlaySystem:
             >= required_margin
         )
 
+    def pa_energy_sweep(
+        self,
+        p: float,
+        mt: int,
+        mr: int,
+        d: float,
+        distances: Sequence[float],
+        bandwidth: float,
+    ) -> List[UnderlayEnergyResult]:
+        """Vectorized :meth:`pa_energy` over the long-haul distance axis.
+
+        For each candidate ``b`` the hop's total PA energy is evaluated over
+        the whole ``D`` vector in one shot (one ``e_bar_b`` solve and one
+        local-link inversion per ``b``, instead of one per grid point); the
+        reduction over ``b`` then matches :func:`minimize_over_b` exactly —
+        infeasible sizes skipped, first minimum wins — on bit-identical
+        per-point totals, so the returned rows equal the scalar path's.
+        """
+        p = check_probability(p, "p")
+        mt = check_positive_int(mt, "mt")
+        mr = check_positive_int(mr, "mr")
+        check_positive(d, "d")
+        check_positive(bandwidth, "bandwidth")
+        dist = np.asarray(
+            [check_positive(float(v), "distance") for v in distances], dtype=float
+        )
+        totals = np.full((len(self.b_range), dist.size), np.inf)
+        for row, b in enumerate(self.b_range):
+            try:
+                # hop_energy prices the local link before the long haul, so a
+                # b infeasible for either segment is skipped for every D
+                local_pa = self.model.local_tx(p, b, d, bandwidth).pa
+                pa_vec = self.model.mimo_tx_pa_batch(p, b, mt, mr, dist, bandwidth)
+            except ValueError:
+                continue
+            pa_local_a = local_pa if mt > 1 else 0.0
+            pa_local_b = mr * local_pa if mr > 1 else 0.0
+            totals[row] = pa_local_a + mt * pa_vec + pa_local_b
+        if np.isinf(totals).all(axis=0).any():
+            raise ValueError("no feasible constellation size in the given range")
+        best = np.argmin(totals, axis=0)
+        results = []
+        for j in range(dist.size):
+            b = self.b_range[int(best[j])]
+            hop = self._hop(p, b, mt, mr, d, float(dist[j]), bandwidth)
+            results.append(
+                UnderlayEnergyResult(
+                    mt=mt,
+                    mr=mr,
+                    b=b,
+                    d=float(d),
+                    distance=float(dist[j]),
+                    total_pa=hop.pa_total,
+                    peak_pa=hop.pa_peak,
+                    hop=hop,
+                )
+            )
+        return results
+
     def sweep(
         self,
         p: float,
@@ -155,9 +216,12 @@ class UnderlaySystem:
         distances: Sequence[float],
         bandwidth: float,
     ) -> list:
-        """The Figure 7 grid: one result per ((mt, mr), D) combination."""
-        return [
-            self.pa_energy(p, mt, mr, d, float(dist), bandwidth)
-            for (mt, mr) in configs
-            for dist in distances
-        ]
+        """The Figure 7 grid: one result per ((mt, mr), D) combination.
+
+        Each (mt, mr) configuration sweeps its distance axis vectorized via
+        :meth:`pa_energy_sweep`.
+        """
+        results = []
+        for (mt, mr) in configs:
+            results.extend(self.pa_energy_sweep(p, mt, mr, d, distances, bandwidth))
+        return results

@@ -11,28 +11,33 @@ Layout:
   used by every algorithm's "determine constellation size b which minimizes
   e_bar_b" step;
 * :mod:`repro.energy.table` — the precomputed ``e_bar_b`` lookup table that
-  Algorithms 1 and 2 load into each SU node ("Preprocessing").
+  Algorithms 1 and 2 load into each SU node ("Preprocessing"), built by one
+  vectorized :func:`repro.energy.ebar.solve_ebar_batch` call and cached
+  in-process and on disk (see ``default_cache_dir``).
 """
 
 from repro.energy.ebar import (
     average_ber,
     average_ber_monte_carlo,
     solve_ebar,
+    solve_ebar_batch,
 )
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.energy.optimize import (
     minimize_mimo_tx_energy,
     maximize_mimo_distance,
 )
-from repro.energy.table import EbarTable
+from repro.energy.table import EbarTable, default_cache_dir
 
 __all__ = [
     "average_ber",
     "average_ber_monte_carlo",
     "solve_ebar",
+    "solve_ebar_batch",
     "EnergyModel",
     "EnergyBreakdown",
     "minimize_mimo_tx_energy",
     "maximize_mimo_distance",
     "EbarTable",
+    "default_cache_dir",
 ]

@@ -40,7 +40,7 @@ from repro.utils.validation import check_positive, check_positive_int, check_pro
 
 ArrayLike = Union[float, np.ndarray]
 
-__all__ = ["average_ber", "solve_ebar", "average_ber_monte_carlo"]
+__all__ = ["average_ber", "solve_ebar", "solve_ebar_batch", "average_ber_monte_carlo"]
 
 #: Default receiver-referred noise PSD N_0 = -171 dBm/Hz in W/Hz.
 DEFAULT_N0 = 10.0 ** (-171.0 / 10.0) * 1e-3
@@ -137,6 +137,151 @@ def solve_ebar(
         raise RuntimeError("failed to bracket the e_bar_b root")
     root = optimize.brentq(objective, lo, hi, xtol=xtol)
     return float(10.0**root)
+
+
+def _mqam_coefficients_array(b: np.ndarray):
+    """Vectorized :func:`repro.modulation.theory.mqam_ber_coefficients`.
+
+    ``b`` is an integer array; returns float arrays ``(a, g)`` elementwise
+    identical to the scalar helper (same operation order, so results are
+    bit-equal where the scalar path is used).
+    """
+    bf = b.astype(float)
+    with np.errstate(over="ignore"):
+        a_qam = 4.0 / bf * (1.0 - 2.0 ** (-bf / 2.0))
+        g_qam = 3.0 * bf / (2.0**bf - 1.0)
+    a = np.where(b == 1, 1.0, a_qam)
+    g = np.where(b == 1, 2.0, g_qam)
+    return a, g
+
+
+def _rayleigh_diversity_avg_qfunc_array(c: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """``E[Q(sqrt(2 c G))]`` with *per-element* diversity order ``k``.
+
+    Same closed form as
+    :func:`repro.modulation.theory.rayleigh_diversity_avg_qfunc`, evaluated
+    for an array of diversity orders at once: terms ``i >= k`` of the padded
+    series are masked to zero (adding exact zeros does not change the sum).
+    """
+    from scipy import special
+
+    mu = np.sqrt(c / (1.0 + c))
+    half_minus = (1.0 - mu) / 2.0
+    half_plus = (1.0 + mu) / 2.0
+    k_max = int(k.max())
+    i = np.arange(k_max)
+    binoms = special.comb(k[..., None] - 1 + i, i)  # C(k-1+i, i)
+    powers = half_plus[..., None] ** i
+    series = np.sum(np.where(i < k[..., None], binoms * powers, 0.0), axis=-1)
+    return half_minus**k * series
+
+
+def solve_ebar_batch(
+    p: ArrayLike,
+    b: ArrayLike,
+    mt: ArrayLike,
+    mr: ArrayLike,
+    n0: ArrayLike = DEFAULT_N0,
+    xtol: float = 1e-12,
+    convention: str = "paper",
+) -> np.ndarray:
+    """Vectorized :func:`solve_ebar`: all grid points converge simultaneously.
+
+    Broadcasts ``p``, ``b``, ``mt``, ``mr`` and ``n0`` against each other and
+    inverts the average-BER relation for every point at once with a bracketed
+    bisection in log10 space (the same ``[-26, -8]`` starting bracket and the
+    same defensive expansion as the scalar solver).  This is the kernel the
+    "Preprocessing" table build runs on: one call replaces thousands of
+    per-point ``brentq`` root-finds.
+
+    Unlike the scalar solver, *infeasible* points — a target BER at or above
+    the modulation's zero-energy ceiling ``a/2``, outside ``(0, 1)``, or (for
+    pathological ``n0``) unbracketable — are masked to NaN instead of
+    raising, so one call can cover a mixed feasible/infeasible grid.
+
+    Parameters
+    ----------
+    p, b, mt, mr, n0:
+        Broadcastable arrays (or scalars) of BER targets, constellation
+        sizes, node counts and noise PSDs.  ``b``, ``mt``, ``mr`` must be
+        integer-valued and >= 1; ``n0`` must be positive.
+    xtol:
+        Absolute tolerance on the log10-space root (matches the scalar
+        solver's ``brentq`` tolerance; the two agree to ~1e-11 relative).
+    convention:
+        ``e_bar_b`` normalization, as in :func:`average_ber`.
+
+    Returns
+    -------
+    ``e_bar_b`` as a float ndarray of the broadcast shape (0-d for all-scalar
+    input), with NaN at infeasible points.
+    """
+    if convention not in CONVENTIONS:
+        raise ValueError(f"convention must be one of {CONVENTIONS}, got {convention!r}")
+    p_a, b_a, mt_a, mr_a, n0_a = np.broadcast_arrays(
+        np.asarray(p, dtype=float),
+        np.asarray(b),
+        np.asarray(mt),
+        np.asarray(mr),
+        np.asarray(n0, dtype=float),
+    )
+    for name, arr in (("b", b_a), ("mt", mt_a), ("mr", mr_a)):
+        if not np.issubdtype(arr.dtype, np.number) or np.any(arr != np.floor(arr)):
+            raise ValueError(f"{name} must be integer-valued")
+        if np.any(arr < 1):
+            raise ValueError(f"{name} must be >= 1")
+    if np.any(n0_a <= 0.0) or not np.all(np.isfinite(n0_a)):
+        raise ValueError("n0 must be strictly positive and finite")
+
+    shape = p_a.shape
+    p_f = p_a.reshape(-1)
+    b_f = b_a.reshape(-1).astype(int)
+    mt_f = mt_a.reshape(-1).astype(int)
+    mr_f = mr_a.reshape(-1).astype(int)
+    n0_f = n0_a.reshape(-1)
+
+    a_coef, g_coef = _mqam_coefficients_array(b_f)
+    feasible = (p_f > 0.0) & (p_f < 1.0) & (p_f < a_coef / 2.0)
+
+    out = np.full(p_f.shape, np.nan)
+    if np.any(feasible):
+        idx = np.nonzero(feasible)[0]
+        target = p_f[idx]
+        a_s = a_coef[idx]
+        divisor = n0_f[idx] * mt_f[idx] if convention == "paper" else n0_f[idx]
+        scale = g_coef[idx] / (2.0 * divisor)  # c = scale * ebar
+        k = mt_f[idx] * mr_f[idx]
+
+        def objective(log10_e: np.ndarray) -> np.ndarray:
+            c = scale * 10.0**log10_e
+            return a_s * _rayleigh_diversity_avg_qfunc_array(c, k) - target
+
+        lo = np.full(idx.shape, -26.0)
+        hi = np.full(idx.shape, -8.0)
+        # Expand the bracket defensively, exactly as the scalar solver does.
+        for _ in range(8):
+            need = (objective(lo) < 0.0) & (lo > -60.0)
+            if not need.any():
+                break
+            lo[need] -= 5.0
+        for _ in range(4):
+            need = (objective(hi) > 0.0) & (hi < 10.0)
+            if not need.any():
+                break
+            hi[need] += 5.0
+        bracketed = (objective(lo) >= 0.0) & (objective(hi) <= 0.0)
+
+        # Bisection: the objective is strictly decreasing in log10(e).
+        for _ in range(512):
+            if not np.any((hi - lo) > xtol):
+                break
+            mid = 0.5 * (lo + hi)
+            above = objective(mid) > 0.0
+            lo = np.where(above, mid, lo)
+            hi = np.where(above, hi, mid)
+        root = 0.5 * (lo + hi)
+        out[idx] = np.where(bracketed, 10.0**root, np.nan)
+    return out.reshape(shape)
 
 
 def average_ber_monte_carlo(

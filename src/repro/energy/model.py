@@ -67,6 +67,12 @@ class EnergyModel:
         Normalization convention forwarded to the default solver; ignored
         when an explicit ``ebar_provider`` is given.  See
         :func:`repro.energy.ebar.average_ber`.
+    memoize_ebar:
+        When True (default), successful ``e_bar_b`` queries are memoized per
+        ``(p, b, mt, mr)``: the experiment sweeps re-ask for the same points
+        thousands of times (every distance cell re-prices the same link),
+        and the providers are pure functions of their arguments, so caching
+        is exact.  Pass False for a stateful custom provider.
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class EnergyModel:
         ebar_provider: Optional[Callable[[float, int, int, int], float]] = None,
         packet_bits: int = DEFAULT_PACKET_BITS,
         ebar_convention: str = "paper",
+        memoize_ebar: bool = True,
     ):
         self.constants = constants
         self.ebar_convention = ebar_convention
@@ -84,6 +91,7 @@ class EnergyModel:
             )
         )
         self.packet_bits = check_positive_int(packet_bits, "packet_bits")
+        self._ebar_cache: Optional[dict] = {} if memoize_ebar else None
 
     # ------------------------------------------------------------------ #
     # e_bar_b passthrough                                                #
@@ -91,7 +99,16 @@ class EnergyModel:
 
     def ebar(self, p: float, b: int, mt: int, mr: int) -> float:
         """Required received energy per bit over the ``mt x mr`` link [J]."""
-        return self._ebar(p, b, mt, mr)
+        cache = self._ebar_cache
+        if cache is None:
+            return self._ebar(p, b, mt, mr)
+        key = (p, b, mt, mr)
+        try:
+            return cache[key]
+        except KeyError:
+            value = self._ebar(p, b, mt, mr)
+            cache[key] = value
+            return value
 
     # ------------------------------------------------------------------ #
     # Formula (1): local transmission                                    #
@@ -176,6 +193,36 @@ class EnergyModel:
         pa = (1.0 / mt) * (1.0 + alpha) * ebar * c.longhaul_gain(distance)
         circuit = (c.p_ct_w + c.p_syn_w) / (b * bandwidth)
         return EnergyBreakdown(pa=float(pa), circuit=float(circuit))
+
+    def mimo_tx_pa_batch(
+        self,
+        p: float,
+        b: int,
+        mt: int,
+        mr: int,
+        distances: np.ndarray,
+        bandwidth: float,
+    ) -> np.ndarray:
+        """PA component of :meth:`mimo_tx` over an array of link distances.
+
+        Elementwise identical to ``mimo_tx(...).pa`` at each distance (the
+        same operation order on the same floats), which lets the experiment
+        sweeps evaluate a whole distance axis per constellation size in one
+        shot.  The circuit component is distance-independent —
+        ``mimo_tx(p, b, mt, mr, d, bandwidth).circuit`` at any ``d``.
+        """
+        p = check_probability(p, "p")
+        b = check_positive_int(b, "b")
+        mt = check_positive_int(mt, "mt")
+        mr = check_positive_int(mr, "mr")
+        bandwidth = check_positive(bandwidth, "bandwidth")
+        d = np.asarray(distances, dtype=float)
+        if np.any(d <= 0.0):
+            raise ValueError("distances must be strictly positive")
+        c = self.constants
+        alpha = c.peak_to_average_alpha(b)
+        ebar = self.ebar(p, b, mt, mr)
+        return (1.0 / mt) * (1.0 + alpha) * ebar * c.longhaul_gain(d)
 
     # ------------------------------------------------------------------ #
     # Formula (4): long-haul reception                                   #

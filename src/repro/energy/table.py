@@ -10,17 +10,41 @@ once (the expensive root-finding happens here) and shared by every SU node
 as an O(1) lookup.  It exposes the same ``(p, b, mt, mr) -> e_bar_b``
 callable signature as the exact solver so it can be plugged directly into
 :class:`repro.energy.model.EnergyModel`.
+
+The grid is stored as one dense ``(p, b, mt, mr)`` ndarray filled by a
+single :func:`repro.energy.ebar.solve_ebar_batch` call, and construction is
+cached at two levels:
+
+* a **process-level memo** shares the solved grid between all instances
+  with identical grid/``n0``/convention specs in the same process;
+* an **on-disk cache** (``np.savez``, keyed by a hash of the spec) makes
+  repeat experiment/benchmark runs skip the solve entirely.  The cache
+  directory defaults to ``$XDG_CACHE_HOME/repro-comimo`` (falling back to
+  ``~/.cache/repro-comimo``) and can be overridden per instance
+  (``cache_dir=...``) or via ``REPRO_CACHE_DIR``.  Set ``REPRO_NO_CACHE=1``
+  (or pass ``use_cache=False``) to disable both levels — e.g. for hermetic
+  CI runs that must not touch the home directory.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+import hashlib
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.energy.ebar import DEFAULT_N0, solve_ebar
+from repro.energy.ebar import CONVENTIONS, DEFAULT_N0, solve_ebar_batch
 
-__all__ = ["EbarTable", "DEFAULT_P_GRID", "DEFAULT_B_GRID", "DEFAULT_M_GRID"]
+__all__ = [
+    "EbarTable",
+    "DEFAULT_P_GRID",
+    "DEFAULT_B_GRID",
+    "DEFAULT_M_GRID",
+    "default_cache_dir",
+]
 
 #: BER grid matching the paper's sweep "BER p_b varies from 0.1 to 0.0005".
 DEFAULT_P_GRID: Tuple[float, ...] = (0.1, 0.05, 0.01, 0.005, 0.001, 0.0005)
@@ -29,13 +53,55 @@ DEFAULT_B_GRID: Tuple[int, ...] = tuple(range(1, 17))
 #: Cooperative node counts 1..4 on each side (Section 6 sweeps).
 DEFAULT_M_GRID: Tuple[int, ...] = (1, 2, 3, 4)
 
+#: Bump when the on-disk layout or the solver semantics change — old cache
+#: files then miss and are rebuilt rather than misread.
+_CACHE_FORMAT_VERSION = 1
+
+#: Process-level memo: spec key -> solved (read-only) grid ndarray.
+_GRID_MEMO: Dict[tuple, np.ndarray] = {}
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Resolve the on-disk cache directory for solved ``e_bar_b`` grids.
+
+    Precedence: ``REPRO_CACHE_DIR`` env var, then
+    ``$XDG_CACHE_HOME/repro-comimo``, then ``~/.cache/repro-comimo``.
+    """
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return pathlib.Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro-comimo"
+
+
+def _cache_disabled_by_env() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "0") not in ("", "0")
+
 
 class EbarTable:
     """Dense ``e_bar_b`` table over a (p, b, mt, mr) grid.
 
     Grid points whose target BER exceeds the modulation's zero-energy
     ceiling ``a/2`` (where ``a`` is the Gray-QAM BER coefficient) are
-    infeasible; they are stored as NaN and raise ``KeyError`` on lookup.
+    infeasible; they are stored as NaN and raise ``KeyError`` on (scalar)
+    lookup.
+
+    Parameters
+    ----------
+    p_values, b_values, mt_values, mr_values:
+        Grid axes (deduplicated and sorted ascending).
+    n0:
+        Noise PSD [W/Hz] the grid is solved at.
+    convention:
+        ``e_bar_b`` normalization convention, forwarded to the solver
+        (see :func:`repro.energy.ebar.average_ber`).
+    use_cache:
+        When True (default), consult the process memo and the on-disk cache
+        before solving, and populate both after a fresh solve.
+    cache_dir:
+        On-disk cache location override; defaults to
+        :func:`default_cache_dir`.
     """
 
     def __init__(
@@ -45,94 +111,230 @@ class EbarTable:
         mt_values: Sequence[int] = DEFAULT_M_GRID,
         mr_values: Sequence[int] = DEFAULT_M_GRID,
         n0: float = DEFAULT_N0,
+        convention: str = "paper",
+        use_cache: bool = True,
+        cache_dir: Union[str, pathlib.Path, None] = None,
     ):
-        self.p_values = tuple(sorted(set(float(p) for p in p_values)))
-        self.b_values = tuple(sorted(set(int(b) for b in b_values)))
-        self.mt_values = tuple(sorted(set(int(m) for m in mt_values)))
-        self.mr_values = tuple(sorted(set(int(m) for m in mr_values)))
-        self.n0 = float(n0)
-        if not (self.p_values and self.b_values and self.mt_values and self.mr_values):
+        if convention not in CONVENTIONS:
+            raise ValueError(
+                f"convention must be one of {CONVENTIONS}, got {convention!r}"
+            )
+        p_values = tuple(sorted(set(float(p) for p in p_values)))
+        b_values = tuple(sorted(set(int(b) for b in b_values)))
+        mt_values = tuple(sorted(set(int(m) for m in mt_values)))
+        mr_values = tuple(sorted(set(int(m) for m in mr_values)))
+        if not (p_values and b_values and mt_values and mr_values):
             raise ValueError("all grid axes must be non-empty")
-        self._data: Dict[Tuple[float, int, int, int], float] = {}
-        self._build()
+        self.n0 = float(n0)
+        self.convention = convention
+        self._init_axes(p_values, b_values, mt_values, mr_values)
 
-    def _build(self) -> None:
-        for p in self.p_values:
-            for b in self.b_values:
-                for mt in self.mt_values:
-                    for mr in self.mr_values:
-                        try:
-                            value = solve_ebar(p, b, mt, mr, n0=self.n0)
-                        except ValueError:
-                            value = float("nan")
-                        self._data[(p, b, mt, mr)] = value
+        caching = use_cache and not _cache_disabled_by_env()
+        cache_path = None
+        grid = _GRID_MEMO.get(self._memo_key()) if caching else None
+        if grid is None and caching:
+            cache_path = self._cache_path(cache_dir)
+            grid = self._load_cached_grid(cache_path)
+        freshly_solved = grid is None
+        if freshly_solved:
+            grid = self._build()
+        self._grid = grid
+        if caching:
+            _GRID_MEMO.setdefault(self._memo_key(), grid)
+            if freshly_solved:
+                self._save_cached_grid(cache_path or self._cache_path(cache_dir), grid)
+
+    # ------------------------------------------------------------------ #
+    # Construction internals                                             #
+    # ------------------------------------------------------------------ #
+
+    def _init_axes(self, p_values, b_values, mt_values, mr_values) -> None:
+        self.p_values = p_values
+        self.b_values = b_values
+        self.mt_values = mt_values
+        self.mr_values = mr_values
+        self._p_array = np.array(p_values)
+        self._b_index = {b: j for j, b in enumerate(b_values)}
+        self._mt_index = {m: j for j, m in enumerate(mt_values)}
+        self._mr_index = {m: j for j, m in enumerate(mr_values)}
+
+    def _build(self) -> np.ndarray:
+        """Solve the whole grid with one vectorized batch call."""
+        p_g, b_g, mt_g, mr_g = np.meshgrid(
+            self._p_array,
+            np.array(self.b_values),
+            np.array(self.mt_values),
+            np.array(self.mr_values),
+            indexing="ij",
+        )
+        grid = solve_ebar_batch(
+            p_g, b_g, mt_g, mr_g, n0=self.n0, convention=self.convention
+        )
+        grid.setflags(write=False)
+        return grid
+
+    def _memo_key(self) -> tuple:
+        return (
+            self.p_values,
+            self.b_values,
+            self.mt_values,
+            self.mr_values,
+            self.n0.hex(),
+            self.convention,
+            _CACHE_FORMAT_VERSION,
+        )
+
+    def _cache_path(self, cache_dir) -> pathlib.Path:
+        spec = repr(self._memo_key()).encode()
+        digest = hashlib.sha256(spec).hexdigest()[:20]
+        base = pathlib.Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        return base / f"ebar-v{_CACHE_FORMAT_VERSION}-{digest}.npz"
+
+    def _load_cached_grid(self, path: pathlib.Path) -> Optional[np.ndarray]:
+        try:
+            with np.load(path) as data:
+                grid = np.asarray(data["ebar"], dtype=float)
+        except (OSError, KeyError, ValueError):
+            return None
+        if grid.shape != (
+            len(self.p_values),
+            len(self.b_values),
+            len(self.mt_values),
+            len(self.mr_values),
+        ):
+            return None
+        grid.setflags(write=False)
+        return grid
+
+    def _save_cached_grid(self, path: pathlib.Path, grid: np.ndarray) -> None:
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".npz.tmp")
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **self.to_arrays())
+            os.replace(tmp_name, path)
+        except OSError:
+            # unwritable cache dir: skip silently, the table still works
+            if tmp_name is not None and os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+
+    @classmethod
+    def clear_memory_cache(cls) -> None:
+        """Drop the process-level grid memo (test/benchmark isolation)."""
+        _GRID_MEMO.clear()
 
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return len(self._data)
+        return int(self._grid.size)
 
-    def lookup(self, p: float, b: int, mt: int, mr: int) -> float:
+    @staticmethod
+    def _grid_index(index_map: Dict[int, int], value, label: str) -> int:
+        """Membership check against one grid axis; KeyError when off-grid."""
+        if float(value) != int(value) or int(value) not in index_map:
+            raise KeyError(f"{label}={value} not on the table grid")
+        return index_map[int(value)]
+
+    def _axis_index(self, b: int, mt: int, mr: int) -> Tuple[int, int, int]:
+        """Map exact (b, mt, mr) to grid indices; KeyError when off-grid."""
+        return (
+            self._grid_index(self._b_index, b, "b"),
+            self._grid_index(self._mt_index, mt, "mt"),
+            self._grid_index(self._mr_index, mr, "mr"),
+        )
+
+    def _nearest_p_index(self, p) -> np.ndarray:
+        """Indices of the nearest grid BER(s); ties snap to the smaller p."""
+        return np.argmin(
+            np.abs(self._p_array - np.asarray(p, dtype=float)[..., None]), axis=-1
+        )
+
+    def lookup(self, p, b: int, mt: int, mr: int):
         """Exact-grid lookup; ``p`` snaps to the nearest grid value.
 
         Snapping mirrors how a real node would quantize its BER target to
-        the preloaded table resolution.
+        the preloaded table resolution.  ``p`` and ``b`` may be arrays (they
+        broadcast): the result is then an ndarray in which infeasible grid
+        points appear as NaN instead of raising.  Scalar lookups keep the
+        strict behaviour — ``KeyError`` for off-grid ``(b, mt, mr)`` *and*
+        for infeasible (NaN) entries.
         """
-        p_near = min(self.p_values, key=lambda g: abs(g - p))
-        key = (p_near, int(b), int(mt), int(mr))
-        if key[1:] != (int(b), int(mt), int(mr)) or key not in self._data:
-            raise KeyError(f"(b={b}, mt={mt}, mr={mr}) not on the table grid")
-        value = self._data[key]
-        if np.isnan(value):
-            raise KeyError(f"grid point p={p_near}, b={b} is infeasible")
-        return value
+        if np.ndim(p) == 0 and np.ndim(b) == 0:
+            j, k, l = self._axis_index(b, mt, mr)
+            i = int(self._nearest_p_index(float(p)))
+            value = float(self._grid[i, j, k, l])
+            if np.isnan(value):
+                raise KeyError(
+                    f"grid point p={self.p_values[i]}, b={b} is infeasible"
+                )
+            return value
+        p_a, b_a = np.broadcast_arrays(np.asarray(p, float), np.asarray(b))
+        k = self._grid_index(self._mt_index, mt, "mt")
+        l = self._grid_index(self._mr_index, mr, "mr")
+        flat_b = b_a.reshape(-1)
+        rows = np.array(
+            [self._grid_index(self._b_index, b_val, "b") for b_val in flat_b]
+        )
+        i = self._nearest_p_index(p_a).reshape(-1)
+        return self._grid[i, rows, k, l].reshape(p_a.shape)
 
     def __call__(self, p: float, b: int, mt: int, mr: int) -> float:
         """Callable alias of :meth:`lookup` (EnergyModel provider signature)."""
         return self.lookup(p, b, mt, mr)
 
-    def lookup_interpolated(self, p: float, b: int, mt: int, mr: int) -> float:
+    def lookup_interpolated(self, p, b: int, mt: int, mr: int):
         """Log-log interpolation in ``p`` between grid points.
 
         ``e_bar_b`` is near power-law in the target BER, so interpolating
         ``log e_bar`` against ``log p`` between bracketing grid values is
         accurate to a few percent on the paper's grid (exactness on grid
         points and monotonicity are asserted by the tests).  ``p`` outside
-        the grid clamps to the nearest edge.
+        the grid clamps to the nearest edge; an array ``p`` returns an
+        ndarray.
         """
-        key_b = (int(b), int(mt), int(mr))
-        finite = [
-            g
-            for g in self.p_values
-            if not np.isnan(self._data[(g,) + key_b])
-        ]
-        if not finite:
+        j, k, l = self._axis_index(b, mt, mr)
+        column = self._grid[:, j, k, l]
+        finite = ~np.isnan(column)
+        if not finite.any():
             raise KeyError(f"no feasible grid entries for b={b}, mt={mt}, mr={mr}")
-        p_clamped = min(max(p, finite[0]), finite[-1])
-        log_p = np.log([g for g in finite])
-        log_e = np.log([self._data[(g,) + key_b] for g in finite])
-        return float(np.exp(np.interp(np.log(p_clamped), log_p, log_e)))
+        p_grid = self._p_array[finite]
+        e_grid = column[finite]
+        p_clamped = np.minimum(np.maximum(p, p_grid[0]), p_grid[-1])
+        out = np.exp(np.interp(np.log(p_clamped), np.log(p_grid), np.log(e_grid)))
+        return float(out) if np.ndim(p) == 0 else out
 
     def feasible_b(self, p: float, mt: int, mr: int) -> Tuple[int, ...]:
         """Constellation sizes with a finite table entry at this (p, mt, mr)."""
-        p_near = min(self.p_values, key=lambda g: abs(g - p))
-        return tuple(
-            b
-            for b in self.b_values
-            if not np.isnan(self._data[(p_near, b, mt, mr)])
-        )
+        k = self._grid_index(self._mt_index, mt, "mt")
+        l = self._grid_index(self._mr_index, mr, "mr")
+        i = int(self._nearest_p_index(float(p)))
+        finite = ~np.isnan(self._grid[i, :, k, l])
+        return tuple(b for b, ok in zip(self.b_values, finite) if ok)
 
-    def min_ebar_b(self, p: float, mt: int, mr: int) -> Tuple[int, float]:
+    def min_ebar_b(self, p, mt: int, mr: int):
         """The algorithms' selection rule: ``b`` minimizing ``e_bar_b``.
 
         Returns ``(b, e_bar_b)``; raises ``KeyError`` if no b is feasible.
+        With an array ``p``, returns ``(b_array, ebar_array)`` resolved per
+        entry.
         """
-        candidates = self.feasible_b(p, mt, mr)
-        if not candidates:
+        k = self._grid_index(self._mt_index, mt, "mt")
+        l = self._grid_index(self._mr_index, mr, "mr")
+        if np.ndim(p) == 0:
+            i = int(self._nearest_p_index(float(p)))
+            column = self._grid[i, :, k, l]
+            if np.isnan(column).all():
+                raise KeyError(f"no feasible b for p={p}, mt={mt}, mr={mr}")
+            j = int(np.nanargmin(column))
+            return self.b_values[j], float(column[j])
+        i = self._nearest_p_index(p)
+        block = self._grid[i, :, k, l]  # (..., n_b)
+        if np.isnan(block).all(axis=-1).any():
             raise KeyError(f"no feasible b for p={p}, mt={mt}, mr={mr}")
-        p_near = min(self.p_values, key=lambda g: abs(g - p))
-        best = min(candidates, key=lambda b: self._data[(p_near, b, mt, mr)])
-        return best, self._data[(p_near, best, mt, mr)]
+        j = np.nanargmin(block, axis=-1)
+        values = np.take_along_axis(block, j[..., None], axis=-1)[..., 0]
+        return np.array(self.b_values)[j], values
 
     # ------------------------------------------------------------------ #
     # Serialization (nodes "load the table")                             #
@@ -140,41 +342,31 @@ class EbarTable:
 
     def to_arrays(self) -> Dict[str, np.ndarray]:
         """Dense-array form suitable for ``np.savez`` / network distribution."""
-        shape = (
-            len(self.p_values),
-            len(self.b_values),
-            len(self.mt_values),
-            len(self.mr_values),
-        )
-        grid = np.empty(shape)
-        for i, p in enumerate(self.p_values):
-            for j, b in enumerate(self.b_values):
-                for k, mt in enumerate(self.mt_values):
-                    for l, mr in enumerate(self.mr_values):
-                        grid[i, j, k, l] = self._data[(p, b, mt, mr)]
         return {
             "p_values": np.array(self.p_values),
             "b_values": np.array(self.b_values),
             "mt_values": np.array(self.mt_values),
             "mr_values": np.array(self.mr_values),
-            "ebar": grid,
+            "ebar": np.array(self._grid),
             "n0": np.array(self.n0),
+            "convention": np.array(self.convention),
         }
 
     @classmethod
     def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "EbarTable":
         """Rebuild a table from :meth:`to_arrays` output without re-solving."""
         table = cls.__new__(cls)
-        table.p_values = tuple(float(p) for p in arrays["p_values"])
-        table.b_values = tuple(int(b) for b in arrays["b_values"])
-        table.mt_values = tuple(int(m) for m in arrays["mt_values"])
-        table.mr_values = tuple(int(m) for m in arrays["mr_values"])
         table.n0 = float(arrays["n0"])
-        grid = np.asarray(arrays["ebar"], dtype=float)
-        table._data = {}
-        for i, p in enumerate(table.p_values):
-            for j, b in enumerate(table.b_values):
-                for k, mt in enumerate(table.mt_values):
-                    for l, mr in enumerate(table.mr_values):
-                        table._data[(p, b, mt, mr)] = float(grid[i, j, k, l])
+        table.convention = (
+            str(arrays["convention"]) if "convention" in arrays else "paper"
+        )
+        table._init_axes(
+            tuple(float(p) for p in arrays["p_values"]),
+            tuple(int(b) for b in arrays["b_values"]),
+            tuple(int(m) for m in arrays["mt_values"]),
+            tuple(int(m) for m in arrays["mr_values"]),
+        )
+        grid = np.array(arrays["ebar"], dtype=float)
+        grid.setflags(write=False)
+        table._grid = grid
         return table

@@ -10,13 +10,16 @@ Every experiment module exposes
 
 Use :func:`repro.experiments.registry.run_experiment` or the
 ``repro-experiments`` CLI to execute them by id (``fig6``, ``fig7``,
-``table1``, ``fig8``, ``table2``, ``table3``, ``table4``, ``ebar``).
+``table1``, ``fig8``, ``table2``, ``table3``, ``table4``, ``ebar``);
+:func:`repro.experiments.registry.run_experiments` fans several over worker
+processes (``--jobs`` on the CLI) with bit-identical results.
 """
 
 from repro.experiments.registry import (
     EXPERIMENTS,
     ExperimentResult,
     run_experiment,
+    run_experiments,
 )
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment", "run_experiments"]

@@ -3,11 +3,16 @@
 Usage::
 
     repro-experiments list
-    repro-experiments run fig6 [--fast] [--seed N] [--no-check]
-    repro-experiments all [--fast]
+    repro-experiments run fig6 [--fast] [--seed N] [--no-check] [--jobs N]
+    repro-experiments all [--fast] [--jobs N]
 
 Every run prints the regenerated table and, unless ``--no-check`` is
 given, executes the experiment's shape assertions against the paper.
+
+``--jobs N`` parallelizes over worker processes: ``run`` forwards it to
+experiments that fan their internal grid cells out (fig6, fig7), while
+``all``/``report`` fan whole experiments.  Results are bit-identical to
+the serial run either way.
 """
 
 from __future__ import annotations
@@ -18,11 +23,20 @@ from typing import List, Optional
 
 from repro.experiments.registry import (
     EXPERIMENTS,
+    _accepted_kwargs,
     check_experiment,
     run_experiment,
+    run_experiments,
 )
 
 __all__ = ["main"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,16 +56,34 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-check", action="store_true", help="skip shape assertions")
     run_p.add_argument("--json", metavar="PATH", help="also write the result as JSON")
     run_p.add_argument("--csv", metavar="PATH", help="also write the rows as CSV")
+    run_p.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for experiments that parallelize internally",
+    )
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--fast", action="store_true", help="shrink Monte-Carlo sizes")
     all_p.add_argument("--no-check", action="store_true", help="skip shape assertions")
+    all_p.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes to fan experiments over",
+    )
 
     report_p = sub.add_parser(
         "report", help="run everything and write one markdown report"
     )
     report_p.add_argument("output", help="markdown file to write")
     report_p.add_argument("--fast", action="store_true", help="shrink Monte-Carlo sizes")
+    report_p.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes to fan experiments over",
+    )
     return parser
 
 
@@ -62,11 +94,14 @@ def _run_one(
     no_check: bool,
     json_path: Optional[str] = None,
     csv_path: Optional[str] = None,
+    jobs: int = 1,
 ) -> bool:
     kwargs = {"fast": fast}
     if seed is not None:
         kwargs["seed"] = seed
-    result = run_experiment(experiment_id, **kwargs)
+    if jobs > 1:
+        kwargs["jobs"] = jobs
+    result = run_experiment(experiment_id, **_accepted_kwargs(experiment_id, kwargs))
     print(result.to_text())
     print()
     if json_path:
@@ -105,20 +140,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.no_check,
             json_path=args.json,
             csv_path=args.csv,
+            jobs=args.jobs,
         )
         return 0 if ok else 1
     if args.command == "report":
-        return _write_report(args.output, args.fast)
+        return _write_report(args.output, args.fast, jobs=args.jobs)
     # all
     failures = 0
-    for name in sorted(EXPERIMENTS):
-        if not _run_one(name, None, args.fast, args.no_check):
-            failures += 1
+    names = sorted(EXPERIMENTS)
+    for name, result in zip(names, run_experiments(names, jobs=args.jobs, fast=args.fast)):
+        print(result.to_text())
+        print()
+        if not args.no_check:
+            try:
+                check_experiment(result)
+                print(f"[{name}] shape checks passed")
+            except AssertionError as exc:
+                print(f"[{name}] SHAPE CHECK FAILED: {exc}", file=sys.stderr)
+                failures += 1
         print()
     return 1 if failures else 0
 
 
-def _write_report(output_path: str, fast: bool) -> int:
+def _write_report(output_path: str, fast: bool, jobs: int = 1) -> int:
     """Run every experiment and write a single markdown report."""
     from repro.experiments.registry import check_experiment
 
@@ -130,8 +174,8 @@ def _write_report(output_path: str, fast: bool) -> int:
         "",
     ]
     failures = 0
-    for name in sorted(EXPERIMENTS):
-        result = run_experiment(name, fast=fast)
+    names = sorted(EXPERIMENTS)
+    for name, result in zip(names, run_experiments(names, jobs=jobs, fast=fast)):
         try:
             check_experiment(result)
             status = "shape checks passed"

@@ -3,10 +3,17 @@
 from __future__ import annotations
 
 import importlib
+import inspect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "check_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_experiments",
+    "check_experiment",
+]
 
 
 @dataclass
@@ -124,9 +131,77 @@ def _module(experiment_id: str):
     return importlib.import_module(EXPERIMENTS[experiment_id])
 
 
+def _accepted_kwargs(experiment_id: str, kwargs: Dict[str, object]) -> Dict[str, object]:
+    """Drop keyword arguments the experiment's ``run()`` does not accept.
+
+    Experiments opt into capabilities (``jobs``, ``fast``, ...) by declaring
+    the parameter; the fan-out helpers pass one kwargs dict for all of them.
+    """
+    params = inspect.signature(_module(experiment_id).run).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return dict(kwargs)
+    return {k: v for k, v in kwargs.items() if k in params}
+
+
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     """Run one experiment by id and return its result."""
     return _module(experiment_id).run(**kwargs)
+
+
+def _run_task(task) -> ExperimentResult:
+    """One fan-out unit of :func:`run_experiments` (module-level: picklable)."""
+    experiment_id, kwargs = task
+    return _module(experiment_id).run(**kwargs)
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    jobs: int = 1,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> List[ExperimentResult]:
+    """Run several experiments, optionally fanned over worker processes.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Ids from :data:`EXPERIMENTS`, run (or dispatched) in the given order;
+        results come back in the same order.
+    jobs:
+        Number of worker processes.  1 (default) runs in-process; the
+        parallel path executes the exact same task functions with the exact
+        same arguments, so results are bit-identical to the serial run.
+    seed:
+        When given, a :class:`numpy.random.SeedSequence` is spawned into one
+        child per experiment and each task receives its child-derived seed.
+        The derivation depends only on ``seed`` and the position in
+        ``experiment_ids`` — not on scheduling — so serial and parallel runs
+        see identical seeds.
+    kwargs:
+        Forwarded to each experiment's ``run()``, filtered to the keyword
+        arguments it accepts (e.g. ``fast``, and ``jobs`` for experiments
+        that parallelize internally).
+    """
+    import numpy as np
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    task_seeds: List[Optional[int]] = [None] * len(experiment_ids)
+    if seed is not None:
+        children = np.random.SeedSequence(seed).spawn(len(experiment_ids))
+        task_seeds = [int(child.generate_state(1)[0]) for child in children]
+    tasks = []
+    for experiment_id, task_seed in zip(experiment_ids, task_seeds):
+        task_kwargs = dict(kwargs)
+        if task_seed is not None:
+            task_kwargs["seed"] = task_seed
+        tasks.append((experiment_id, _accepted_kwargs(experiment_id, task_kwargs)))
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(_run_task, tasks))
+    return [_run_task(task) for task in tasks]
 
 
 def check_experiment(result: ExperimentResult) -> None:

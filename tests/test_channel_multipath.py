@@ -119,3 +119,65 @@ class TestValidation:
         env = MultipathEnvironment.line_of_sight()
         with pytest.raises(ValueError):
             env.field_at(np.array([[0.0, 0.0]]), np.array([1.0, 0.0]), 0.0)
+
+
+class TestBatchedReceivers:
+    """amplitude_at/field_at over (N, 2) field points must equal the
+    per-point scalar evaluation bit-for-bit (the Figure 8 fast path)."""
+
+    TX = np.array([[0.06, 0.0], [-0.06, 0.0]])
+    POINTS = np.array(
+        [[np.cos(a), np.sin(a)] for a in np.linspace(0.0, np.pi, 7)]
+    )
+
+    def _environments(self):
+        indoor = MultipathEnvironment.random_indoor(rng=5)
+        return (
+            MultipathEnvironment.line_of_sight(),
+            indoor,
+            MultipathEnvironment(
+                scatterers=indoor.scatterers, amplitude_decay_with_distance=True
+            ),
+        )
+
+    def test_batch_field_matches_scalar(self):
+        for env in self._environments():
+            batch = env.field_at(self.TX, self.POINTS, 0.1224)
+            scalar = np.array(
+                [env.field_at(self.TX, p, 0.1224) for p in self.POINTS]
+            )
+            assert batch.shape == (len(self.POINTS),)
+            assert np.array_equal(batch, scalar)
+
+    def test_batch_amplitude_matches_scalar(self):
+        phases = np.array([0.7, 0.0])
+        for env in self._environments():
+            batch = env.amplitude_at(
+                self.TX, self.POINTS, 0.1224, tx_phases_rad=phases
+            )
+            scalar = np.array(
+                [
+                    env.amplitude_at(self.TX, p, 0.1224, tx_phases_rad=phases)
+                    for p in self.POINTS
+                ]
+            )
+            assert np.array_equal(batch, scalar)
+
+    def test_batch_path_lengths_match_scalar(self):
+        for env in self._environments():
+            batch = env.path_lengths(self.TX, self.POINTS)
+            scalar = np.array(
+                [env.path_lengths(self.TX, p) for p in self.POINTS]
+            )
+            assert np.array_equal(batch, scalar)
+
+    def test_scalar_forms_unchanged(self):
+        env = MultipathEnvironment.random_indoor(rng=5)
+        field = env.field_at(self.TX, self.POINTS[0], 0.1224)
+        assert isinstance(field, complex)
+        assert isinstance(env.amplitude_at(self.TX, self.POINTS[0], 0.1224), float)
+
+    def test_bad_rx_shape_rejected(self):
+        env = MultipathEnvironment.line_of_sight()
+        with pytest.raises(ValueError):
+            env.path_lengths(self.TX, np.zeros((3, 4)))

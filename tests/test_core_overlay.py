@@ -89,3 +89,35 @@ class TestDistanceAnalysis:
     def test_empty_b_range_rejected(self):
         with pytest.raises(ValueError):
             OverlaySystem(EnergyModel(), b_range=())
+
+
+class TestVectorizedDistanceAnalyses:
+    """distance_analyses must reproduce the scalar per-point analysis
+    exactly — same floats, same selected constellation sizes."""
+
+    def test_matches_scalar_bitwise(self, system_div):
+        d1_values = (150.0, 200.0, 250.0, 300.0, 350.0)
+        for m in (2, 3):
+            for bw in (20e3, 40e3):
+                vec = system_div.distance_analyses(d1_values, m, bw)
+                scalar = [
+                    system_div.distance_analysis(d1, m, bw) for d1 in d1_values
+                ]
+                assert vec == scalar
+
+    def test_paper_convention_matches_too(self):
+        system = OverlaySystem(EnergyModel(ebar_convention="paper"))
+        vec = system.distance_analyses((200.0, 300.0), 3, 20e3)
+        scalar = [system.distance_analysis(d1, 3, 20e3) for d1 in (200.0, 300.0)]
+        assert vec == scalar
+
+    def test_sweep_order_preserved(self, system_div):
+        rows = system_div.distance_sweep((150.0, 250.0), (2, 3), (20e3, 40e3))
+        key = [(r.bandwidth, r.m, r.d1) for r in rows]
+        assert key == sorted(key, key=lambda t: (t[0], t[1], t[2]))
+
+    def test_validation(self, system_div):
+        with pytest.raises(ValueError):
+            system_div.distance_analyses((0.0, 100.0), 2, 20e3)
+        with pytest.raises(ValueError):
+            system_div.distance_analyses((100.0,), 0, 20e3)

@@ -83,3 +83,37 @@ class TestSweep:
             system.pa_energy(0.001, 1, 1, 1.0, 0.0, 10e3)
         with pytest.raises(ValueError):
             UnderlaySystem(EnergyModel(), b_range=())
+
+
+class TestVectorizedPaEnergySweep:
+    """pa_energy_sweep must reproduce the scalar pa_energy exactly —
+    same floats, same selected constellation sizes — per distance."""
+
+    def test_matches_scalar_bitwise(self, system):
+        distances = (100.0, 150.0, 200.0, 250.0, 300.0)
+        for (mt, mr) in ((1, 1), (2, 1), (1, 2), (2, 3), (3, 1)):
+            vec = system.pa_energy_sweep(0.001, mt, mr, 1.0, distances, 10e3)
+            scalar = [
+                system.pa_energy(0.001, mt, mr, 1.0, d, 10e3) for d in distances
+            ]
+            assert vec == scalar
+
+    def test_matches_scalar_at_lax_ber(self, system):
+        """A lax target makes small b infeasible on the local link; the
+        vectorized skip must mirror minimize_over_b's."""
+        distances = (100.0, 200.0)
+        vec = system.pa_energy_sweep(0.05, 2, 2, 1.0, distances, 10e3)
+        scalar = [system.pa_energy(0.05, 2, 2, 1.0, d, 10e3) for d in distances]
+        assert vec == scalar
+
+    def test_sweep_uses_vectorized_path(self, system):
+        rows = system.sweep(0.001, [(1, 1), (2, 2)], 1.0, (100.0, 200.0), 10e3)
+        assert [(r.mt, r.mr, r.distance) for r in rows] == [
+            (1, 1, 100.0), (1, 1, 200.0), (2, 2, 100.0), (2, 2, 200.0)
+        ]
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            system.pa_energy_sweep(0.001, 0, 1, 1.0, (100.0,), 10e3)
+        with pytest.raises(ValueError):
+            system.pa_energy_sweep(0.001, 1, 1, 1.0, (0.0,), 10e3)

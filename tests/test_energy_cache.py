@@ -1,0 +1,183 @@
+"""EbarTable caching: process memo, on-disk cache, env controls.
+
+The "Preprocessing" table is solved once and reused everywhere, so these
+tests guard the warm-start contract: a second construction — in the same
+process or from the disk cache — performs **zero** root-finding work, the
+cache location respects ``REPRO_CACHE_DIR``/``XDG_CACHE_HOME``, and
+``REPRO_NO_CACHE=1`` (or ``use_cache=False``) opts out entirely.
+"""
+
+import numpy as np
+import pytest
+
+import repro.energy.table as table_mod
+from repro.energy.table import EbarTable, default_cache_dir
+
+GRID = dict(
+    p_values=(0.01, 0.001),
+    b_values=(1, 2, 4),
+    mt_values=(1, 2),
+    mr_values=(1, 2),
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    """Route the disk cache to a tmp dir and start with a cold memo."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    EbarTable.clear_memory_cache()
+    yield
+    EbarTable.clear_memory_cache()
+
+
+@pytest.fixture
+def count_solves(monkeypatch):
+    """Count invocations of the batch solver the table builds with."""
+    calls = []
+    real = table_mod.solve_ebar_batch
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(table_mod, "solve_ebar_batch", counting)
+    return calls
+
+
+class TestProcessMemo:
+    def test_second_instance_skips_solve(self, count_solves):
+        EbarTable(**GRID)
+        assert len(count_solves) == 1
+        EbarTable(**GRID)
+        assert len(count_solves) == 1
+
+    def test_different_spec_solves_again(self, count_solves):
+        EbarTable(**GRID)
+        EbarTable(**GRID, convention="diversity_only")
+        assert len(count_solves) == 2
+
+    def test_memoed_instances_agree(self):
+        first = EbarTable(**GRID)
+        second = EbarTable(**GRID)
+        assert np.array_equal(
+            first.to_arrays()["ebar"], second.to_arrays()["ebar"]
+        )
+
+
+class TestDiskCache:
+    def test_warm_disk_load_performs_zero_root_finds(self, count_solves):
+        first = EbarTable(**GRID)
+        assert len(count_solves) == 1
+        # cold memo, warm disk: the solved grid must come back bit-identical
+        # without a single solver call
+        EbarTable.clear_memory_cache()
+        warm = EbarTable(**GRID)
+        assert len(count_solves) == 1
+        assert np.array_equal(
+            first.to_arrays()["ebar"], warm.to_arrays()["ebar"], equal_nan=True
+        )
+
+    def test_warm_construction_runs_zero_brentq(self, monkeypatch):
+        EbarTable(**GRID)
+        EbarTable.clear_memory_cache()
+
+        from scipy import optimize as scipy_optimize
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("brentq called despite a warm cache")
+
+        monkeypatch.setattr(scipy_optimize, "brentq", forbidden)
+        EbarTable(**GRID)
+
+    def test_cache_file_lands_in_cache_dir(self, tmp_path):
+        EbarTable(**GRID)
+        files = list((tmp_path / "cache").glob("ebar-v*.npz"))
+        assert len(files) == 1
+
+    def test_corrupt_cache_file_triggers_resolve(self, tmp_path, count_solves):
+        EbarTable(**GRID)
+        (path,) = (tmp_path / "cache").glob("ebar-v*.npz")
+        path.write_bytes(b"not an npz archive")
+        EbarTable.clear_memory_cache()
+        EbarTable(**GRID)
+        assert len(count_solves) == 2
+
+    def test_explicit_cache_dir_overrides_env(self, tmp_path, count_solves):
+        explicit = tmp_path / "elsewhere"
+        EbarTable(**GRID, cache_dir=explicit)
+        assert list(explicit.glob("ebar-v*.npz"))
+        assert not list((tmp_path / "cache").glob("ebar-v*.npz"))
+
+
+class TestEnvironmentControls:
+    def test_repro_cache_dir_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "explicit"))
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "explicit"
+
+    def test_xdg_cache_home_respected(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro-comimo"
+        EbarTable(**GRID)
+        assert list((tmp_path / "xdg" / "repro-comimo").glob("ebar-v*.npz"))
+
+    def test_home_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        monkeypatch.setenv("HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / ".cache" / "repro-comimo"
+
+    def test_no_cache_env_disables_both_levels(
+        self, tmp_path, monkeypatch, count_solves
+    ):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        EbarTable(**GRID)
+        EbarTable(**GRID)
+        assert len(count_solves) == 2
+        assert not list((tmp_path / "cache").glob("ebar-v*.npz"))
+
+    def test_use_cache_false_disables_both_levels(self, tmp_path, count_solves):
+        EbarTable(**GRID, use_cache=False)
+        EbarTable(**GRID, use_cache=False)
+        assert len(count_solves) == 2
+        assert not list((tmp_path / "cache").glob("ebar-v*.npz"))
+
+    def test_unwritable_cache_dir_is_tolerated(self, tmp_path, monkeypatch):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(blocked))
+        table = EbarTable(**GRID)  # must not raise
+        assert np.isfinite(table.lookup(0.001, 2, 1, 1))
+
+
+class TestEnergyModelConstruction:
+    def test_default_construction_runs_zero_root_finds(self, monkeypatch):
+        """EnergyModel() must stay lazy: no solving at construction time."""
+        from scipy import optimize as scipy_optimize
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("brentq called during EnergyModel()")
+
+        monkeypatch.setattr(scipy_optimize, "brentq", forbidden)
+        from repro.energy.model import EnergyModel
+
+        EnergyModel()
+
+    def test_table_backed_model_with_warm_cache_runs_zero_root_finds(
+        self, monkeypatch
+    ):
+        from repro.energy.model import EnergyModel
+
+        warm = EbarTable(**GRID)
+        del warm
+
+        from scipy import optimize as scipy_optimize
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("brentq called despite a warm table cache")
+
+        monkeypatch.setattr(scipy_optimize, "brentq", forbidden)
+        model = EnergyModel(ebar_provider=EbarTable(**GRID))
+        assert model.ebar(0.001, 2, 2, 2) > 0.0

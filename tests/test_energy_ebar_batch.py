@@ -1,0 +1,114 @@
+"""Equivalence of the vectorized ``solve_ebar_batch`` with ``solve_ebar``.
+
+The batch solver is the table builder's workhorse, so these tests pin the
+contract it must keep with the scalar reference: identical roots (to the
+solvers' tolerance) wherever the scalar succeeds, and NaN exactly where the
+scalar raises.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.ebar import CONVENTIONS, solve_ebar, solve_ebar_batch
+
+bers = st.sampled_from([0.1, 0.05, 0.01, 0.005, 0.001, 0.0005])
+b_values = st.integers(min_value=1, max_value=16)
+m_values = st.integers(min_value=1, max_value=4)
+n0_values = st.sampled_from([10.0 ** (-171.0 / 10.0) * 1e-3, 1e-17, 5e-18])
+conventions = st.sampled_from(CONVENTIONS)
+
+
+class TestScalarEquivalence:
+    @given(bers, b_values, m_values, m_values, n0_values, conventions)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_solver(self, p, b, mt, mr, n0, convention):
+        batch = solve_ebar_batch(p, b, mt, mr, n0=n0, convention=convention)
+        try:
+            scalar = solve_ebar(p, b, mt, mr, n0=n0, convention=convention)
+        except ValueError:
+            assert np.isnan(batch), (
+                f"scalar raises but batch returned {batch} at "
+                f"(p={p}, b={b}, mt={mt}, mr={mr})"
+            )
+            return
+        assert float(batch) == pytest.approx(scalar, rel=1e-9)
+
+    def test_full_product_sweep(self):
+        """Dense deterministic cross-check over the paper's grid corners."""
+        p = np.array([0.1, 0.005, 0.0005])
+        b = np.array([1, 4, 16])
+        mt = np.array([1, 4])
+        mr = np.array([1, 4])
+        p_g, b_g, mt_g, mr_g = np.meshgrid(p, b, mt, mr, indexing="ij")
+        for convention in CONVENTIONS:
+            grid = solve_ebar_batch(p_g, b_g, mt_g, mr_g, convention=convention)
+            for idx in np.ndindex(grid.shape):
+                args = (
+                    float(p_g[idx]),
+                    int(b_g[idx]),
+                    int(mt_g[idx]),
+                    int(mr_g[idx]),
+                )
+                try:
+                    expected = solve_ebar(*args, convention=convention)
+                except ValueError:
+                    assert np.isnan(grid[idx])
+                else:
+                    assert grid[idx] == pytest.approx(expected, rel=1e-9)
+
+
+class TestMasking:
+    def test_infeasible_points_are_nan(self):
+        # b = 4: Gray-QAM a = 0.75, ceiling a/2 = 0.375 < 0.4
+        out = solve_ebar_batch(np.array([0.4, 0.001]), 4, 1, 1)
+        assert np.isnan(out[0])
+        assert np.isfinite(out[1])
+
+    def test_degenerate_probabilities_are_nan(self):
+        out = solve_ebar_batch(np.array([0.0, 1.0, 0.001]), 2, 1, 1)
+        assert np.isnan(out[0]) and np.isnan(out[1])
+        assert np.isfinite(out[2])
+
+
+class TestBroadcasting:
+    def test_shapes_broadcast(self):
+        p = np.array([0.01, 0.001])[:, None]
+        b = np.array([1, 2, 4])[None, :]
+        out = solve_ebar_batch(p, b, 2, 2)
+        assert out.shape == (2, 3)
+        for i, p_i in enumerate((0.01, 0.001)):
+            for j, b_j in enumerate((1, 2, 4)):
+                assert out[i, j] == pytest.approx(
+                    solve_ebar(p_i, b_j, 2, 2), rel=1e-9
+                )
+
+    def test_scalar_inputs_give_scalar_array(self):
+        out = solve_ebar_batch(0.001, 2, 2, 2)
+        assert np.ndim(out) == 0
+        assert float(out) == pytest.approx(solve_ebar(0.001, 2, 2, 2), rel=1e-9)
+
+
+class TestValidation:
+    def test_non_integer_b_rejected(self):
+        with pytest.raises(ValueError):
+            solve_ebar_batch(0.001, np.array([1.5]), 1, 1)
+
+    def test_b_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            solve_ebar_batch(0.001, 0, 1, 1)
+
+    def test_non_positive_m_rejected(self):
+        with pytest.raises(ValueError):
+            solve_ebar_batch(0.001, 2, 0, 1)
+        with pytest.raises(ValueError):
+            solve_ebar_batch(0.001, 2, 1, -1)
+
+    def test_bad_n0_rejected(self):
+        with pytest.raises(ValueError):
+            solve_ebar_batch(0.001, 2, 1, 1, n0=0.0)
+
+    def test_bad_convention_rejected(self):
+        with pytest.raises(ValueError):
+            solve_ebar_batch(0.001, 2, 1, 1, convention="nope")

@@ -125,3 +125,82 @@ class TestInterpolation:
         table = EbarTable(p_values=(0.4,), b_values=(4,), mt_values=(1,), mr_values=(1,))
         with pytest.raises(KeyError):
             table.lookup_interpolated(0.4, 4, 1, 1)
+
+
+class TestOffGridRegression:
+    """Regression tests for the grid-membership guard.
+
+    An earlier version compared a stale memo key against itself, so an
+    off-grid (b, mt, mr) could silently return a neighbouring entry instead
+    of raising.  Every axis must now reject off-grid and non-integer values.
+    """
+
+    def test_off_grid_b_raises_not_nearest(self, small_table):
+        with pytest.raises(KeyError, match="b=3"):
+            small_table.lookup(0.001, 3, 1, 1)
+
+    def test_non_integer_b_raises(self, small_table):
+        with pytest.raises(KeyError, match="b=2.5"):
+            small_table.lookup(0.001, 2.5, 1, 1)
+
+    def test_off_grid_mt_raises(self, small_table):
+        with pytest.raises(KeyError, match="mt=3"):
+            small_table.lookup(0.001, 2, 3, 1)
+
+    def test_off_grid_mr_raises(self, small_table):
+        with pytest.raises(KeyError, match="mr=4"):
+            small_table.lookup(0.001, 2, 1, 4)
+
+    def test_non_integer_m_raises(self, small_table):
+        with pytest.raises(KeyError):
+            small_table.lookup(0.001, 2, 1.5, 1)
+        with pytest.raises(KeyError):
+            small_table.lookup(0.001, 2, 1, 1.5)
+
+    def test_other_helpers_share_the_guard(self, small_table):
+        with pytest.raises(KeyError):
+            small_table.lookup_interpolated(0.001, 3, 1, 1)
+        with pytest.raises(KeyError):
+            small_table.feasible_b(0.001, 3, 1)
+        with pytest.raises(KeyError):
+            small_table.min_ebar_b(0.001, 3, 1)
+
+
+class TestArrayLookups:
+    def test_array_p_lookup(self, small_table):
+        p = np.array([0.01, 0.001, 0.0012])
+        out = small_table.lookup(p, 2, 1, 1)
+        assert out.shape == (3,)
+        assert out[0] == small_table.lookup(0.01, 2, 1, 1)
+        assert out[1] == out[2] == small_table.lookup(0.001, 2, 1, 1)
+
+    def test_array_b_lookup_broadcasts(self, small_table):
+        out = small_table.lookup(0.001, np.array([1, 2, 4]), 2, 2)
+        assert out.shape == (3,)
+        for j, b in enumerate((1, 2, 4)):
+            assert out[j] == small_table.lookup(0.001, b, 2, 2)
+
+    def test_array_lookup_passes_nan_through(self):
+        table = EbarTable(
+            p_values=(0.4,), b_values=(1, 4), mt_values=(1,), mr_values=(1,)
+        )
+        out = table.lookup(0.4, np.array([1, 4]), 1, 1)
+        assert np.isfinite(out[0])
+        assert np.isnan(out[1])
+
+    def test_array_min_ebar_b(self, small_table):
+        p = np.array([0.01, 0.001])
+        b_arr, e_arr = small_table.min_ebar_b(p, 2, 2)
+        for i, p_i in enumerate(p):
+            b_scalar, e_scalar = small_table.min_ebar_b(float(p_i), 2, 2)
+            assert b_arr[i] == b_scalar
+            assert e_arr[i] == e_scalar
+
+    def test_array_interpolated_lookup(self, small_table):
+        p = np.array([0.008, 0.002])
+        out = small_table.lookup_interpolated(p, 2, 1, 1)
+        assert out.shape == (2,)
+        for i, p_i in enumerate(p):
+            assert out[i] == pytest.approx(
+                small_table.lookup_interpolated(float(p_i), 2, 1, 1), rel=1e-12
+            )
