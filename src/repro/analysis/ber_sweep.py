@@ -18,7 +18,12 @@ from scipy import stats
 from repro.modulation.base import Modem
 from repro.phy.link import simulate_link
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.validation import check_positive_int, check_probability
+from repro.utils.validation import (
+    check_finite,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+)
 
 __all__ = ["BerPoint", "sweep_ber", "wilson_interval"]
 
@@ -60,6 +65,14 @@ class BerPoint:
     ber: float
     ci_low: float
     ci_high: float
+
+    def __post_init__(self) -> None:
+        check_finite(self.snr_db, "snr_db")
+        check_non_negative_int(self.n_bits, "n_bits")
+        check_non_negative_int(self.n_errors, "n_errors")
+        check_finite(self.ber, "ber")
+        check_finite(self.ci_low, "ci_low")
+        check_finite(self.ci_high, "ci_high")
 
 
 def sweep_ber(

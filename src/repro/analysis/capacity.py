@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.channel.rayleigh import rayleigh_mimo_channel
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.units import db_to_linear, linear_to_db
 from repro.utils.validation import check_positive, check_positive_int, check_probability
 
 __all__ = ["capacity_samples", "ergodic_capacity", "outage_capacity", "capacity_slope"]
@@ -57,7 +58,7 @@ def ergodic_capacity(
     rng: RngLike = None,
 ) -> float:
     """Mean capacity over the fading ensemble [b/s/Hz]."""
-    snr = 10.0 ** (snr_db / 10.0)
+    snr = float(db_to_linear(snr_db))
     return float(np.mean(capacity_samples(mt, mr, snr, n_channels, rng)))
 
 
@@ -75,7 +76,7 @@ def outage_capacity(
     for the quasi-static regime where one packet sees one fade.
     """
     check_probability(outage_probability, "outage_probability")
-    snr = 10.0 ** (snr_db / 10.0)
+    snr = float(db_to_linear(snr_db))
     samples = capacity_samples(mt, mr, snr, n_channels, rng)
     return float(np.quantile(samples, outage_probability))
 
@@ -98,4 +99,4 @@ def capacity_slope(
         raise ValueError("need snr_high_db > snr_low_db")
     c_low = ergodic_capacity(mt, mr, snr_low_db, n_channels, gen)
     c_high = ergodic_capacity(mt, mr, snr_high_db, n_channels, gen)
-    return (c_high - c_low) / ((snr_high_db - snr_low_db) / (10.0 * np.log10(2.0)))
+    return (c_high - c_low) / ((snr_high_db - snr_low_db) / float(linear_to_db(2.0)))

@@ -14,6 +14,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.utils.validation import check_finite
+
 __all__ = ["BudgetItem", "LinkBudget"]
 
 
@@ -23,6 +25,9 @@ class BudgetItem:
 
     name: str
     db: float
+
+    def __post_init__(self) -> None:
+        check_finite(self.db, "db")
 
 
 class LinkBudget:
@@ -37,8 +42,8 @@ class LinkBudget:
     """
 
     def __init__(self, tx_power_dbm: float, noise_power_dbm: float = -110.0):
-        self.tx_power_dbm = float(tx_power_dbm)
-        self.noise_power_dbm = float(noise_power_dbm)
+        self.tx_power_dbm = check_finite(tx_power_dbm, "tx_power_dbm")
+        self.noise_power_dbm = check_finite(noise_power_dbm, "noise_power_dbm")
         self._items: List[BudgetItem] = []
 
     # ------------------------------------------------------------------ #

@@ -35,7 +35,12 @@ import numpy as np
 
 from repro.geometry.placement import random_in_annulus, random_in_disk
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.validation import check_positive, check_positive_int
+from repro.utils.validation import (
+    check_finite,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+)
 
 __all__ = ["PowerControlGame", "GameOutcome", "interference_guarantee_comparison"]
 
@@ -51,6 +56,10 @@ class GameOutcome:
     converged: bool
     rates_bps_hz: np.ndarray
     pu_interference_w: float  # aggregate sum_i h_i p_i at the PU receiver
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.iterations, "iterations")
+        check_finite(self.pu_interference_w, "pu_interference_w")
 
     @property
     def total_power_w(self) -> float:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.units import db_to_linear
 
 __all__ = ["awgn", "noise_variance_per_symbol", "complex_gaussian"]
 
@@ -48,5 +49,5 @@ def noise_variance_per_symbol(ebn0_db: float, bits_per_symbol: int) -> float:
     """
     if bits_per_symbol < 1:
         raise ValueError("bits_per_symbol must be >= 1")
-    ebn0 = 10.0 ** (ebn0_db / 10.0)
-    return 1.0 / (bits_per_symbol * ebn0)
+    ebn0 = db_to_linear(ebn0_db)
+    return float(1.0 / (bits_per_symbol * ebn0))

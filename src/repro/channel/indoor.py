@@ -20,6 +20,9 @@ import numpy as np
 
 from repro.channel.pathloss import LogDistancePathLoss
 from repro.channel.shadowing import LogNormalShadowing
+from repro.utils.rng import as_rng
+from repro.utils.units import db_to_linear
+from repro.utils.validation import check_finite
 
 __all__ = ["Wall", "Obstacle", "IndoorChannel"]
 
@@ -107,6 +110,9 @@ class IndoorChannel:
     noise_power_dbm: float = -110.0
     _shadow_cache: dict = field(default_factory=dict, repr=False)
 
+    def __post_init__(self) -> None:
+        check_finite(self.noise_power_dbm, "noise_power_dbm")
+
     # ------------------------------------------------------------------ #
 
     def add_wall(self, wall: Wall) -> None:
@@ -137,7 +143,7 @@ class IndoorChannel:
         if key not in self._shadow_cache:
             seed = abs(hash(key)) % (2**32)
             self._shadow_cache[key] = float(
-                self.shadowing.sample_db(rng=np.random.default_rng(seed))
+                self.shadowing.sample_db(rng=as_rng(seed))
             )
         return self._shadow_cache[key]
 
@@ -161,4 +167,4 @@ class IndoorChannel:
 
     def average_snr_linear(self, tx_position, rx_position, tx_power_dbm: float) -> float:
         """Mean link SNR as a linear ratio."""
-        return float(10.0 ** (self.average_snr_db(tx_position, rx_position, tx_power_dbm) / 10.0))
+        return float(db_to_linear(self.average_snr_db(tx_position, rx_position, tx_power_dbm)))

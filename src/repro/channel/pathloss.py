@@ -21,6 +21,9 @@ from typing import Union
 
 import numpy as np
 
+from repro.utils.units import db_to_linear, linear_to_db
+from repro.utils.validation import check_finite
+
 __all__ = ["PowerLawPathLoss", "FreeSpacePathLoss", "LogDistancePathLoss"]
 
 ArrayLike = Union[float, np.ndarray]
@@ -57,7 +60,7 @@ class PowerLawPathLoss:
 
     def attenuation_db(self, distance_m: ArrayLike) -> ArrayLike:
         """Loss in dB at the given distance(s)."""
-        return 10.0 * np.log10(self.gain(distance_m))
+        return linear_to_db(self.gain(distance_m))
 
 
 @dataclass(frozen=True)
@@ -89,7 +92,7 @@ class FreeSpacePathLoss:
 
     def attenuation_db(self, distance_m: ArrayLike) -> ArrayLike:
         """Loss in dB at the given distance(s)."""
-        return 10.0 * np.log10(self.gain(distance_m))
+        return linear_to_db(self.gain(distance_m))
 
     def invert_gain(self, gain: ArrayLike) -> ArrayLike:
         """Distance at which the model produces the given linear gain.
@@ -118,6 +121,7 @@ class LogDistancePathLoss:
     reference_distance_m: float = 1.0
 
     def __post_init__(self) -> None:
+        check_finite(self.reference_loss_db, "reference_loss_db")
         if self.reference_distance_m <= 0:
             raise ValueError("reference_distance_m must be positive")
         if self.exponent <= 0:
@@ -126,10 +130,12 @@ class LogDistancePathLoss:
     def attenuation_db(self, distance_m: ArrayLike) -> ArrayLike:
         """Loss in dB: ``L0 + 10 n log10(d / d0)``."""
         d = _check_distances(distance_m)
-        return self.reference_loss_db + 10.0 * self.exponent * np.log10(
+        # NOTE: keep the 10*n grouping — n * linear_to_db(d/d0) changes the
+        # float association and breaks bit-identity with the golden tables.
+        return self.reference_loss_db + 10.0 * self.exponent * np.log10(  # lint: ignore[RP101]
             d / self.reference_distance_m
         )
 
     def gain(self, distance_m: ArrayLike) -> ArrayLike:
         """Linear loss factor at the given distance(s)."""
-        return np.power(10.0, np.asarray(self.attenuation_db(distance_m)) / 10.0)
+        return np.asarray(db_to_linear(self.attenuation_db(distance_m)))

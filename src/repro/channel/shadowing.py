@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.units import db_to_linear
 
 __all__ = ["LogNormalShadowing"]
 
@@ -34,7 +35,7 @@ class LogNormalShadowing:
 
     def sample_linear(self, shape=(), rng: RngLike = None) -> np.ndarray:
         """Shadowing realizations as linear power factors (``10^(X/10)``)."""
-        return np.power(10.0, self.sample_db(shape, rng) / 10.0)
+        return np.asarray(db_to_linear(self.sample_db(shape, rng)))
 
     def mean_linear(self) -> float:
         """Mean of the linear factor, ``exp((ln10/10 * sigma)^2 / 2)``.

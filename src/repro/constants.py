@@ -41,6 +41,7 @@ from repro.utils.units import (
     dbm_per_hz_to_watts_per_hz,
     milliwatts_to_watts,
 )
+from repro.utils.validation import check_finite, check_non_negative, check_positive
 
 __all__ = ["SystemConstants", "PAPER_CONSTANTS", "SPEED_OF_LIGHT"]
 
@@ -85,6 +86,21 @@ class SystemConstants:
     n0_dbm_hz: float = -171.0
     #: Power-amplifier drain efficiency (``eta`` in ``alpha = xi/eta - 1``).
     drain_efficiency: float = 0.35
+
+    def __post_init__(self) -> None:
+        check_positive(self.p_ct_mw, "p_ct_mw")
+        check_positive(self.p_cr_mw, "p_cr_mw")
+        check_positive(self.p_syn_mw, "p_syn_mw")
+        check_positive(self.g1_mw, "g1_mw")
+        check_positive(self.kappa, "kappa")
+        check_finite(self.link_margin_db, "link_margin_db")
+        check_finite(self.noise_figure_db, "noise_figure_db")
+        check_non_negative(self.t_tr_s, "t_tr_s")
+        check_finite(self.sigma2_dbm_hz, "sigma2_dbm_hz")
+        check_finite(self.antenna_gain_dbi, "antenna_gain_dbi")
+        check_positive(self.wavelength_m, "wavelength_m")
+        check_finite(self.n0_dbm_hz, "n0_dbm_hz")
+        check_positive(self.drain_efficiency, "drain_efficiency")
 
     # ------------------------------------------------------------------ #
     # Linear / SI views                                                  #

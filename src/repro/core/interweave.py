@@ -25,6 +25,7 @@ from repro.beamforming.pairwise import NullSteeringPair
 from repro.channel.multipath import MultipathEnvironment
 from repro.geometry.points import as_points, distance
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_finite, check_positive
 
 __all__ = ["InterweaveSystem", "InterweaveTrial", "InterweaveCluster", "form_pairs"]
 
@@ -65,6 +66,12 @@ class InterweaveTrial:
     siso_amplitude_at_sr: float
     residual_at_pr: float  # leaked amplitude at the primary receiver
 
+    def __post_init__(self) -> None:
+        check_finite(self.delta, "delta")
+        check_finite(self.amplitude_at_sr, "amplitude_at_sr")
+        check_finite(self.siso_amplitude_at_sr, "siso_amplitude_at_sr")
+        check_finite(self.residual_at_pr, "residual_at_pr")
+
     @property
     def gain_over_siso(self) -> float:
         """Diversity gain: pair amplitude relative to single-antenna tx."""
@@ -98,6 +105,8 @@ class InterweaveSystem:
         spacing = float(distance(np.asarray(st1, float), np.asarray(st2, float)))
         if spacing <= 0.0:
             raise ValueError("St1 and St2 must be distinct")
+        if wavelength is not None:
+            check_positive(wavelength, "wavelength")
         self.pair = NullSteeringPair(
             st1=tuple(map(float, st1)),
             st2=tuple(map(float, st2)),

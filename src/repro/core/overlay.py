@@ -37,7 +37,12 @@ from repro.energy.optimize import (
     maximize_mimo_distance,
     minimize_over_b,
 )
-from repro.utils.validation import check_positive, check_positive_int, check_probability
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
 
 __all__ = ["OverlaySystem", "OverlayDistanceResult", "RelayEnergy"]
 
@@ -53,6 +58,15 @@ class RelayEnergy:
     primary_rx: float  # E_Pr = e^MIMOr
     su_rx: float  # E_Sr = e^MIMOr
     su_tx: float  # E_St = e^MIMOt(m, 1)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.m, "m")
+        check_positive_int(self.b_simo, "b_simo")
+        check_positive_int(self.b_miso, "b_miso")
+        check_finite(self.primary_tx, "primary_tx")
+        check_finite(self.primary_rx, "primary_rx")
+        check_finite(self.su_rx, "su_rx")
+        check_finite(self.su_tx, "su_tx")
 
     @property
     def su_total(self) -> float:
@@ -75,6 +89,19 @@ class OverlayDistanceResult:
     b_simo: int
     d3: float  # largest SU distance from Pr [m]
     b_miso: int
+
+    def __post_init__(self) -> None:
+        check_finite(self.d1, "d1")
+        check_positive_int(self.m, "m")
+        check_positive(self.bandwidth, "bandwidth")
+        check_finite(self.p_direct, "p_direct")
+        check_finite(self.p_relay, "p_relay")
+        check_finite(self.e1, "e1")
+        check_positive_int(self.b_direct, "b_direct")
+        check_finite(self.d2, "d2")
+        check_positive_int(self.b_simo, "b_simo")
+        check_finite(self.d3, "d3")
+        check_positive_int(self.b_miso, "b_miso")
 
 
 class OverlaySystem:

@@ -25,7 +25,12 @@ import numpy as np
 from repro.core.schemes import hop_energy, hop_timing
 from repro.energy.model import EnergyModel
 from repro.energy.optimize import DEFAULT_B_RANGE
-from repro.utils.validation import check_positive, check_positive_int, check_probability
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
 
 __all__ = ["HopOption", "RoutePlan", "hop_options", "plan_route"]
 
@@ -39,6 +44,13 @@ class HopOption:
     b: int
     time_s: float
     energy_j: float
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.mt, "mt")
+        check_positive_int(self.mr, "mr")
+        check_positive_int(self.b, "b")
+        check_finite(self.time_s, "time_s")
+        check_finite(self.energy_j, "energy_j")
 
 
 @dataclass(frozen=True)

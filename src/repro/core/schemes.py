@@ -25,7 +25,14 @@ from typing import List
 
 from repro.energy.model import EnergyModel
 from repro.network.comimonet import LinkKind
-from repro.utils.validation import check_positive, check_positive_int, check_probability
+from repro.utils.validation import (
+    check_finite,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
 
 __all__ = [
     "HopStep",
@@ -47,6 +54,10 @@ class HopStep:
     n_rx: int
     local: bool  # intra-cluster (kappa-law) vs long-haul (square-law)
 
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.n_tx, "n_tx")
+        check_non_negative_int(self.n_rx, "n_rx")
+
 
 @dataclass(frozen=True)
 class HopEnergy:
@@ -66,6 +77,15 @@ class HopEnergy:
     pa_local_a: float
     pa_longhaul: float
     pa_local_b: float
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.mt, "mt")
+        check_positive_int(self.mr, "mr")
+        check_positive_int(self.b, "b")
+        check_finite(self.total, "total")
+        check_finite(self.pa_local_a, "pa_local_a")
+        check_finite(self.pa_longhaul, "pa_longhaul")
+        check_finite(self.pa_local_b, "pa_local_b")
 
     @property
     def pa_total(self) -> float:
@@ -211,6 +231,12 @@ class HopTiming:
     longhaul_s: float
     intra_b_s: float
     stbc_rate: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.intra_a_s, "intra_a_s")
+        check_non_negative(self.longhaul_s, "longhaul_s")
+        check_non_negative(self.intra_b_s, "intra_b_s")
+        check_positive(self.stbc_rate, "stbc_rate")
 
     @property
     def total_s(self) -> float:

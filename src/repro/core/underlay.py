@@ -33,7 +33,12 @@ import numpy as np
 from repro.core.schemes import HopEnergy, hop_energy
 from repro.energy.model import EnergyModel
 from repro.energy.optimize import DEFAULT_B_RANGE, minimize_over_b
-from repro.utils.validation import check_positive, check_positive_int, check_probability
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
 
 __all__ = ["UnderlaySystem", "UnderlayEnergyResult"]
 
@@ -50,6 +55,15 @@ class UnderlayEnergyResult:
     total_pa: float  # Figure 7 quantity [J/bit]
     peak_pa: float  # Section 4's E_PA [J/bit]
     hop: HopEnergy
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.mt, "mt")
+        check_positive_int(self.mr, "mr")
+        check_positive_int(self.b, "b")
+        check_finite(self.d, "d")
+        check_finite(self.distance, "distance")
+        check_finite(self.total_pa, "total_pa")
+        check_finite(self.peak_pa, "peak_pa")
 
 
 class UnderlaySystem:

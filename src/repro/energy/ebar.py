@@ -36,6 +36,7 @@ from repro.modulation.theory import (
     rayleigh_diversity_avg_qfunc,
 )
 from repro.utils.rng import RngLike
+from repro.utils.units import dbm_to_watts
 from repro.utils.validation import check_positive, check_positive_int, check_probability
 
 ArrayLike = Union[float, np.ndarray]
@@ -43,7 +44,7 @@ ArrayLike = Union[float, np.ndarray]
 __all__ = ["average_ber", "solve_ebar", "solve_ebar_batch", "average_ber_monte_carlo"]
 
 #: Default receiver-referred noise PSD N_0 = -171 dBm/Hz in W/Hz.
-DEFAULT_N0 = 10.0 ** (-171.0 / 10.0) * 1e-3
+DEFAULT_N0 = float(dbm_to_watts(-171.0))
 
 
 #: Valid ``e_bar_b`` normalization conventions (see :func:`average_ber`).
@@ -139,7 +140,7 @@ def solve_ebar(
     return float(10.0**root)
 
 
-def _mqam_coefficients_array(b: np.ndarray):
+def _mqam_coefficients_array(b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Vectorized :func:`repro.modulation.theory.mqam_ber_coefficients`.
 
     ``b`` is an integer array; returns float arrays ``(a, g)`` elementwise

@@ -20,13 +20,18 @@ from radiated (PA) energy, not from circuit consumption.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.constants import PAPER_CONSTANTS, SystemConstants
 from repro.energy.ebar import solve_ebar
-from repro.utils.validation import check_positive, check_positive_int, check_probability
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
 
 __all__ = ["EnergyModel", "EnergyBreakdown", "DEFAULT_PACKET_BITS"]
 
@@ -41,6 +46,10 @@ class EnergyBreakdown:
 
     pa: float
     circuit: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.pa, "pa")
+        check_non_negative(self.circuit, "circuit")
 
     @property
     def total(self) -> float:
@@ -82,7 +91,7 @@ class EnergyModel:
         packet_bits: int = DEFAULT_PACKET_BITS,
         ebar_convention: str = "paper",
         memoize_ebar: bool = True,
-    ):
+    ) -> None:
         self.constants = constants
         self.ebar_convention = ebar_convention
         self._ebar = ebar_provider or (
@@ -91,7 +100,9 @@ class EnergyModel:
             )
         )
         self.packet_bits = check_positive_int(packet_bits, "packet_bits")
-        self._ebar_cache: Optional[dict] = {} if memoize_ebar else None
+        self._ebar_cache: Optional[Dict[Tuple[float, int, int, int], float]] = (
+            {} if memoize_ebar else None
+        )
 
     # ------------------------------------------------------------------ #
     # e_bar_b passthrough                                                #

@@ -15,9 +15,10 @@ by the experiments:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Tuple
+from typing import Callable, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.energy.model import EnergyModel
+from repro.utils.validation import check_finite, check_positive_int
 
 __all__ = [
     "DEFAULT_B_RANGE",
@@ -38,7 +39,11 @@ class OptimizationResult:
     b: int
     value: float
 
-    def __iter__(self):
+    def __post_init__(self) -> None:
+        check_positive_int(self.b, "b")
+        check_finite(self.value, "value")
+
+    def __iter__(self) -> Iterator[float]:
         # allow  b, value = result  unpacking at call sites
         yield self.b
         yield self.value
@@ -55,7 +60,7 @@ def minimize_over_b(
     skipped (some (p, b) pairs are infeasible — e.g. a lax BER target makes
     the AWGN inversion of formula (1) non-positive for small b).
     """
-    best: OptimizationResult = None
+    best: Optional[OptimizationResult] = None
     for b in b_range:
         try:
             value = float(objective(int(b)))
@@ -92,7 +97,7 @@ def maximize_mimo_distance(
     mr: int,
     bandwidth: float,
     b_range: Iterable[int] = DEFAULT_B_RANGE,
-    extra_circuit=0.0,
+    extra_circuit: Union[float, Callable[[int], float]] = 0.0,
 ) -> OptimizationResult:
     """``max_b D(b)`` under an energy budget; returns (b, distance [m]).
 

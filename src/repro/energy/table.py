@@ -37,6 +37,9 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.energy.ebar import CONVENTIONS, DEFAULT_N0, solve_ebar_batch
+from repro.utils.validation import check_positive
+
+ArrayLike = Union[float, np.ndarray]
 
 __all__ = [
     "EbarTable",
@@ -57,8 +60,11 @@ DEFAULT_M_GRID: Tuple[int, ...] = (1, 2, 3, 4)
 #: files then miss and are rebuilt rather than misread.
 _CACHE_FORMAT_VERSION = 1
 
+#: Grid spec key: axes, n0 (hex), convention, cache format version.
+_MemoKey = Tuple[object, ...]
+
 #: Process-level memo: spec key -> solved (read-only) grid ndarray.
-_GRID_MEMO: Dict[tuple, np.ndarray] = {}
+_GRID_MEMO: Dict[_MemoKey, np.ndarray] = {}
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -114,7 +120,7 @@ class EbarTable:
         convention: str = "paper",
         use_cache: bool = True,
         cache_dir: Union[str, pathlib.Path, None] = None,
-    ):
+    ) -> None:
         if convention not in CONVENTIONS:
             raise ValueError(
                 f"convention must be one of {CONVENTIONS}, got {convention!r}"
@@ -125,7 +131,7 @@ class EbarTable:
         mr_values = tuple(sorted(set(int(m) for m in mr_values)))
         if not (p_values and b_values and mt_values and mr_values):
             raise ValueError("all grid axes must be non-empty")
-        self.n0 = float(n0)
+        self.n0 = check_positive(n0, "n0")
         self.convention = convention
         self._init_axes(p_values, b_values, mt_values, mr_values)
 
@@ -148,7 +154,13 @@ class EbarTable:
     # Construction internals                                             #
     # ------------------------------------------------------------------ #
 
-    def _init_axes(self, p_values, b_values, mt_values, mr_values) -> None:
+    def _init_axes(
+        self,
+        p_values: Tuple[float, ...],
+        b_values: Tuple[int, ...],
+        mt_values: Tuple[int, ...],
+        mr_values: Tuple[int, ...],
+    ) -> None:
         self.p_values = p_values
         self.b_values = b_values
         self.mt_values = mt_values
@@ -173,7 +185,7 @@ class EbarTable:
         grid.setflags(write=False)
         return grid
 
-    def _memo_key(self) -> tuple:
+    def _memo_key(self) -> _MemoKey:
         return (
             self.p_values,
             self.b_values,
@@ -184,7 +196,7 @@ class EbarTable:
             _CACHE_FORMAT_VERSION,
         )
 
-    def _cache_path(self, cache_dir) -> pathlib.Path:
+    def _cache_path(self, cache_dir: Union[str, pathlib.Path, None]) -> pathlib.Path:
         spec = repr(self._memo_key()).encode()
         digest = hashlib.sha256(spec).hexdigest()[:20]
         base = pathlib.Path(cache_dir) if cache_dir is not None else default_cache_dir()
@@ -230,7 +242,7 @@ class EbarTable:
         return int(self._grid.size)
 
     @staticmethod
-    def _grid_index(index_map: Dict[int, int], value, label: str) -> int:
+    def _grid_index(index_map: Dict[int, int], value: float, label: str) -> int:
         """Membership check against one grid axis; KeyError when off-grid."""
         if float(value) != int(value) or int(value) not in index_map:
             raise KeyError(f"{label}={value} not on the table grid")
@@ -244,13 +256,15 @@ class EbarTable:
             self._grid_index(self._mr_index, mr, "mr"),
         )
 
-    def _nearest_p_index(self, p) -> np.ndarray:
+    def _nearest_p_index(self, p: "ArrayLike") -> np.ndarray:
         """Indices of the nearest grid BER(s); ties snap to the smaller p."""
         return np.argmin(
             np.abs(self._p_array - np.asarray(p, dtype=float)[..., None]), axis=-1
         )
 
-    def lookup(self, p, b: int, mt: int, mr: int):
+    def lookup(
+        self, p: "ArrayLike", b: Union[int, np.ndarray], mt: int, mr: int
+    ) -> Union[float, np.ndarray]:
         """Exact-grid lookup; ``p`` snaps to the nearest grid value.
 
         Snapping mirrors how a real node would quantize its BER target to
@@ -283,7 +297,9 @@ class EbarTable:
         """Callable alias of :meth:`lookup` (EnergyModel provider signature)."""
         return self.lookup(p, b, mt, mr)
 
-    def lookup_interpolated(self, p, b: int, mt: int, mr: int):
+    def lookup_interpolated(
+        self, p: "ArrayLike", b: int, mt: int, mr: int
+    ) -> Union[float, np.ndarray]:
         """Log-log interpolation in ``p`` between grid points.
 
         ``e_bar_b`` is near power-law in the target BER, so interpolating
@@ -312,7 +328,9 @@ class EbarTable:
         finite = ~np.isnan(self._grid[i, :, k, l])
         return tuple(b for b, ok in zip(self.b_values, finite) if ok)
 
-    def min_ebar_b(self, p, mt: int, mr: int):
+    def min_ebar_b(
+        self, p: "ArrayLike", mt: int, mr: int
+    ) -> Tuple[Union[int, np.ndarray], Union[float, np.ndarray]]:
         """The algorithms' selection rule: ``b`` minimizing ``e_bar_b``.
 
         Returns ``(b, e_bar_b)``; raises ``KeyError`` if no b is feasible.

@@ -182,13 +182,13 @@ def run_experiments(
         arguments it accepts (e.g. ``fast``, and ``jobs`` for experiments
         that parallelize internally).
     """
-    import numpy as np
+    from repro.utils.rng import spawn_seed_sequences
 
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     task_seeds: List[Optional[int]] = [None] * len(experiment_ids)
     if seed is not None:
-        children = np.random.SeedSequence(seed).spawn(len(experiment_ids))
+        children = spawn_seed_sequences(seed, len(experiment_ids))
         task_seeds = [int(child.generate_state(1)[0]) for child in children]
     tasks = []
     for experiment_id, task_seed in zip(experiment_ids, task_seeds):

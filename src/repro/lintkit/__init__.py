@@ -1,0 +1,46 @@
+"""repro.lintkit — AST-based repo-specific static analysis.
+
+The library's correctness rests on conventions that plain tests cannot
+enforce: every dB↔linear conversion flows through :mod:`repro.utils.units`,
+every random stream through :mod:`repro.utils.rng`, every public numeric
+parameter through :mod:`repro.utils.validation`.  This package checks those
+conventions mechanically, on every file, using only the stdlib :mod:`ast`
+module (no third-party lint dependency).
+
+Usage::
+
+    python -m repro.lintkit src tests          # lint the repo (exit 1 on findings)
+    python -m repro.lintkit --list-rules       # describe the RP-rules
+
+Suppress a finding on one line with a trailing comment::
+
+    gain = 10 ** (x / 10)  # lint: ignore[RP101]
+
+See ``docs/static_analysis.md`` for the full rule catalogue with bad/good
+examples.
+"""
+
+from repro.lintkit.engine import (
+    LintStats,
+    ModuleContext,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.lintkit.findings import Finding
+
+# Importing the rules module populates the registry as a side effect.
+from repro.lintkit import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintStats",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

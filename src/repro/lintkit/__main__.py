@@ -1,0 +1,7 @@
+"""``python -m repro.lintkit`` dispatch."""
+
+import sys
+
+from repro.lintkit.cli import main
+
+sys.exit(main())

@@ -1,0 +1,97 @@
+"""Command-line interface: ``python -m repro.lintkit src tests``.
+
+Exit status 0 when the tree is clean, 1 when findings remain, 2 on usage
+errors — the contract both the tier-1 gate (``tests/test_lintkit_clean.py``)
+and CI rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lintkit.engine import LintStats, all_rules, lint_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lintkit",
+        description="Repo-specific AST lint: unit-safety, RNG discipline, "
+        "validation coverage (rules RP101-RP106).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print per-rule finding counts and suppression totals",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = "library only" if rule.library_only else "library + tests"
+            print(f"{rule.rule_id}  {rule.summary}  [{scope}]")
+        return 0
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    stats = LintStats()
+    try:
+        findings = lint_paths(args.paths, select=select, stats=stats)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps([finding.to_dict() for finding in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+    if args.statistics:
+        for rule_id in sorted(stats.per_rule):
+            print(f"{rule_id}: {stats.per_rule[rule_id]} finding(s)", file=sys.stderr)
+        print(
+            f"checked {stats.files} file(s), "
+            f"{len(findings)} finding(s), {stats.suppressed} suppressed",
+            file=sys.stderr,
+        )
+    if args.format == "text" and findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""Rule registry, suppression handling and the lint driver.
+
+A rule is a subclass of :class:`Rule` registered with the :func:`register`
+decorator.  The engine parses each ``*.py`` file once, hands every rule the
+same :class:`ModuleContext`, filters findings through per-line suppression
+comments (``# lint: ignore[RP101]`` or ``# lint: ignore[RP101, RP105]``)
+and returns the surviving findings sorted by location.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.lintkit.findings import Finding
+from repro.utils.validation import check_non_negative_int
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "lint_source",
+    "lint_paths",
+    "LintStats",
+    "PARSE_ERROR_RULE_ID",
+]
+
+#: Pseudo-rule id attached to findings for files that fail to parse.
+PARSE_ERROR_RULE_ID = "RP000"
+
+#: ``# lint: ignore[RP101]`` / ``# lint: ignore[RP101, RP106]``
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Za-z0-9_\-,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    path: str
+    tree: ast.Module
+    lines: Tuple[str, ...]
+    is_test: bool
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``'s location."""
+        line = int(getattr(node, "lineno", 1))
+        col = int(getattr(node, "col_offset", 0)) + 1
+        return Finding(
+            path=self.path, line=line, col=col, rule_id=rule_id, message=message
+        )
+
+    def path_endswith(self, *tail: str) -> bool:
+        """True if the module path ends with the given components."""
+        parts = Path(self.path).parts
+        return parts[-len(tail):] == tail
+
+
+class Rule:
+    """Base class for repo-specific rules.
+
+    Subclasses set ``rule_id`` and ``summary`` and implement :meth:`check`.
+    ``library_only`` rules skip test modules (``tests/`` trees, ``test_*.py``
+    and ``conftest.py``): tests deliberately re-derive conversions and build
+    seeded generators as *independent oracles* for the library code, which
+    is exactly what the library itself must not do.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    library_only: bool = False
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        """Whether this rule runs on the given module (path-based scoping)."""
+        return not (self.library_only and ctx.is_test)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} must define a rule_id")
+    if rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Instantiate registered rules, optionally restricted to ``select`` ids.
+
+    Raises
+    ------
+    KeyError
+        If ``select`` names an unknown rule id.
+    """
+    if select is None:
+        ids: List[str] = sorted(_REGISTRY)
+    else:
+        ids = list(select)
+        unknown = [rule_id for rule_id in ids if rule_id not in _REGISTRY]
+        if unknown:
+            raise KeyError(
+                f"unknown rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(_REGISTRY))}"
+            )
+    return [_REGISTRY[rule_id]() for rule_id in ids]
+
+
+def _suppressions(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    """Per-line suppressed rule ids (1-based line numbers)."""
+    table: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if ids:
+                table[lineno] = ids
+    return table
+
+
+def _is_test_path(path: Path) -> bool:
+    name = path.name
+    if name.startswith("test_") or name == "conftest.py":
+        return True
+    return "tests" in path.parts
+
+
+@dataclass
+class LintStats:
+    """Mutable run statistics (files seen, findings suppressed)."""
+
+    files: int = 0
+    suppressed: int = 0
+    per_rule: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.files, "files")
+        check_non_negative_int(self.suppressed, "suppressed")
+
+    def count(self, finding: Finding) -> None:
+        """Tally one (unsuppressed) finding into the per-rule counters."""
+        self.per_rule[finding.rule_id] = self.per_rule.get(finding.rule_id, 0) + 1
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+    is_test: Optional[bool] = None,
+    stats: Optional[LintStats] = None,
+) -> List[Finding]:
+    """Lint one module given as source text; the core entry point.
+
+    ``is_test`` defaults to a path-based guess (``tests/`` trees,
+    ``test_*.py``, ``conftest.py``).  Unparseable source yields a single
+    ``RP000`` finding rather than raising, so one bad file cannot hide the
+    findings of the rest of a run.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    if is_test is None:
+        is_test = _is_test_path(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=int(exc.lineno or 1),
+                col=int(exc.offset or 0) + 1 if exc.offset else 1,
+                rule_id=PARSE_ERROR_RULE_ID,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+    lines = tuple(source.splitlines())
+    ctx = ModuleContext(path=path, tree=tree, lines=lines, is_test=bool(is_test))
+    suppressed = _suppressions(lines)
+    findings: List[Finding] = []
+    for rule in active:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if finding.rule_id in suppressed.get(finding.line, frozenset()):
+                if stats is not None:
+                    stats.suppressed += 1
+                continue
+            findings.append(finding)
+            if stats is not None:
+                stats.count(finding)
+    return sorted(findings)
+
+
+def _iter_python_files(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    stats: Optional[LintStats] = None,
+) -> List[Finding]:
+    """Lint files and directory trees; directories are walked for ``*.py``."""
+    rules = all_rules(select)
+    findings: List[Finding] = []
+    for file_path in _iter_python_files(paths):
+        if stats is not None:
+            stats.files += 1
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(source, path=str(file_path), rules=rules, stats=stats)
+        )
+    return sorted(findings)

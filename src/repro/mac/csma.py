@@ -22,6 +22,7 @@ from typing import List
 import numpy as np
 
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_non_negative, check_non_negative_int
 
 __all__ = ["CsmaConfig", "MacStats", "CsmaCaSimulator"]
 
@@ -85,6 +86,14 @@ class MacStats:
     busy_time_us: float = 0.0
     sim_time_us: float = 0.0
     access_delays_us: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.delivered, "delivered")
+        check_non_negative_int(self.collisions, "collisions")
+        check_non_negative_int(self.dropped, "dropped")
+        check_non_negative_int(self.attempts, "attempts")
+        check_non_negative(self.busy_time_us, "busy_time_us")
+        check_non_negative(self.sim_time_us, "sim_time_us")
 
     @property
     def collision_probability(self) -> float:

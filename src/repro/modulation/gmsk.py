@@ -27,6 +27,7 @@ import numpy as np
 from scipy import special
 
 from repro.modulation.base import Modem
+from repro.utils.validation import check_positive
 
 __all__ = ["GMSKModem", "GMSKWaveform"]
 
@@ -63,7 +64,7 @@ class GMSKModem(Modem):
     """
 
     def __init__(self, bt: float = 0.3):
-        self.bt = float(bt)
+        self.bt = check_positive(bt, "bt")
         self.snr_efficiency = _efficiency_for_bt(self.bt)
 
     @property

@@ -29,6 +29,7 @@ import numpy as np
 from scipy import special
 
 from repro.utils.qfunc import qfunc
+from repro.utils.units import db_to_linear
 
 ArrayLike = Union[float, np.ndarray]
 
@@ -70,19 +71,19 @@ def instantaneous_ber(gamma_b: ArrayLike, b: int) -> ArrayLike:
 
 def ber_bpsk_awgn(ebn0_db: ArrayLike) -> ArrayLike:
     """Exact BPSK-over-AWGN BER: ``Q(sqrt(2 Eb/N0))``."""
-    gamma = np.power(10.0, np.asarray(ebn0_db, dtype=float) / 10.0)
+    gamma = np.asarray(db_to_linear(ebn0_db))
     return qfunc(np.sqrt(2.0 * gamma))
 
 
 def ber_mqam_awgn(ebn0_db: ArrayLike, b: int) -> ArrayLike:
     """Gray M-QAM over AWGN (nearest-neighbour approximation, formula (5))."""
-    gamma = np.power(10.0, np.asarray(ebn0_db, dtype=float) / 10.0)
+    gamma = np.asarray(db_to_linear(ebn0_db))
     return instantaneous_ber(gamma, b)
 
 
 def ber_bpsk_rayleigh(ebn0_db: ArrayLike) -> ArrayLike:
     """Exact BPSK over flat Rayleigh fading: ``(1 - sqrt(g/(1+g)))/2``."""
-    gamma = np.power(10.0, np.asarray(ebn0_db, dtype=float) / 10.0)
+    gamma = np.asarray(db_to_linear(ebn0_db))
     return 0.5 * (1.0 - np.sqrt(gamma / (1.0 + gamma)))
 
 

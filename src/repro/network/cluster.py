@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.geometry.points import pairwise_distances
 from repro.network.node import SUNode
+from repro.utils.validation import check_non_negative_int
 
 __all__ = ["Cluster"]
 
@@ -38,7 +39,7 @@ class Cluster:
         ids = [n.node_id for n in nodes]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate node ids in cluster")
-        self.cluster_id = int(cluster_id)
+        self.cluster_id = check_non_negative_int(cluster_id, "cluster_id")
         self.nodes: List[SUNode] = list(nodes)
         self._head_index = 0
         self.elect_head()

@@ -19,6 +19,11 @@ from repro.network.cluster import Cluster
 from repro.network.clustering import d_cluster
 from repro.network.graph import Graph
 from repro.network.node import SUNode
+from repro.utils.validation import (
+    check_non_negative,
+    check_non_negative_int,
+    check_positive_int,
+)
 
 __all__ = ["LinkKind", "CooperativeLink", "CoMIMONet"]
 
@@ -53,6 +58,13 @@ class CooperativeLink:
     mt: int
     mr: int
     length_m: float
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.tx_cluster_id, "tx_cluster_id")
+        check_non_negative_int(self.rx_cluster_id, "rx_cluster_id")
+        check_positive_int(self.mt, "mt")
+        check_positive_int(self.mr, "mr")
+        check_non_negative(self.length_m, "length_m")
 
     @property
     def kind(self) -> LinkKind:
@@ -93,6 +105,8 @@ class CoMIMONet:
             raise ValueError("cluster_diameter and longhaul_range must be positive")
         if backbone not in ("mst", "bfs"):
             raise ValueError("backbone must be 'mst' or 'bfs'")
+        if max_cluster_size is not None:
+            check_positive_int(max_cluster_size, "max_cluster_size")
         self.nodes: List[SUNode] = list(nodes)
         self.cluster_diameter = float(cluster_diameter)
         self.longhaul_range = float(longhaul_range)

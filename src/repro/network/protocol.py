@@ -33,7 +33,13 @@ from repro.mac.csma import CsmaCaSimulator, CsmaConfig
 from repro.network.comimonet import CoMIMONet
 from repro.simulation.events import EventScheduler
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.validation import check_positive, check_positive_int, check_probability
+from repro.utils.validation import (
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
 
 __all__ = ["SessionResult", "SessionSimulator"]
 
@@ -50,6 +56,15 @@ class SessionResult:
     hops_completed: int = 0
     reconfigurations: int = 0
     energy_by_cluster_j: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.requested_bits, "requested_bits")
+        check_non_negative(self.delivered_bits, "delivered_bits")
+        check_non_negative(self.elapsed_s, "elapsed_s")
+        check_non_negative(self.airtime_s, "airtime_s")
+        check_non_negative(self.mac_delay_s, "mac_delay_s")
+        check_non_negative_int(self.hops_completed, "hops_completed")
+        check_non_negative_int(self.reconfigurations, "reconfigurations")
 
     @property
     def completed(self) -> bool:

@@ -19,6 +19,8 @@ from repro.coding.convolutional import ConvolutionalCode
 from repro.coding.interleave import BlockInterleaver
 from repro.modulation.psk import BPSKModem
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.units import db_to_linear
+from repro.utils.validation import check_finite, check_non_negative_int
 
 __all__ = ["CodedLinkResult", "simulate_coded_link"]
 
@@ -31,6 +33,12 @@ class CodedLinkResult:
     n_info_errors: int
     n_channel_bits: int
     channel_ber: float  # raw (pre-decoder) hard-decision BER
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.n_info_bits, "n_info_bits")
+        check_non_negative_int(self.n_info_errors, "n_info_errors")
+        check_non_negative_int(self.n_channel_bits, "n_channel_bits")
+        check_finite(self.channel_ber, "channel_ber")
 
     @property
     def ber(self) -> float:
@@ -87,7 +95,7 @@ def simulate_coded_link(
 
         h_unique = rician_mimo_channel(1, 1, k, n_fades, gen)[:, 0, 0]
         h = np.repeat(h_unique, symbols_per_fade)[:n]
-    noise_var = 1.0 / (10.0 ** (snr_db / 10.0))
+    noise_var = 1.0 / float(db_to_linear(snr_db))
     y = h * symbols + complex_gaussian(n, noise_var, gen)
     # Matched-filter statistic Re(h* y): the sufficient statistic for BPSK
     # with known fading — its magnitude carries the per-symbol reliability

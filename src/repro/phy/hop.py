@@ -33,6 +33,8 @@ from repro.channel.rayleigh import rayleigh_mimo_channel, rician_mimo_channel
 from repro.modulation.base import Modem
 from repro.stbc.ostbc import ostbc_for
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.units import db_to_linear
+from repro.utils.validation import check_non_negative_int
 
 __all__ = ["HopSimulationResult", "simulate_hop"]
 
@@ -45,6 +47,10 @@ class HopSimulationResult:
     n_bit_errors: int
     member_broadcast_bers: tuple  # per-member intra-A decode error rates
 
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.n_bits, "n_bits")
+        check_non_negative_int(self.n_bit_errors, "n_bit_errors")
+
     @property
     def ber(self) -> float:
         """End-to-end (head-to-head) bit error rate."""
@@ -55,7 +61,7 @@ def _intra_siso(symbols, snr_db, rician_k, gen):
     """One intra-cluster SISO link: Rician fading + AWGN, unit-gain output."""
     n = symbols.size
     h = rician_mimo_channel(1, 1, rician_k, n, gen)[:, 0, 0]
-    noise_var = 1.0 / (10.0 ** (snr_db / 10.0))
+    noise_var = 1.0 / float(db_to_linear(snr_db))
     y = h * symbols + complex_gaussian(n, noise_var, gen)
     return y / h
 
@@ -128,7 +134,7 @@ def simulate_hop(
     x /= np.sqrt(code.power_per_slot)
 
     h = rayleigh_mimo_channel(mt, mr, n_blocks, gen)
-    noise_var = 1.0 / (10.0 ** (longhaul_snr_db / 10.0))
+    noise_var = 1.0 / float(db_to_linear(longhaul_snr_db))
     y = np.einsum("btm,bjm->btj", x, h)
     y = y + complex_gaussian(y.shape, noise_var, gen)
 

@@ -27,6 +27,8 @@ from repro.channel.rayleigh import rayleigh_mimo_channel, rician_mimo_channel
 from repro.modulation.base import Modem
 from repro.stbc.ostbc import ostbc_for
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.units import db_to_linear
+from repro.utils.validation import check_non_negative_int
 
 __all__ = ["LinkResult", "simulate_link", "simulate_packet_link", "transmit_bits"]
 
@@ -39,6 +41,12 @@ class LinkResult:
     n_bit_errors: int
     n_packets: int = 0
     n_packet_errors: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.n_bits, "n_bits")
+        check_non_negative_int(self.n_bit_errors, "n_bit_errors")
+        check_non_negative_int(self.n_packets, "n_packets")
+        check_non_negative_int(self.n_packet_errors, "n_packet_errors")
 
     @property
     def ber(self) -> float:
@@ -122,7 +130,7 @@ def transmit_bits(
     h_unique = _draw_channel(mt, mr, n_fades, fading, rician_k, gen)
     h = np.repeat(h_unique, blocks_per_fade, axis=0)[:n_blocks]
 
-    snr_linear = 10.0 ** (snr_db / 10.0) * modem.snr_efficiency
+    snr_linear = float(db_to_linear(snr_db)) * modem.snr_efficiency
     noise_var = 1.0 / snr_linear
     y = np.einsum("btm,bjm->btj", x, h)
     y = y + complex_gaussian(y.shape, noise_var, gen)

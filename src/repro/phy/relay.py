@@ -28,6 +28,8 @@ from repro.stbc.combining import (
     selection_combine,
 )
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.units import db_to_linear
+from repro.utils.validation import check_non_negative_int
 
 __all__ = ["RelayChainResult", "simulate_relay_chain"]
 
@@ -45,6 +47,10 @@ class RelayChainResult:
     n_bits: int
     n_bit_errors: int
     relay_bers: tuple
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.n_bits, "n_bits")
+        check_non_negative_int(self.n_bit_errors, "n_bit_errors")
 
     @property
     def ber(self) -> float:
@@ -69,7 +75,7 @@ def _siso_receive(
         k = rician_k if fading == "rician" else 0.0
         h_unique = rician_mimo_channel(1, 1, k, n_fades, gen)[:, 0, 0]
         h = np.repeat(h_unique, blocks_per_fade)[:n]
-    noise_var = 1.0 / (10.0 ** (snr_db / 10.0))
+    noise_var = 1.0 / float(db_to_linear(snr_db))
     y = h * symbols + complex_gaussian(n, noise_var, gen)
     return y, h
 

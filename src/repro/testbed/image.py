@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.phy.frame import bits_to_bytes, bytes_to_bits
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_non_negative, check_non_negative_int
 
 __all__ = [
     "IMAGE_PACKETS",
@@ -61,6 +62,11 @@ class ImageTransferResult:
     n_packet_errors: int
     mean_abs_error: float  # pixel-level distortion of the reassembled image
     received: np.ndarray  # reassembled image (same shape as the original)
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.n_packets, "n_packets")
+        check_non_negative_int(self.n_packet_errors, "n_packet_errors")
+        check_non_negative(self.mean_abs_error, "mean_abs_error")
 
     @property
     def per(self) -> float:

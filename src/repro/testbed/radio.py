@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from repro.channel.indoor import IndoorChannel
 from repro.modulation.base import Modem
@@ -25,6 +24,8 @@ from repro.modulation.psk import BPSKModem
 from repro.phy.link import LinkResult, simulate_packet_link
 from repro.phy.relay import RelayChainResult, simulate_relay_chain
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.units import amplitude_ratio_to_db, linear_to_db
+from repro.utils.validation import check_finite
 
 __all__ = ["RadioNode", "SimulatedTestbed"]
 
@@ -49,13 +50,14 @@ class RadioNode:
     def __post_init__(self) -> None:
         if self.tx_amplitude <= 0.0 or self.reference_amplitude <= 0.0:
             raise ValueError("amplitudes must be positive")
+        check_finite(self.reference_power_dbm, "reference_power_dbm")
         self.position = (float(self.position[0]), float(self.position[1]))
 
     @property
     def tx_power_dbm(self) -> float:
         """Radiated power: quadratic in DAC amplitude (linear in dB)."""
-        return self.reference_power_dbm + 20.0 * np.log10(
-            self.tx_amplitude / self.reference_amplitude
+        return self.reference_power_dbm + float(
+            amplitude_ratio_to_db(self.tx_amplitude / self.reference_amplitude)
         )
 
     def with_amplitude(self, amplitude: float) -> "RadioNode":
@@ -210,11 +212,11 @@ class SimulatedTestbed:
         if power_constraint == "coherent" and mt == 2:
             # h1 + h2 for i.i.d. Rician(K) branches: LOS adds coherently,
             # scatter adds in power -> Rician(2K) with (4K+2)/(K+1) x power.
-            snr += 10.0 * np.log10((4.0 * k + 2.0) / (k + 1.0))
+            snr += float(linear_to_db((4.0 * k + 2.0) / (k + 1.0)))
             k = 2.0 * k
             mt = 1
         elif power_constraint == "per_node":
-            snr += 10.0 * np.log10(mt)
+            snr += float(linear_to_db(mt))
         return simulate_packet_link(
             n_packets=n_packets,
             packet_bits=packet_bits,

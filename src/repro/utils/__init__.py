@@ -2,22 +2,30 @@
 random-number-generator plumbing and argument validation.
 
 Every formula in the paper mixes dB, dBm, dBi and linear quantities; the
-:mod:`repro.utils.units` helpers keep those conversions in one audited place.
+:mod:`repro.utils.units` helpers keep those conversions in one audited place
+— and :mod:`repro.lintkit` rule RP101 enforces that no other module converts
+inline.
 """
 
 from repro.utils.qfunc import inv_qfunc, qfunc
-from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.rng import as_rng, spawn_rngs, spawn_seed_sequences
 from repro.utils.units import (
+    amplitude_ratio_to_db,
+    db_to_amplitude_ratio,
     db_to_linear,
     dbi_to_linear,
     dbm_per_hz_to_watts_per_hz,
     dbm_to_watts,
     linear_to_db,
     linear_to_dbm,
+    milliwatts_to_watts,
     watts_to_dbm,
 )
 from repro.utils.validation import (
+    check_finite,
     check_in_range,
+    check_non_negative,
+    check_non_negative_int,
     check_positive,
     check_positive_int,
     check_probability,
@@ -28,6 +36,7 @@ __all__ = [
     "inv_qfunc",
     "as_rng",
     "spawn_rngs",
+    "spawn_seed_sequences",
     "db_to_linear",
     "linear_to_db",
     "dbm_to_watts",
@@ -35,8 +44,14 @@ __all__ = [
     "linear_to_dbm",
     "dbi_to_linear",
     "dbm_per_hz_to_watts_per_hz",
+    "milliwatts_to_watts",
+    "amplitude_ratio_to_db",
+    "db_to_amplitude_ratio",
     "check_positive",
     "check_positive_int",
     "check_probability",
     "check_in_range",
+    "check_finite",
+    "check_non_negative",
+    "check_non_negative_int",
 ]

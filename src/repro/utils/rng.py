@@ -15,7 +15,7 @@ import numpy as np
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["as_rng", "spawn_rngs"]
+__all__ = ["as_rng", "spawn_rngs", "spawn_seed_sequences"]
 
 
 def as_rng(rng: RngLike = None) -> np.random.Generator:
@@ -49,3 +49,23 @@ def spawn_rngs(rng: RngLike, n: int) -> List[np.random.Generator]:
     base = as_rng(rng)
     seeds = base.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def spawn_seed_sequences(
+    seed: Union[int, np.random.SeedSequence], n: int
+) -> List[np.random.SeedSequence]:
+    """Derive ``n`` independent :class:`numpy.random.SeedSequence` children.
+
+    The picklable counterpart of :func:`spawn_rngs`: process-parallel sweeps
+    ship each child (or a state word derived from it) to a worker, so serial
+    and parallel runs see identical per-task seeds.  The derivation depends
+    only on ``seed`` and the child's position — not on scheduling.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    base = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return list(base.spawn(n))

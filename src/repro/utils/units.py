@@ -27,6 +27,8 @@ __all__ = [
     "dbi_to_linear",
     "dbm_per_hz_to_watts_per_hz",
     "milliwatts_to_watts",
+    "amplitude_ratio_to_db",
+    "db_to_amplitude_ratio",
 ]
 
 
@@ -93,3 +95,21 @@ def dbm_per_hz_to_watts_per_hz(value_dbm_hz: ArrayLike) -> ArrayLike:
 def milliwatts_to_watts(value_mw: ArrayLike) -> ArrayLike:
     """Convert mW to W (the circuit powers of Section 2.3 are quoted in mW)."""
     return np.asarray(value_mw, dtype=float) * 1e-3
+
+
+def amplitude_ratio_to_db(ratio: ArrayLike) -> ArrayLike:
+    """Convert an *amplitude* (voltage/DAC) ratio to dB: ``20 log10(r)``.
+
+    Power goes with the square of amplitude, hence the factor 20 instead of
+    10; used by the testbed radio model, where GNU Radio drives the USRP DAC
+    with an integer amplitude.
+    """
+    arr = np.asarray(ratio, dtype=float)
+    if np.any(arr <= 0.0):
+        raise ValueError("amplitude_ratio_to_db requires strictly positive ratios")
+    return 20.0 * np.log10(arr)
+
+
+def db_to_amplitude_ratio(value_db: ArrayLike) -> ArrayLike:
+    """Convert dB to a linear *amplitude* ratio: ``10 ** (x_dB / 20)``."""
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 20.0)

@@ -16,7 +16,47 @@ __all__ = [
     "check_positive_int",
     "check_probability",
     "check_in_range",
+    "check_finite",
+    "check_non_negative",
+    "check_non_negative_int",
 ]
+
+
+def _require_real(value: float, name: str) -> float:
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value)!r}")
+    return float(value)
+
+
+def check_finite(value: float, name: str) -> float:
+    """Require a real, finite scalar (any sign); return it as float.
+
+    The weakest boundary check: rejects NaN, ±inf, bools and non-numeric
+    types.  Used for quantities that are legitimately signed, such as powers
+    or SNRs quoted in dB.
+    """
+    value = _require_real(value, name)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require a real, finite scalar ``>= 0``; return it as float."""
+    value = check_finite(value, name)
+    if value < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Require an integer ``>= 0`` (bool rejected); return it as int."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value)!r}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
 
 
 def check_positive(value: float, name: str) -> float:

@@ -119,3 +119,32 @@ class TestShadowingDeterminism:
         assert ch.link_loss_db((0.0, 0.0), (4.0, 1.0)) == pytest.approx(
             ch.link_loss_db((4.0, 1.0), (0.0, 0.0))
         )
+
+
+class TestRngDiscipline:
+    """Regression for the RP102 fix: shadowing draws flow through as_rng,
+    and the library module constructs no generator of its own."""
+
+    def test_shadow_draw_matches_explicit_as_rng_seed(self):
+        from repro.utils.rng import as_rng
+
+        ch = IndoorChannel(shadowing=LogNormalShadowing(sigma_db=6.0))
+        a, b = (0.0, 0.0), (4.0, 1.0)
+        draw = ch._shadow_db(a, b)
+        key = tuple(sorted([tuple(np.round(a, 6)), tuple(np.round(b, 6))]))
+        seed = abs(hash(key)) % (2**32)
+        expected = float(
+            LogNormalShadowing(sigma_db=6.0).sample_db(rng=as_rng(seed))
+        )
+        assert draw == expected
+
+    def test_module_is_rp102_clean(self):
+        from pathlib import Path
+
+        from repro.lintkit import lint_source
+
+        source_path = Path(__file__).parent.parent / "src/repro/channel/indoor.py"
+        findings = lint_source(
+            source_path.read_text(), path=str(source_path)
+        )
+        assert [f for f in findings if f.rule_id == "RP102"] == []

@@ -2,7 +2,6 @@
 
 import itertools
 
-import numpy as np
 import pytest
 
 from repro.core.planning import HopOption, RoutePlan, hop_options, plan_route

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.energy.model import EnergyModel
 from repro.energy.optimize import (
     DEFAULT_B_RANGE,
     OptimizationResult,

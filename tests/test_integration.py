@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.energy.ebar import solve_ebar
-from repro.modulation import BPSKModem, QAMModem, modem_for_bits_per_symbol
+from repro.modulation import QAMModem, modem_for_bits_per_symbol
 from repro.phy.link import simulate_link
 
 
@@ -55,7 +55,6 @@ class TestParadigmsOverNetwork:
     def test_underlay_route_energy_accounting(self):
         """Route an underlay transfer over a CoMIMONet and check the
         bookkeeping ties out hop by hop."""
-        from repro.core.schemes import hop_energy
         from repro.core.underlay import UnderlaySystem
         from repro.energy.model import EnergyModel
         from repro.network import CoMIMONet, SUNode

@@ -1,6 +1,5 @@
 """Decode-and-forward relay chain tests."""
 
-import numpy as np
 import pytest
 
 from repro.modulation import BPSKModem

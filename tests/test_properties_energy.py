@@ -5,7 +5,6 @@ monotonicities in distance, BER target, bandwidth and diversity; the
 PA/circuit split; and the exact quadratic distance law.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.channel.rayleigh import rayleigh_mimo_channel
 from repro.stbc.alamouti import alamouti_decode, alamouti_encode
@@ -104,3 +102,34 @@ class TestDiversityOrder:
         siso_hi = simulate_link(n, BPSKModem(), 14.0, mt=1, mr=1, rng=rng)
         # slope (BER drop per 6 dB) is steeper with transmit diversity
         assert lo.ber / max(hi.ber, 1e-7) > 2.0 * siso_lo.ber / siso_hi.ber
+
+
+class TestOrthogonalityCheckRng:
+    """Regression for the RP102 fix: the constructor's orthogonality probe
+    accepts any RngLike instead of hard-coding a hidden generator."""
+
+    def _tensors(self):
+        code = ostbc_for(2)
+        return np.array(code.dispersion_a), np.array(code.dispersion_b)
+
+    def test_default_seed_still_accepts_alamouti(self):
+        a, b = self._tensors()
+        code = OSTBC(a, b, name="alamouti-copy")
+        assert code.n_tx == 2
+
+    def test_explicit_seed_accepted(self):
+        a, b = self._tensors()
+        code = OSTBC(a, b, name="alamouti-copy", rng=7)
+        assert code.n_symbols == 2
+
+    def test_explicit_generator_accepted(self, rng):
+        a, b = self._tensors()
+        code = OSTBC(a, b, name="alamouti-copy", rng=rng)
+        assert code.block_length == 2
+
+    def test_non_orthogonal_design_rejected_for_any_seed(self):
+        a, b = self._tensors()
+        a[0, 0, 0] = 2.0  # break orthonormality
+        for seed in (None, 0, 99):
+            with pytest.raises(ValueError):
+                OSTBC(a, b, name="broken", rng=seed)

@@ -1,6 +1,5 @@
 """Radio node / testbed orchestrator tests."""
 
-import numpy as np
 import pytest
 
 from repro.channel.indoor import IndoorChannel, Wall

@@ -1,0 +1,42 @@
+"""Strict-typing gate: ``mypy --strict`` on the typed core packages.
+
+The container used for day-to-day test runs does not ship mypy, so this
+test skips gracefully when the tool is absent; CI installs mypy and runs
+the gate for real (see ``.github/workflows/ci.yml`` and ``scripts/lint.sh``).
+The package list here must stay in sync with ``[tool.mypy]`` in
+``pyproject.toml``.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Packages held to ``mypy --strict`` (the typed core).
+STRICT_PACKAGES = ["repro.utils", "repro.energy", "repro.lintkit"]
+
+mypy_available = shutil.which("mypy") is not None or (
+    subprocess.run(
+        [sys.executable, "-c", "import mypy"], capture_output=True
+    ).returncode
+    == 0
+)
+
+
+@pytest.mark.skipif(not mypy_available, reason="mypy not installed (CI runs this)")
+def test_strict_core_packages_typecheck():
+    cmd = [sys.executable, "-m", "mypy", "--strict"]
+    for package in STRICT_PACKAGES:
+        cmd += ["-p", package]
+    proc = subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"MYPYPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

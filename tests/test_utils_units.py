@@ -6,11 +6,14 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.utils.units import (
+    amplitude_ratio_to_db,
+    db_to_amplitude_ratio,
     db_to_linear,
     dbi_to_linear,
     dbm_per_hz_to_watts_per_hz,
     dbm_to_watts,
     linear_to_db,
+    linear_to_dbm,
     milliwatts_to_watts,
     watts_to_dbm,
 )
@@ -79,3 +82,51 @@ class TestErrors:
     def test_watts_to_dbm_rejects_zero(self):
         with pytest.raises(ValueError):
             watts_to_dbm(0.0)
+
+
+class TestAmplitudeRatios:
+    """The 20-log helpers added for the testbed radio model."""
+
+    def test_unity_ratio_is_zero_db(self):
+        assert amplitude_ratio_to_db(1.0) == 0.0
+
+    def test_doubling_amplitude_is_about_six_db(self):
+        assert amplitude_ratio_to_db(2.0) == pytest.approx(6.0206, rel=1e-4)
+
+    def test_power_is_square_of_amplitude(self):
+        # halving the DAC amplitude costs the same dB as quartering power
+        assert amplitude_ratio_to_db(0.5) == pytest.approx(
+            linear_to_db(0.25), abs=1e-12
+        )
+
+    @given(st.floats(min_value=-60.0, max_value=60.0))
+    def test_roundtrip(self, x):
+        assert amplitude_ratio_to_db(db_to_amplitude_ratio(x)) == pytest.approx(
+            x, abs=1e-9
+        )
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ValueError):
+            amplitude_ratio_to_db(0.0)
+        with pytest.raises(ValueError):
+            amplitude_ratio_to_db(-1.0)
+
+    def test_broadcasts(self):
+        out = amplitude_ratio_to_db(np.array([800.0, 400.0]) / 800.0)
+        np.testing.assert_allclose(out, [0.0, -6.0206], rtol=1e-4)
+
+
+class TestMoreRoundTrips:
+    @given(st.floats(min_value=1e-12, max_value=1e6))
+    def test_linear_db_roundtrip_from_linear_side(self, x):
+        assert db_to_linear(linear_to_db(x)) == pytest.approx(x, rel=1e-9)
+
+    @given(st.floats(min_value=1e-15, max_value=1e3))
+    def test_watts_dbm_roundtrip_from_watts_side(self, w):
+        assert dbm_to_watts(watts_to_dbm(w)) == pytest.approx(w, rel=1e-9)
+
+    def test_linear_to_dbm_is_watts_to_dbm(self):
+        assert linear_to_dbm(0.5) == watts_to_dbm(0.5)
+
+    def test_dbm_per_hz_alias_consistency(self):
+        assert dbm_per_hz_to_watts_per_hz(-171.0) == dbm_to_watts(-171.0)

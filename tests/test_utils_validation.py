@@ -1,9 +1,13 @@
 """Validation helper tests: accepted values, rejections, edge values."""
 
+import numpy as np
 import pytest
 
 from repro.utils.validation import (
+    check_finite,
     check_in_range,
+    check_non_negative,
+    check_non_negative_int,
     check_positive,
     check_positive_int,
     check_probability,
@@ -76,3 +80,100 @@ class TestCheckInRange:
     def test_outside(self):
         with pytest.raises(ValueError):
             check_in_range(2.5, "x", 1.0, 2.0)
+
+
+class TestCheckFinite:
+    def test_accepts_any_sign_and_returns_float(self):
+        assert check_finite(-171.0, "n0") == -171.0
+        assert check_finite(0, "x") == 0.0
+        assert isinstance(check_finite(3, "x"), float)
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_rejects_nonfinite(self, bad):
+        with pytest.raises(ValueError):
+            check_finite(bad, "x")
+
+    @pytest.mark.parametrize("bad", ["3", None, [1.0], (1.0,), {"x": 1}])
+    def test_rejects_wrong_types(self, bad):
+        with pytest.raises(TypeError):
+            check_finite(bad, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_finite(False, "x")
+
+    def test_accepts_numpy_scalar(self):
+        assert check_finite(np.float64(-3.5), "x") == -3.5
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ValueError, match="snr_db"):
+            check_finite(float("nan"), "snr_db")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero_and_positive(self):
+        assert check_non_negative(0.0, "t") == 0.0
+        assert check_non_negative(5e-6, "t") == 5e-6
+
+    @pytest.mark.parametrize("bad", [-1e-12, -3.0, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_non_negative(bad, "t")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_non_negative(True, "t")
+
+    def test_accepts_numpy_scalar(self):
+        assert check_non_negative(np.float64(2.0), "t") == 2.0
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "n") == 0
+
+    def test_returns_builtin_int(self):
+        out = check_non_negative_int(np.int64(7), "n")
+        assert out == 7
+        assert isinstance(out, int)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "n")
+
+    @pytest.mark.parametrize("bad", [2.0, "2", None, np.float64(2.0)])
+    def test_rejects_non_integers(self, bad):
+        with pytest.raises(TypeError):
+            check_non_negative_int(bad, "n")
+
+    def test_rejects_bool_as_int(self):
+        with pytest.raises(TypeError):
+            check_non_negative_int(True, "n")
+        with pytest.raises(TypeError):
+            check_non_negative_int(False, "n")
+
+
+class TestMoreEdgeCases:
+    def test_positive_int_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(3), "m") == 3
+
+    def test_positive_int_maximum_message_names_bound(self):
+        with pytest.raises(ValueError, match="<= 4"):
+            check_positive_int(9, "m", maximum=4)
+
+    def test_positive_accepts_numpy_scalar(self):
+        assert check_positive(np.float64(0.35), "eta") == 0.35
+
+    def test_probability_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_probability(True, "p")
+
+    def test_in_range_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            check_in_range("mid", "x", 0.0, 1.0)
+
+    def test_in_range_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_in_range(float("nan"), "x", 0.0, 1.0)
