@@ -1,0 +1,295 @@
+"""Load generator for the repro.service planning daemon.
+
+Boots ``python -m repro.service`` as a subprocess on an ephemeral port,
+fires a mixed workload (>= 1k requests by default) from a thread pool of
+stdlib clients, and writes ``BENCH_service.json`` with client-side
+throughput and latency percentiles plus the server's own ``/metrics``
+snapshot (coalesced-batch statistics, cache hit rate, pool counters).
+
+The workload is deliberately coalescing-friendly: scalar requests share
+group keys (same ``(mt, mr)`` ebar group, same overlay ``(m, bandwidth)``
+config, ...) while varying the per-item axis, so concurrent arrivals
+within the coalescing window merge into single batch-kernel calls.  The
+script fails (exit 1) if the observed mean coalesced-batch size is not
+greater than 1 — the whole point of the scheduler.
+
+Usage (from the repo root)::
+
+    scripts/bench_service.sh
+    PYTHONPATH=src python benchmarks/bench_service.py --requests 2000
+"""
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import random
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+# --------------------------------------------------------------------- #
+# Workload construction                                                  #
+# --------------------------------------------------------------------- #
+
+
+def build_workload(n_requests, rng):
+    """Return a shuffled list of ``(endpoint, fn(client) -> payload)``.
+
+    Scalar calls dominate (they exercise the coalescer); a small tail of
+    sweep calls exercises the worker pool.
+    """
+    from repro.energy.table import EbarTable
+
+    table = EbarTable(convention="paper")
+    calls = []
+
+    # ebar table lookups: few (mt, mr) groups x many distinct (p, b) points.
+    # Distinct points defeat the result cache, identical groups coalesce.
+    for mt, mr in ((1, 1), (2, 2), (2, 3), (4, 4)):
+        for p in table.p_values:
+            for b in table.b_values:
+                calls.append(
+                    ("/v1/ebar",
+                     lambda c, p=p, b=b, mt=mt, mr=mr: c.ebar(p, b, mt, mr))
+                )
+
+    # overlay scalar feasibility: one (m, bandwidth) group per m.
+    for m in (2, 3):
+        for i in range(120):
+            d1 = 10.0 + 0.625 * i
+            calls.append(
+                ("/v1/overlay/feasible",
+                 lambda c, d1=d1, m=m: c.overlay_feasible(d1, m, 10e3))
+            )
+
+    # underlay scalar energy: one shared (p, mt, mr, d, bandwidth) group.
+    for i in range(240):
+        dist = 30.0 + 0.5 * i
+        calls.append(
+            ("/v1/underlay/energy",
+             lambda c, dist=dist: c.underlay_energy(1e-3, 2, 2, 5.0, dist, 10e3))
+        )
+
+    # interweave scalar field probes: one shared pair/delta group.
+    for i in range(200):
+        angle = 2.0 * math.pi * i / 200.0
+        pt = (300.0 * math.cos(angle), 300.0 * math.sin(angle))
+        calls.append(
+            ("/v1/interweave/pattern",
+             lambda c, pt=pt: c.interweave_pattern(
+                 (0.0, 0.0), (15.0, 0.0), 30.0, pt, pr=(100.0, 0.0)))
+        )
+
+    # pooled sweeps: batched axes run in the worker pool.
+    for j in range(12):
+        d1s = [15.0 + 5.0 * j + 2.0 * k for k in range(16)]
+        calls.append(
+            ("/v1/overlay/feasible (sweep)",
+             lambda c, d1s=d1s: c.overlay_feasible(d1s, 2, 10e3))
+        )
+    for j in range(12):
+        dists = [35.0 + 5.0 * j + 3.0 * k for k in range(16)]
+        calls.append(
+            ("/v1/underlay/energy (sweep)",
+             lambda c, dists=dists: c.underlay_energy(
+                 1e-3, 2, 1, 5.0, dists, 10e3))
+        )
+
+    rng.shuffle(calls)
+    # Top up with round-robin repeats if the mix is short of the target
+    # (repeats are cache hits for ebar — still valid requests).
+    i = 0
+    while len(calls) < n_requests:
+        calls.append(calls[i])
+        i += 1
+    return calls[:n_requests] if n_requests >= 1000 else calls
+
+
+# --------------------------------------------------------------------- #
+# Load generation                                                        #
+# --------------------------------------------------------------------- #
+
+
+def run_load(host, port, calls, n_threads):
+    """Fire every call from a thread pool; return per-request samples."""
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    def fire(item):
+        endpoint, fn = item
+        client = ServiceClient(host, port, timeout_s=120.0)
+        start = time.perf_counter()
+        try:
+            fn(client)
+            error = None
+        except ServiceClientError as exc:
+            error = exc.status
+        latency_ms = 1e3 * (time.perf_counter() - start)
+        return endpoint, latency_ms, error
+
+    wall_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        samples = list(pool.map(fire, calls))
+    wall_s = time.perf_counter() - wall_start
+    return samples, wall_s
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank-with-interpolation percentile of a sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = q * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+def summarize(latencies_ms):
+    ordered = sorted(latencies_ms)
+    return {
+        "count": len(ordered),
+        "mean_ms": sum(ordered) / len(ordered) if ordered else 0.0,
+        "p50_ms": percentile(ordered, 0.50),
+        "p95_ms": percentile(ordered, 0.95),
+        "p99_ms": percentile(ordered, 0.99),
+        "max_ms": ordered[-1] if ordered else 0.0,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Server lifecycle                                                       #
+# --------------------------------------------------------------------- #
+
+
+def start_server(workers, coalesce_ms, queue_limit):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--port", "0",
+            "--workers", str(workers),
+            "--coalesce-ms", str(coalesce_ms),
+            "--queue-limit", str(queue_limit),
+            "--seed", "2026",
+            "--no-request-log",
+            "--quiet",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    announced = json.loads(proc.stdout.readline())
+    assert announced["event"] == "listening", announced
+    return proc, announced["host"], announced["port"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--requests", type=int, default=1280,
+                        help="total request count (>= 1000; default 1280)")
+    parser.add_argument("--threads", type=int, default=16,
+                        help="client thread count (default 16)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="server sweep workers (default 2)")
+    parser.add_argument("--coalesce-ms", type=float, default=5.0,
+                        help="server coalescing window (default 5 ms)")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="server sweep queue limit (default 64)")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_service.json"),
+                        help="output JSON path (default BENCH_service.json)")
+    args = parser.parse_args(argv)
+    if args.requests < 1000:
+        parser.error("--requests must be >= 1000 for a meaningful run")
+
+    calls = build_workload(args.requests, random.Random(2026))
+    print(f"bench_service: {len(calls)} requests, {args.threads} threads, "
+          f"coalesce window {args.coalesce_ms} ms", flush=True)
+
+    proc, host, port = start_server(args.workers, args.coalesce_ms,
+                                    args.queue_limit)
+    try:
+        from repro.service.client import ServiceClient
+
+        samples, wall_s = run_load(host, port, calls, args.threads)
+        metrics = ServiceClient(host, port, timeout_s=60.0).metrics_snapshot()
+        proc.send_signal(signal.SIGTERM)
+        exit_code = proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    errors = [s for s in samples if s[2] is not None]
+    by_endpoint = {}
+    for endpoint, latency_ms, _ in samples:
+        by_endpoint.setdefault(endpoint, []).append(latency_ms)
+
+    coalesce = metrics["coalesce"]
+    report = {
+        "benchmark": "repro.service load test",
+        "config": {
+            "requests": len(samples),
+            "threads": args.threads,
+            "workers": args.workers,
+            "coalesce_ms": args.coalesce_ms,
+            "queue_limit": args.queue_limit,
+        },
+        "totals": {
+            "requests": len(samples),
+            "errors": len(errors),
+            "wall_time_s": wall_s,
+            "throughput_rps": len(samples) / wall_s,
+            "server_exit_code": exit_code,
+        },
+        "latency_ms": summarize([s[1] for s in samples]),
+        "latency_by_endpoint_ms": {
+            endpoint: summarize(lats)
+            for endpoint, lats in sorted(by_endpoint.items())
+        },
+        "server_metrics": {
+            "coalesce": coalesce,
+            "ebar_cache": metrics["ebar_cache"],
+            "pool": metrics["pool"],
+            "responses_by_status": metrics["responses_by_status"],
+            "server_latency_ms": {
+                k: metrics["latency_ms"][k]
+                for k in ("count", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+            },
+        },
+    }
+    pathlib.Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    lat = report["latency_ms"]
+    print(f"bench_service: {report['totals']['throughput_rps']:.1f} req/s, "
+          f"p50 {lat['p50_ms']:.2f} ms, p95 {lat['p95_ms']:.2f} ms, "
+          f"mean coalesced batch {coalesce['mean_batch_size']:.2f} "
+          f"(max {coalesce['max_batch_size']})", flush=True)
+    print(f"wrote {args.output}", flush=True)
+
+    if errors:
+        statuses = sorted({s[2] for s in errors})
+        print(f"bench_service: {len(errors)} requests failed "
+              f"(statuses {statuses})", file=sys.stderr)
+        return 1
+    if coalesce["mean_batch_size"] <= 1.0:
+        print("bench_service: mean coalesced-batch size <= 1 — "
+              "coalescing never engaged", file=sys.stderr)
+        return 1
+    if exit_code != 0:
+        print(f"bench_service: server exited {exit_code}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

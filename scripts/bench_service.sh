@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate BENCH_service.json: throughput, latency percentiles and
+# coalesced-batch statistics for the repro.service planning daemon under
+# a mixed >= 1k-request concurrent load.
+#
+# Usage: scripts/bench_service.sh  [extra bench_service.py args]
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH=src python benchmarks/bench_service.py "$@"

@@ -33,9 +33,9 @@ else
 fi
 
 echo
-echo "== mypy --strict (repro.utils, repro.energy, repro.lintkit) =="
+echo "== mypy --strict (repro.utils, repro.energy, repro.lintkit, repro.service) =="
 if command -v mypy >/dev/null 2>&1 || python -c "import mypy" >/dev/null 2>&1; then
-    python -m mypy --strict -p repro.utils -p repro.energy -p repro.lintkit || status=1
+    python -m mypy --strict -p repro.utils -p repro.energy -p repro.lintkit -p repro.service || status=1
 else
     echo "mypy not installed; skipping (CI runs it)"
 fi

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI smoke test for repro-service: boot, query every endpoint, drain.
+
+Starts ``python -m repro.service`` as a real subprocess on an ephemeral
+port, parses the ``{"event": "listening"}`` announcement, issues one query
+per endpoint plus /healthz and /metrics, then sends SIGTERM and asserts a
+clean (exit 0) graceful shutdown.
+
+Usage:  PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import ServiceClient, ServiceClientError  # noqa: E402
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--coalesce-ms",
+            "1",
+            "--seed",
+            "7",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    try:
+        assert proc.stdout is not None
+        line = proc.stdout.readline()
+        announced = json.loads(line)
+        assert announced["event"] == "listening", announced
+        client = ServiceClient(announced["host"], announced["port"], timeout_s=60.0)
+
+        assert client.healthz() == {"status": "ok"}
+        ebar = client.ebar(0.001, 2, 2, 2)
+        assert ebar["e_bar"] > 0.0, ebar
+        overlay = client.overlay_feasible(40.0, 2, 10e3)
+        assert overlay["count"] == 1 and "feasible" in overlay["rows"][0], overlay
+        underlay = client.underlay_energy(1e-3, 2, 2, 5.0, [50.0, 100.0], 10e3)
+        assert underlay["count"] == 2, underlay
+        pattern = client.interweave_pattern(
+            (0.0, 0.0), (15.0, 0.0), 30.0, (40.0, 40.0), pr=(100.0, 0.0)
+        )
+        assert len(pattern["amplitudes"]) == 1, pattern
+        try:
+            client.ebar(0.001, 99, 2, 2)
+        except ServiceClientError as exc:
+            assert exc.status == 404, exc
+        else:
+            raise AssertionError("off-grid b should be 404")
+        metrics = client.metrics_snapshot()
+        assert metrics["requests_total"] >= 6, metrics
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+        assert code == 0, f"expected clean exit, got {code}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    print("service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""repro.service — asyncio planning service over the reproduction library.
+
+A stdlib-only HTTP/JSON front end for the paper's three paradigms:
+
+* ``POST /v1/ebar`` — ``e_bar_b`` lookups (coalesced table reads, or exact
+  re-solves in the worker pool);
+* ``POST /v1/overlay/feasible`` — Algorithm 1 relay feasibility (Figure 6);
+* ``POST /v1/underlay/energy`` — Algorithm 2 PA-energy accounting (Figure 7);
+* ``POST /v1/interweave/pattern`` — Algorithm 3 null-steered beam patterns
+  (Table 1 / Figure 8);
+* ``GET /healthz`` and ``GET /metrics``.
+
+Concurrent single-point requests are merged by a request-coalescing
+scheduler into one batch-kernel call (bit-identical to the scalar path);
+heavy sweeps run in a bounded process pool with 429 backpressure.  See
+``docs/serving.md``.
+"""
+
+from repro.service.app import ENDPOINTS, PlanningService
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.coalescer import Coalescer
+from repro.service.config import DEFAULT_PORT, ServiceConfig
+from repro.service.errors import (
+    BadRequestError,
+    MethodNotAllowedError,
+    NotFoundError,
+    OverloadedError,
+    PayloadTooLargeError,
+    ServiceError,
+)
+from repro.service.metrics import LatencyHistogram, Metrics
+from repro.service.pool import WorkerPool
+from repro.service.server import ServiceServer, serve
+from repro.service.testing import ThreadedServer
+
+__all__ = [
+    "ENDPOINTS",
+    "PlanningService",
+    "ServiceClient",
+    "ServiceClientError",
+    "Coalescer",
+    "DEFAULT_PORT",
+    "ServiceConfig",
+    "BadRequestError",
+    "MethodNotAllowedError",
+    "NotFoundError",
+    "OverloadedError",
+    "PayloadTooLargeError",
+    "ServiceError",
+    "LatencyHistogram",
+    "Metrics",
+    "WorkerPool",
+    "ServiceServer",
+    "serve",
+    "ThreadedServer",
+]

@@ -1,0 +1,471 @@
+"""The planning service: routing, coalescing, caching and error mapping.
+
+:class:`PlanningService` is transport-free — it maps ``(method, path,
+body)`` to ``(status, payload)`` — so the same object sits behind the
+asyncio TCP server, the test harness and (hypothetically) any other
+transport.
+
+Execution strategy per request:
+
+* **single-point** requests (scalar ``d1`` / ``distance`` / ``point``, and
+  table ``e_bar_b`` lookups) enter the request-coalescing scheduler:
+  concurrent requests sharing a batch group are merged into one call of the
+  PR-1 batch kernels and de-multiplexed.  The kernels are elementwise
+  bit-identical to the scalar paths, so coalescing never changes a response.
+* **sweep** requests (vector axes) and exact ``e_bar_b`` solves go to the
+  bounded :class:`WorkerPool` — heavy work off the event loop, 429 when the
+  queue is full.
+
+Error mapping: :class:`ServiceError` subclasses carry their own status;
+``ValueError``/``TypeError`` from the library become 400 (the request named
+an impossible parameter), ``KeyError`` becomes 404 (off-grid or infeasible
+table point).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.energy.table import EbarTable
+from repro.service import work
+from repro.service.coalescer import Coalescer
+from repro.service.config import ServiceConfig
+from repro.service.errors import (
+    BadRequestError,
+    MethodNotAllowedError,
+    NotFoundError,
+    ServiceError,
+)
+from repro.service.metrics import Metrics
+from repro.service.pool import WorkerPool
+from repro.service.schemas import (
+    EbarRequest,
+    EnvironmentSpec,
+    InterweaveRequest,
+    OverlayRequest,
+    UnderlayRequest,
+    parse_ebar_request,
+    parse_interweave_request,
+    parse_overlay_request,
+    parse_underlay_request,
+)
+from repro.utils.rng import as_rng, spawn_seed_sequences
+
+__all__ = ["PlanningService", "ENDPOINTS"]
+
+logger = logging.getLogger("repro.service")
+
+#: Routable endpoints: ``path -> allowed method``.
+ENDPOINTS: Dict[str, str] = {
+    "/healthz": "GET",
+    "/metrics": "GET",
+    "/v1/ebar": "POST",
+    "/v1/overlay/feasible": "POST",
+    "/v1/underlay/energy": "POST",
+    "/v1/interweave/pattern": "POST",
+}
+
+#: Bounded size of the ``e_bar_b`` response cache (FIFO eviction).
+EBAR_CACHE_SIZE = 4096
+
+Payload = Dict[str, object]
+Row = Dict[str, object]
+Point = Tuple[float, float]
+
+_EbarKey = Tuple[str, int, int]  # (convention, mt, mr)
+_EbarItem = Tuple[float, int]  # (p, b)
+_OverlayKey = Tuple[int, float, float, float, str]
+_UnderlayKey = Tuple[float, int, int, float, float, str]
+_InterweaveKey = Tuple[
+    Point,
+    Point,
+    float,
+    Optional[float],
+    Optional[Point],
+    bool,
+    Point,
+    Optional[EnvironmentSpec],
+]
+
+
+class PlanningService:
+    """Everything between the HTTP layer and the repro library."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.metrics = Metrics()
+        self.pool = WorkerPool(config.workers, config.queue_limit, self.metrics)
+        self._tables: Dict[str, EbarTable] = {}
+        self._ebar_cache: "OrderedDict[Tuple[str, str, float, int, int, int], float]"
+        self._ebar_cache = OrderedDict()
+        base_seed = (
+            config.seed
+            if config.seed is not None
+            else int(as_rng(None).integers(0, 2**63 - 1))
+        )
+        self._seed_root = spawn_seed_sequences(base_seed, 1)[0]
+
+        window = config.coalesce_window_s
+        batch_hook = self.metrics.observe_batch
+        self._ebar_coalescer: Coalescer[_EbarKey, _EbarItem, float] = Coalescer(
+            self._ebar_batch, window, config.max_coalesce, batch_hook
+        )
+        self._overlay_coalescer: Coalescer[_OverlayKey, float, Row] = Coalescer(
+            self._overlay_batch, window, config.max_coalesce, batch_hook
+        )
+        self._underlay_coalescer: Coalescer[_UnderlayKey, float, Row] = Coalescer(
+            self._underlay_batch, window, config.max_coalesce, batch_hook
+        )
+        self._interweave_coalescer: Coalescer[_InterweaveKey, Point, float] = Coalescer(
+            self._interweave_batch, window, config.max_coalesce, batch_hook
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def preload(self) -> None:
+        """Solve (or load) the default-convention table before serving."""
+        self._table(self.config.table_convention)
+
+    def flush(self) -> None:
+        """Flush every open coalescing window (graceful-drain path)."""
+        self._ebar_coalescer.flush_all()
+        self._overlay_coalescer.flush_all()
+        self._underlay_coalescer.flush_all()
+        self._interweave_coalescer.flush_all()
+
+    def close(self) -> None:
+        """Flush pending batches and release the worker pool."""
+        self.flush()
+        self.pool.shutdown()
+
+    def _table(self, convention: str) -> EbarTable:
+        table = self._tables.get(convention)
+        if table is None:
+            table = EbarTable(convention=convention)
+            self._tables[convention] = table
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Request entry point                                                #
+    # ------------------------------------------------------------------ #
+
+    async def handle(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Payload]:
+        """One request in, ``(status, JSON-payload)`` out.  Never raises."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self.metrics.record_request(path)
+        try:
+            status, payload = await self._dispatch(method, path, body)
+        except ServiceError as exc:
+            status, payload = exc.status, {"error": exc.reason, "detail": str(exc)}
+        except (ValueError, TypeError) as exc:
+            status, payload = 400, {"error": "bad request", "detail": str(exc)}
+        except KeyError as exc:
+            detail = exc.args[0] if exc.args else str(exc)
+            status, payload = 404, {"error": "not found", "detail": str(detail)}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive 500 path
+            logger.exception("internal error serving %s %s", method, path)
+            status, payload = 500, {"error": "internal error", "detail": str(exc)}
+        latency_ms = (loop.time() - started) * 1000.0
+        self.metrics.record_response(status, latency_ms)
+        if self.config.request_log:
+            logger.info(
+                "%s",
+                json.dumps(
+                    {
+                        "event": "request",
+                        "method": method,
+                        "path": path,
+                        "status": status,
+                        "latency_ms": round(latency_ms, 3),
+                    },
+                    sort_keys=True,
+                ),
+            )
+        return status, payload
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Payload]:
+        allowed = ENDPOINTS.get(path)
+        if allowed is None:
+            raise NotFoundError(f"no such endpoint: {path}")
+        if method != allowed:
+            raise MethodNotAllowedError(f"{path} only accepts {allowed}")
+        if path == "/healthz":
+            return 200, {"status": "ok"}
+        if path == "/metrics":
+            return 200, self.metrics.snapshot()
+        data = self._parse_json(body)
+        if path == "/v1/ebar":
+            return 200, await self._handle_ebar(parse_ebar_request(data))
+        if path == "/v1/overlay/feasible":
+            return 200, await self._handle_overlay(
+                parse_overlay_request(data, self.config.max_sweep_points)
+            )
+        if path == "/v1/underlay/energy":
+            return 200, await self._handle_underlay(
+                parse_underlay_request(data, self.config.max_sweep_points)
+            )
+        return 200, await self._handle_interweave(
+            parse_interweave_request(data, self.config.max_sweep_points)
+        )
+
+    @staticmethod
+    def _parse_json(body: bytes) -> object:
+        if not body:
+            raise BadRequestError("request body is empty; expected a JSON object")
+        try:
+            return json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequestError(f"request body is not valid JSON: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # /v1/ebar                                                           #
+    # ------------------------------------------------------------------ #
+
+    async def _handle_ebar(self, request: EbarRequest) -> Payload:
+        cache_key = (
+            request.solver,
+            request.convention,
+            request.p,
+            request.b,
+            request.mt,
+            request.mr,
+        )
+        cached = self._ebar_cache.get(cache_key)
+        if cached is not None:
+            self.metrics.cache_hit()
+            return self._ebar_payload(request, cached)
+        self.metrics.cache_miss()
+        if request.solver == "table":
+            table = self._table(request.convention)
+            for value, grid, label in (
+                (request.b, table.b_values, "b"),
+                (request.mt, table.mt_values, "mt"),
+                (request.mr, table.mr_values, "mr"),
+            ):
+                if value not in grid:
+                    raise NotFoundError(f"{label}={value} not on the table grid")
+            e_bar = await self._ebar_coalescer.submit(
+                (request.convention, request.mt, request.mr),
+                (request.p, request.b),
+            )
+        else:
+            e_bar = await self.pool.submit(work.ebar_exact, request)
+        self._ebar_cache[cache_key] = e_bar
+        while len(self._ebar_cache) > EBAR_CACHE_SIZE:
+            self._ebar_cache.popitem(last=False)
+        return self._ebar_payload(request, e_bar)
+
+    def _ebar_payload(self, request: EbarRequest, e_bar: float) -> Payload:
+        payload: Payload = {
+            "e_bar": e_bar,
+            "p": request.p,
+            "b": request.b,
+            "mt": request.mt,
+            "mr": request.mr,
+            "solver": request.solver,
+            "convention": request.convention,
+        }
+        if request.solver == "table":
+            grid = self._table(request.convention).p_values
+            payload["p_grid"] = min(grid, key=lambda g: abs(g - request.p))
+        return payload
+
+    def _ebar_batch(
+        self, key: _EbarKey, items: Sequence[_EbarItem]
+    ) -> List[Union[float, Exception]]:
+        """Coalesced table lookups: one vectorized grid read per batch."""
+        convention, mt, mr = key
+        table = self._table(convention)
+        p = np.array([item[0] for item in items], dtype=float)
+        b = np.array([item[1] for item in items], dtype=int)
+        values = np.atleast_1d(np.asarray(table.lookup(p, b, mt, mr), dtype=float))
+        results: List[Union[float, Exception]] = []
+        for (p_req, b_req), value in zip(items, values):
+            if np.isnan(value):
+                p_grid = min(table.p_values, key=lambda g: abs(g - p_req))
+                results.append(
+                    NotFoundError(f"grid point p={p_grid}, b={b_req} is infeasible")
+                )
+            else:
+                results.append(float(value))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # /v1/overlay/feasible                                               #
+    # ------------------------------------------------------------------ #
+
+    async def _handle_overlay(self, request: OverlayRequest) -> Payload:
+        if request.scalar:
+            key: _OverlayKey = (
+                request.m,
+                request.bandwidth,
+                request.p_direct,
+                request.p_relay,
+                request.convention,
+            )
+            rows = [await self._overlay_coalescer.submit(key, request.d1[0])]
+        else:
+            rows = await self.pool.submit(work.overlay_rows, request)
+        return {"rows": rows, "count": len(rows)}
+
+    def _overlay_batch(
+        self, key: _OverlayKey, items: Sequence[float]
+    ) -> List[Union[Row, Exception]]:
+        m, bandwidth, p_direct, p_relay, convention = key
+
+        def run(d1_values: Sequence[float]) -> List[Row]:
+            return work.overlay_rows(
+                OverlayRequest(
+                    d1=tuple(d1_values),
+                    m=m,
+                    bandwidth=bandwidth,
+                    p_direct=p_direct,
+                    p_relay=p_relay,
+                    convention=convention,
+                )
+            )
+
+        return self._batch_with_fallback(items, run)
+
+    # ------------------------------------------------------------------ #
+    # /v1/underlay/energy                                                #
+    # ------------------------------------------------------------------ #
+
+    async def _handle_underlay(self, request: UnderlayRequest) -> Payload:
+        if request.scalar:
+            key: _UnderlayKey = (
+                request.p,
+                request.mt,
+                request.mr,
+                request.d,
+                request.bandwidth,
+                request.convention,
+            )
+            rows = [await self._underlay_coalescer.submit(key, request.distances[0])]
+        else:
+            rows = await self.pool.submit(work.underlay_rows, request)
+        return {"rows": rows, "count": len(rows)}
+
+    def _underlay_batch(
+        self, key: _UnderlayKey, items: Sequence[float]
+    ) -> List[Union[Row, Exception]]:
+        p, mt, mr, d, bandwidth, convention = key
+
+        def run(distances: Sequence[float]) -> List[Row]:
+            return work.underlay_rows(
+                UnderlayRequest(
+                    p=p,
+                    mt=mt,
+                    mr=mr,
+                    d=d,
+                    distances=tuple(distances),
+                    bandwidth=bandwidth,
+                    convention=convention,
+                )
+            )
+
+        return self._batch_with_fallback(items, run)
+
+    @staticmethod
+    def _batch_with_fallback(
+        items: Sequence[float],
+        run: Callable[[Sequence[float]], List[Row]],
+    ) -> List[Union[Row, Exception]]:
+        """Vectorize the whole batch; on failure, price items one by one.
+
+        The sweep kernels raise ``ValueError`` for the *whole* axis when any
+        point is infeasible; re-running per item restores exactly the
+        response each request would have produced alone.
+        """
+        try:
+            return list(run(items))
+        except (ValueError, KeyError):
+            results: List[Union[Row, Exception]] = []
+            for item in items:
+                try:
+                    results.append(run([item])[0])
+                except (ValueError, KeyError) as exc:
+                    results.append(exc)
+            return results
+
+    # ------------------------------------------------------------------ #
+    # /v1/interweave/pattern                                             #
+    # ------------------------------------------------------------------ #
+
+    async def _handle_interweave(self, request: InterweaveRequest) -> Payload:
+        request = self._resolve_environment(request)
+        delta = work.interweave_delta(request)
+        if request.scalar:
+            key: _InterweaveKey = (
+                request.st1,
+                request.st2,
+                request.wavelength,
+                request.delta,
+                request.pr,
+                request.exact_null,
+                request.amplitudes,
+                request.environment,
+            )
+            amplitudes = [
+                await self._interweave_coalescer.submit(key, request.points[0])
+            ]
+        else:
+            amplitudes = await self.pool.submit(work.interweave_amplitudes, request)
+        payload: Payload = {
+            "amplitudes": amplitudes,
+            "count": len(amplitudes),
+            "delta": delta,
+        }
+        if request.environment is not None:
+            payload["seed_used"] = request.environment.seed
+        return payload
+
+    def _resolve_environment(self, request: InterweaveRequest) -> InterweaveRequest:
+        """Pin the environment seed *before* dispatch.
+
+        A stochastic environment requested without a seed gets one from the
+        service's per-task ``SeedSequence.spawn`` stream, so pooled, inline
+        and coalesced execution all construct the identical environment —
+        and the response can echo ``seed_used`` for exact replay.
+        """
+        spec = request.environment
+        if spec is None or spec.seed is not None or spec.n_scatterers == 0:
+            return request
+        child = self._seed_root.spawn(1)[0]
+        seed = int(child.generate_state(1, np.uint64)[0])
+        return replace(request, environment=replace(spec, seed=seed))
+
+    def _interweave_batch(
+        self, key: _InterweaveKey, items: Sequence[Point]
+    ) -> List[Union[float, Exception]]:
+        st1, st2, wavelength, delta, pr, exact_null, amplitudes, environment = key
+        values = work.interweave_amplitudes(
+            InterweaveRequest(
+                st1=st1,
+                st2=st2,
+                wavelength=wavelength,
+                points=tuple(items),
+                delta=delta,
+                pr=pr,
+                exact_null=exact_null,
+                amplitudes=amplitudes,
+                environment=environment,
+            )
+        )
+        return list(values)

@@ -1,0 +1,142 @@
+"""Command-line entry point: ``repro-service`` / ``python -m repro.service``.
+
+Usage::
+
+    repro-service [--host H] [--port P] [--workers N] [--coalesce-ms MS]
+                  [--queue-limit N] [--max-coalesce N] [--seed N]
+                  [--table-convention paper|diversity_only]
+                  [--drain-timeout-s S] [--no-request-log] [--quiet]
+
+The server announces its bound address as a ``{"event": "listening"}`` JSON
+line on stdout (``--port 0`` binds an ephemeral port), logs one structured
+JSON line per request to stderr, and drains gracefully on SIGTERM/SIGINT
+(exit code 0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import sys
+from typing import List, Optional
+
+from repro.energy.ebar import CONVENTIONS
+from repro.service.config import DEFAULT_PORT, ServiceConfig
+from repro.service.server import serve
+
+__all__ = ["main", "build_config"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Planning service for the cooperative MIMO cognitive-radio "
+        "reproduction: e_bar_b lookups, overlay feasibility, underlay energy "
+        "and interweave beam patterns over HTTP/JSON.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help="TCP port; 0 binds an ephemeral port and announces it on stdout",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for sweep requests; 0 runs sweeps inline",
+    )
+    parser.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=2.0,
+        help="request-coalescing window in milliseconds",
+    )
+    parser.add_argument(
+        "--max-coalesce",
+        type=int,
+        default=64,
+        help="maximum merged requests per coalesced batch",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help="maximum in-flight sweep tasks before requests get 429",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed for per-task SeedSequence.spawn streams",
+    )
+    parser.add_argument(
+        "--table-convention",
+        choices=list(CONVENTIONS),
+        default="paper",
+        help="e_bar_b convention of the preloaded lookup table",
+    )
+    parser.add_argument(
+        "--max-sweep-points",
+        type=int,
+        default=4096,
+        help="per-request cap on sweep axis length",
+    )
+    parser.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=5.0,
+        help="graceful-shutdown budget for in-flight requests",
+    )
+    parser.add_argument(
+        "--no-request-log",
+        action="store_true",
+        help="disable per-request structured log lines",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="log warnings and errors only"
+    )
+    return parser
+
+
+def build_config(args: argparse.Namespace) -> ServiceConfig:
+    """Map parsed CLI arguments onto a :class:`ServiceConfig`."""
+    return ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        coalesce_ms=args.coalesce_ms,
+        max_coalesce=args.max_coalesce,
+        queue_limit=args.queue_limit,
+        seed=args.seed,
+        table_convention=args.table_convention,
+        max_sweep_points=args.max_sweep_points,
+        drain_timeout_s=args.drain_timeout_s,
+        request_log=not args.no_request_log,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        config = build_config(args)
+    except ValueError as exc:
+        print(f"repro-service: {exc}", file=sys.stderr)
+        return 2
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.WARNING if args.quiet else logging.INFO,
+        format="%(message)s",
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,208 @@
+"""Stdlib (urllib) client for the planning service.
+
+One thin, dependency-free wrapper per endpoint; non-2xx responses raise
+:class:`ServiceClientError` carrying the HTTP status and the server's JSON
+error payload.  The client is deliberately synchronous — it is what a
+simulation script, a bench worker thread or a CI smoke test calls.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+Payload = Dict[str, object]
+Point = Tuple[float, float]
+Axis = Union[float, Sequence[float]]
+
+
+class ServiceClientError(Exception):
+    """A non-2xx response: HTTP status plus the server's error payload."""
+
+    def __init__(
+        self, status: int, message: str, payload: Optional[Payload] = None
+    ) -> None:
+        check_in_range(status, "status", 100, 599)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+        self.message = message
+        self.payload: Payload = payload if payload is not None else {}
+
+
+class ServiceClient:
+    """Synchronous JSON client bound to one service address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8123, timeout_s: float = 30.0
+    ) -> None:
+        check_in_range(port, "port", 1, 65535)
+        check_positive(timeout_s, "timeout_s")
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+
+    # ------------------------------------------------------------------ #
+    # Transport                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _url(self, path: str) -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def request(
+        self, method: str, path: str, body: Optional[Payload] = None
+    ) -> Payload:
+        """One request; returns the decoded JSON payload of a 2xx response."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self._url(path), data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as response:
+                return self._decode(response.read(), response.status)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            payload = self._safe_decode(raw)
+            detail = str(payload.get("detail", raw.decode("utf-8", "replace")))
+            raise ServiceClientError(exc.code, detail, payload) from None
+
+    @staticmethod
+    def _decode(raw: bytes, status: int) -> Payload:
+        payload = ServiceClient._safe_decode(raw)
+        if not payload and raw.strip():
+            raise ServiceClientError(status, "response body is not a JSON object")
+        return payload
+
+    @staticmethod
+    def _safe_decode(raw: bytes) -> Payload:
+        try:
+            decoded = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return {}
+        return decoded if isinstance(decoded, dict) else {}
+
+    # ------------------------------------------------------------------ #
+    # Endpoints                                                          #
+    # ------------------------------------------------------------------ #
+
+    def healthz(self) -> Payload:
+        """``GET /healthz`` — liveness probe, ``{"status": "ok"}``."""
+        return self.request("GET", "/healthz")
+
+    def metrics_snapshot(self) -> Payload:
+        """``GET /metrics`` — the full server counter snapshot."""
+        return self.request("GET", "/metrics")
+
+    def ebar(
+        self,
+        p: float,
+        b: int,
+        mt: int,
+        mr: int,
+        solver: str = "table",
+        convention: Optional[str] = None,
+    ) -> Payload:
+        """``POST /v1/ebar`` — required received energy per bit ē_b.
+
+        ``solver="table"`` snaps ``p`` to the precomputed grid (fast,
+        cached, coalesced); ``solver="exact"`` runs the root solve in the
+        worker pool.
+        """
+        body: Payload = {"p": p, "b": b, "mt": mt, "mr": mr, "solver": solver}
+        if convention is not None:
+            body["convention"] = convention
+        return self.request("POST", "/v1/ebar", body)
+
+    def overlay_feasible(
+        self,
+        d1: Axis,
+        m: int,
+        bandwidth: float,
+        p_direct: Optional[float] = None,
+        p_relay: Optional[float] = None,
+        convention: Optional[str] = None,
+    ) -> Payload:
+        """``POST /v1/overlay/feasible`` — Algorithm 1 distance analysis.
+
+        ``d1`` may be a scalar (coalesced) or a sequence (pooled sweep).
+        """
+        body: Payload = {"d1": d1, "m": m, "bandwidth": bandwidth}
+        if p_direct is not None:
+            body["p_direct"] = p_direct
+        if p_relay is not None:
+            body["p_relay"] = p_relay
+        if convention is not None:
+            body["convention"] = convention
+        return self.request("POST", "/v1/overlay/feasible", body)
+
+    def underlay_energy(
+        self,
+        p: float,
+        mt: int,
+        mr: int,
+        d: float,
+        distance: Axis,
+        bandwidth: float,
+        convention: Optional[str] = None,
+    ) -> Payload:
+        """``POST /v1/underlay/energy`` — Algorithm 2 PA-energy rows.
+
+        ``distance`` may be a scalar (coalesced) or a sequence (pooled
+        sweep).
+        """
+        body: Payload = {
+            "p": p,
+            "mt": mt,
+            "mr": mr,
+            "d": d,
+            "distance": distance,
+            "bandwidth": bandwidth,
+        }
+        if convention is not None:
+            body["convention"] = convention
+        return self.request("POST", "/v1/underlay/energy", body)
+
+    def interweave_pattern(
+        self,
+        st1: Point,
+        st2: Point,
+        wavelength: float,
+        point: Union[Point, Sequence[Point]],
+        delta: Optional[float] = None,
+        pr: Optional[Point] = None,
+        exact_null: bool = False,
+        amplitudes: Optional[Point] = None,
+        environment: Optional[Payload] = None,
+    ) -> Payload:
+        """Sample the pairwise beam pattern.
+
+        ``point`` may be one ``(x, y)`` pair (coalesced-lookup path) or a
+        sequence of pairs (pooled sweep); a length-one *sequence of pairs*
+        still takes the sweep path.
+        """
+        one_point = len(point) == 2 and not isinstance(point[0], (list, tuple))
+        body: Payload = {"st1": st1, "st2": st2, "wavelength": wavelength}
+        if one_point:
+            body["point"] = point
+        else:
+            body["points"] = point
+        if delta is not None:
+            body["delta"] = delta
+        if pr is not None:
+            body["pr"] = pr
+        if exact_null:
+            body["exact_null"] = True
+        if amplitudes is not None:
+            body["amplitudes"] = amplitudes
+        if environment is not None:
+            body["environment"] = environment
+        return self.request("POST", "/v1/interweave/pattern", body)

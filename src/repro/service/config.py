@@ -1,0 +1,94 @@
+"""Server configuration (one frozen dataclass, CLI-mappable 1:1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.energy.ebar import CONVENTIONS
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = ["ServiceConfig", "DEFAULT_PORT"]
+
+#: Default TCP port (``--port 0`` binds an ephemeral port and announces it).
+DEFAULT_PORT = 8123
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the planning service needs to boot.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` picks an ephemeral port; the server
+        announces the actual one on stdout as a ``{"event": "listening"}``
+        JSON line.
+    workers:
+        Process-pool size for heavy sweep requests.  ``0`` runs sweeps
+        inline on the event loop (useful for tests and tiny deployments);
+        results are bit-identical either way.
+    coalesce_ms:
+        Request-coalescing window: concurrent single-point requests that
+        share a batch group and arrive within this many milliseconds of the
+        first are merged into one batch-kernel call.  ``0`` still merges
+        requests landing in the same event-loop tick.
+    max_coalesce:
+        Hard cap on one coalesced batch; a full batch flushes immediately.
+    queue_limit:
+        Maximum in-flight sweep tasks (running + queued); excess requests
+        are rejected with HTTP 429.
+    seed:
+        Base seed for the per-task ``SeedSequence.spawn`` stream handed to
+        stochastic work (e.g. ``random_indoor`` environments requested
+        without an explicit seed).  ``None`` draws fresh OS entropy.
+    table_convention:
+        ``e_bar_b`` normalization of the preloaded :class:`EbarTable`
+        serving ``/v1/ebar`` lookups.
+    max_sweep_points:
+        Per-request cap on sweep axes (d1 / distances / points).
+    drain_timeout_s:
+        Graceful-shutdown budget: how long to wait for in-flight requests
+        after SIGTERM before force-closing connections.
+    request_log:
+        Emit one structured (JSON) log line per request.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    workers: int = 2
+    coalesce_ms: float = 2.0
+    max_coalesce: int = 64
+    queue_limit: int = 32
+    seed: Optional[int] = None
+    table_convention: str = "paper"
+    max_sweep_points: int = 4096
+    drain_timeout_s: float = 5.0
+    request_log: bool = True
+
+    def __post_init__(self) -> None:
+        check_in_range(self.port, "port", 0, 65535)
+        check_non_negative_int(self.workers, "workers")
+        check_non_negative(self.coalesce_ms, "coalesce_ms")
+        check_positive_int(self.max_coalesce, "max_coalesce")
+        check_positive_int(self.queue_limit, "queue_limit")
+        if self.seed is not None:
+            check_non_negative_int(self.seed, "seed")
+        if self.table_convention not in CONVENTIONS:
+            raise ValueError(
+                f"table_convention must be one of {CONVENTIONS}, "
+                f"got {self.table_convention!r}"
+            )
+        check_positive_int(self.max_sweep_points, "max_sweep_points")
+        check_positive(self.drain_timeout_s, "drain_timeout_s")
+
+    @property
+    def coalesce_window_s(self) -> float:
+        """The coalescing window in seconds (what the event loop uses)."""
+        return self.coalesce_ms / 1000.0

@@ -1,0 +1,147 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+Just enough of the protocol for a JSON planning API: request line +
+headers + ``Content-Length`` body in, status line + JSON body out, with
+``keep-alive`` connection reuse.  No chunked encoding, no TLS — this is an
+in-cluster planning service, not a general web server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.service.errors import BadRequestError, PayloadTooLargeError
+
+__all__ = [
+    "RequestHead",
+    "read_request",
+    "render_response",
+    "REASONS",
+    "MAX_HEADER_BYTES",
+    "MAX_BODY_BYTES",
+]
+
+#: Reason phrases for every status the service emits.
+REASONS: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class RequestHead:
+    """Parsed request line and headers (header names lower-cased)."""
+
+    __slots__ = ("method", "path", "version", "headers")
+
+    def __init__(
+        self, method: str, path: str, version: str, headers: Dict[str, str]
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.version = version
+        self.headers = headers
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    @property
+    def content_length(self) -> int:
+        raw = self.headers.get("content-length", "0")
+        try:
+            length = int(raw)
+        except ValueError:
+            raise BadRequestError(f"invalid Content-Length: {raw!r}") from None
+        if length < 0:
+            raise BadRequestError(f"invalid Content-Length: {raw!r}")
+        return length
+
+
+def _parse_head(blob: bytes) -> RequestHead:
+    try:
+        text = blob.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 never fails
+        raise BadRequestError("undecodable request head") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise BadRequestError(f"malformed request line: {lines[0]!r}")
+    method, path, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise BadRequestError(f"unsupported HTTP version: {version!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequestError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return RequestHead(method, path.split("?", 1)[0], version, headers)
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[RequestHead, bytes]]:
+    """Read one request; ``None`` on a cleanly closed idle connection.
+
+    Raises
+    ------
+    BadRequestError
+        On malformed framing (the caller answers 400 and closes).
+    PayloadTooLargeError
+        When head or body exceed the hard limits (answered with 413).
+    """
+    try:
+        blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # peer closed between requests
+        raise BadRequestError("truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise PayloadTooLargeError("request head too large") from exc
+    if len(blob) > MAX_HEADER_BYTES:
+        raise PayloadTooLargeError("request head too large")
+    head = _parse_head(blob[:-4])
+    length = head.content_length
+    if length > MAX_BODY_BYTES:
+        raise PayloadTooLargeError(
+            f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+        )
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise BadRequestError("truncated request body") from exc
+    return head, body
+
+
+def render_response(
+    status: int, payload: Dict[str, object], keep_alive: bool = True
+) -> bytes:
+    """Serialize one JSON response with correct framing headers."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -1,0 +1,92 @@
+"""Bounded worker pool for heavy sweep requests.
+
+Sweeps (vector ``d1`` / ``distances`` / ``points`` requests) are dispatched
+to a :class:`concurrent.futures.ProcessPoolExecutor` so that a long overlay
+grid cannot stall the event loop serving single-point lookups.  The pool is
+*bounded*: at most ``queue_limit`` tasks may be in flight (running or
+queued); beyond that :meth:`submit` raises :class:`OverloadedError`, which
+the HTTP layer surfaces as 429 — backpressure instead of unbounded memory.
+
+``workers=0`` runs the work function inline on the event loop: bit-identical
+results (the work functions are deterministic pure functions of their
+arguments), no fork cost — the right choice for tests and tiny deployments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.service.errors import OverloadedError
+from repro.service.metrics import Metrics
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+__all__ = ["WorkerPool"]
+
+ResultT = TypeVar("ResultT")
+
+
+class WorkerPool:
+    """A depth-limited ``ProcessPoolExecutor`` front end (429 when full)."""
+
+    def __init__(
+        self,
+        workers: int,
+        queue_limit: int,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self._workers = check_non_negative_int(workers, "workers")
+        self._queue_limit = check_positive_int(queue_limit, "queue_limit")
+        self._metrics = metrics
+        self._inflight = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+        if self._workers > 0:
+            self._executor = ProcessPoolExecutor(max_workers=self._workers)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def depth(self) -> int:
+        """Tasks currently in flight (running + queued)."""
+        return self._inflight
+
+    async def submit(
+        self, fn: Callable[..., ResultT], *args: Any
+    ) -> ResultT:
+        """Run ``fn(*args)`` in the pool (or inline when ``workers=0``).
+
+        Raises
+        ------
+        OverloadedError
+            When ``queue_limit`` tasks are already in flight.
+        """
+        if self._inflight >= self._queue_limit:
+            if self._metrics is not None:
+                self._metrics.pool_reject()
+            raise OverloadedError(
+                f"sweep queue full ({self._inflight}/{self._queue_limit} in flight); "
+                "retry later"
+            )
+        self._inflight += 1
+        if self._metrics is not None:
+            self._metrics.pool_enter()
+        try:
+            if self._executor is None:
+                return fn(*args)
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._executor, fn, *args)
+        finally:
+            self._inflight -= 1
+            if self._metrics is not None:
+                self._metrics.pool_exit()
+
+    def shutdown(self) -> None:
+        """Wait for running tasks and release the worker processes."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

@@ -1,0 +1,210 @@
+"""Asyncio TCP front end: connection handling, drain, signals.
+
+``serve()`` is the one entry point: boot a :class:`PlanningService`, bind,
+announce the port (as a ``{"event": "listening"}`` JSON line on stdout, so
+supervisors and the bench harness can discover an ephemeral ``--port 0``),
+then run until the stop event — SIGTERM/SIGINT by default — and drain
+gracefully: stop accepting, flush open coalescing windows, wait up to
+``drain_timeout_s`` for in-flight requests, close connections, release the
+worker pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+import sys
+from typing import Callable, Optional, Set
+
+from repro.service.app import PlanningService
+from repro.service.config import ServiceConfig
+from repro.service.errors import ServiceError
+from repro.service.httpio import read_request, render_response
+
+__all__ = ["ServiceServer", "serve"]
+
+logger = logging.getLogger("repro.service")
+
+
+class ServiceServer:
+    """The TCP server wrapped around one :class:`PlanningService`."""
+
+    def __init__(self, service: PlanningService) -> None:
+        self.service = service
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._active = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` to the real one)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def active_requests(self) -> int:
+        return self._active
+
+    async def start(self) -> None:
+        """Bind the listening socket (``config.port`` 0 → ephemeral)."""
+        config = self.service.config
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=config.host, port=config.port
+        )
+
+    async def shutdown(self) -> None:
+        """Graceful drain: unbind, flush, wait for in-flight, close."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.service.flush()
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=self.service.config.drain_timeout_s
+            )
+        except asyncio.TimeoutError:
+            logger.warning(
+                "drain timeout: force-closing with %d request(s) in flight",
+                self._active,
+            )
+        for writer in list(self._writers):
+            writer.close()
+        self.service.close()
+
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, TimeoutError):
+            pass  # peer went away mid-exchange
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, TimeoutError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while not self._draining:
+            try:
+                request = await read_request(reader)
+            except ServiceError as exc:
+                writer.write(
+                    render_response(
+                        exc.status,
+                        {"error": exc.reason, "detail": str(exc)},
+                        keep_alive=False,
+                    )
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            head, body = request
+            self._enter()
+            try:
+                status, payload = await self.service.handle(
+                    head.method, head.path, body
+                )
+            finally:
+                self._exit()
+            keep_alive = head.keep_alive and not self._draining
+            writer.write(render_response(status, payload, keep_alive=keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    def _enter(self) -> None:
+        self._active += 1
+        self._idle.clear()
+
+    def _exit(self) -> None:
+        self._active -= 1
+        if self._active == 0:
+            self._idle.set()
+
+
+async def serve(
+    config: ServiceConfig,
+    stop: Optional[asyncio.Event] = None,
+    install_signal_handlers: bool = True,
+    announce: bool = True,
+    on_ready: Optional[Callable[[ServiceServer], None]] = None,
+) -> None:
+    """Run the planning service until ``stop`` (or SIGTERM/SIGINT).
+
+    Parameters
+    ----------
+    config:
+        Full server configuration.
+    stop:
+        Shutdown trigger; created internally when omitted.  Setting it (from
+        any thread via ``loop.call_soon_threadsafe``) starts a graceful
+        drain.
+    install_signal_handlers:
+        Bind SIGTERM/SIGINT to the stop event (skipped automatically where
+        the loop does not support it, e.g. non-main threads).
+    announce:
+        Print the ``{"event": "listening", "host": ..., "port": ...}`` JSON
+        line on stdout once bound.
+    on_ready:
+        Callback invoked with the listening :class:`ServiceServer` (the test
+        harness uses it to learn the ephemeral port and signal readiness).
+    """
+    service = PlanningService(config)
+    service.preload()
+    server = ServiceServer(service)
+    await server.start()
+
+    stop_event = stop if stop is not None else asyncio.Event()
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                break
+    if announce:
+        print(
+            json.dumps(
+                {"event": "listening", "host": config.host, "port": server.port}
+            ),
+            flush=True,
+        )
+    logger.info(
+        "%s",
+        json.dumps(
+            {
+                "event": "serving",
+                "host": config.host,
+                "port": server.port,
+                "workers": config.workers,
+                "coalesce_ms": config.coalesce_ms,
+            },
+            sort_keys=True,
+        ),
+    )
+    if on_ready is not None:
+        on_ready(server)
+    try:
+        await stop_event.wait()
+    finally:
+        await server.shutdown()
+    logger.info("%s", json.dumps({"event": "stopped"}, sort_keys=True))
+    sys.stdout.flush()

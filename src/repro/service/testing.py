@@ -1,0 +1,114 @@
+"""Test harness: run the service in a background thread of this process.
+
+:class:`ThreadedServer` boots the full asyncio stack (server, coalescers,
+worker pool) on a dedicated thread, waits for the listening socket, and
+exposes the resolved ephemeral port plus a ready-made
+:class:`ServiceClient`.  Context-manager exit triggers the same graceful
+drain as SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.server import ServiceServer, serve
+from repro.utils.validation import check_positive
+
+__all__ = ["ThreadedServer"]
+
+
+class ThreadedServer:
+    """An in-process planning service on a background thread.
+
+    Usage::
+
+        with ThreadedServer(ServiceConfig(port=0, workers=0)) as server:
+            client = server.client()
+            client.healthz()
+    """
+
+    def __init__(
+        self, config: Optional[ServiceConfig] = None, startup_timeout_s: float = 30.0
+    ) -> None:
+        check_positive(startup_timeout_s, "startup_timeout_s")
+        self.config = config if config is not None else ServiceConfig(port=0, workers=0)
+        self.startup_timeout_s = float(startup_timeout_s)
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._server: Optional[ServiceServer] = None
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid once the server has started)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.port
+
+    def client(self, timeout_s: float = 30.0) -> ServiceClient:
+        """A fresh :class:`ServiceClient` bound to this server's port."""
+        return ServiceClient(self.config.host, self.port, timeout_s=timeout_s)
+
+    def start(self) -> "ThreadedServer":
+        """Boot the server thread and block until it is accepting."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(self.startup_timeout_s):
+            raise RuntimeError("service did not come up in time")
+        if self._error is not None:
+            raise RuntimeError(f"service failed to start: {self._error!r}")
+        return self
+
+    def stop(self) -> None:
+        """Trigger the graceful drain and join the server thread."""
+        if self._loop is not None and self._stop is not None:
+            loop, stop = self._loop, self._stop
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:  # loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(self.startup_timeout_s)
+            self._thread = None
+
+    def __enter__(self) -> "ThreadedServer":
+        return self.start()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # surface boot failures to start()
+            self._error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await serve(
+            self.config,
+            stop=self._stop,
+            install_signal_handlers=False,
+            announce=False,
+            on_ready=self._on_ready,
+        )
+
+    def _on_ready(self, server: ServiceServer) -> None:
+        self._server = server
+        self._ready.set()

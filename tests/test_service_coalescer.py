@@ -1,0 +1,155 @@
+"""Coalescer semantics: merging, demux, per-item errors, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.service.coalescer import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestMerging:
+    def test_concurrent_same_key_submissions_form_one_batch(self):
+        calls = []
+
+        def batch_fn(key, items):
+            calls.append((key, tuple(items)))
+            return [item * 10 for item in items]
+
+        async def main():
+            coal = Coalescer(batch_fn, window_s=0.01)
+            return await asyncio.gather(
+                coal.submit("k", 1), coal.submit("k", 2), coal.submit("k", 3)
+            )
+
+        assert run(main()) == [10, 20, 30]
+        assert calls == [("k", (1, 2, 3))]
+
+    def test_distinct_keys_do_not_merge(self):
+        calls = []
+
+        def batch_fn(key, items):
+            calls.append((key, tuple(items)))
+            return list(items)
+
+        async def main():
+            coal = Coalescer(batch_fn, window_s=0.01)
+            return await asyncio.gather(coal.submit("a", 1), coal.submit("b", 2))
+
+        assert run(main()) == [1, 2]
+        assert sorted(calls) == [("a", (1,)), ("b", (2,))]
+
+    def test_max_batch_flushes_immediately(self):
+        sizes = []
+
+        def batch_fn(key, items):
+            sizes.append(len(items))
+            return list(items)
+
+        async def main():
+            # Generous window: only max_batch can trigger the first flush.
+            coal = Coalescer(batch_fn, window_s=5.0, max_batch=2)
+            a = asyncio.ensure_future(coal.submit("k", 1))
+            b = asyncio.ensure_future(coal.submit("k", 2))
+            results = await asyncio.wait_for(asyncio.gather(a, b), timeout=1.0)
+            assert coal.pending_groups == 0
+            return results
+
+        assert run(main()) == [1, 2]
+        assert sizes == [2]
+
+    def test_sequential_submissions_are_separate_batches(self):
+        sizes = []
+
+        def batch_fn(key, items):
+            sizes.append(len(items))
+            return list(items)
+
+        async def main():
+            coal = Coalescer(batch_fn, window_s=0.0)
+            first = await coal.submit("k", 1)
+            second = await coal.submit("k", 2)
+            return first, second
+
+        assert run(main()) == (1, 2)
+        assert sizes == [1, 1]
+
+    def test_on_batch_hook_sees_sizes(self):
+        observed = []
+
+        async def main():
+            coal = Coalescer(
+                lambda key, items: list(items), window_s=0.01, on_batch=observed.append
+            )
+            await asyncio.gather(*(coal.submit("k", j) for j in range(4)))
+
+        run(main())
+        assert observed == [4]
+
+
+class TestErrors:
+    def test_per_item_exception_only_fails_that_waiter(self):
+        def batch_fn(key, items):
+            return [
+                KeyError("bad item") if item < 0 else item for item in items
+            ]
+
+        async def main():
+            coal = Coalescer(batch_fn, window_s=0.01)
+            return await asyncio.gather(
+                coal.submit("k", 1), coal.submit("k", -1), coal.submit("k", 3),
+                return_exceptions=True,
+            )
+
+        good_a, bad, good_b = run(main())
+        assert (good_a, good_b) == (1, 3)
+        assert isinstance(bad, KeyError)
+
+    def test_whole_batch_exception_fails_every_waiter(self):
+        def batch_fn(key, items):
+            raise ValueError("kernel blew up")
+
+        async def main():
+            coal = Coalescer(batch_fn, window_s=0.01)
+            return await asyncio.gather(
+                coal.submit("k", 1), coal.submit("k", 2), return_exceptions=True
+            )
+
+        results = run(main())
+        assert all(isinstance(r, ValueError) for r in results)
+
+    def test_length_mismatch_is_runtime_error(self):
+        async def main():
+            coal = Coalescer(lambda key, items: [1, 2, 3], window_s=0.0)
+            with pytest.raises(RuntimeError, match="returned 3 results"):
+                await coal.submit("k", 1)
+
+        run(main())
+
+
+class TestDrain:
+    def test_flush_all_completes_open_windows_early(self):
+        async def main():
+            coal = Coalescer(lambda key, items: list(items), window_s=60.0)
+            futures = [
+                asyncio.ensure_future(coal.submit("k", j)) for j in range(3)
+            ]
+            await asyncio.sleep(0)  # let submissions register
+            assert coal.pending_groups == 1
+            coal.flush_all()
+            return await asyncio.wait_for(asyncio.gather(*futures), timeout=1.0)
+
+        assert run(main()) == [0, 1, 2]
+
+
+class TestValidation:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            Coalescer(lambda key, items: list(items), window_s=-1.0)
+
+    def test_zero_max_batch_rejected(self):
+        with pytest.raises(ValueError):
+            Coalescer(lambda key, items: list(items), window_s=0.0, max_batch=0)

@@ -1,0 +1,105 @@
+"""WorkerPool: inline mode, process mode, depth limit and 429 backpressure."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service.errors import OverloadedError
+from repro.service.metrics import Metrics
+from repro.service.pool import WorkerPool
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_square(x):
+    time.sleep(0.3)
+    return x * x
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestInline:
+    def test_workers_zero_runs_inline(self):
+        pool = WorkerPool(workers=0, queue_limit=4)
+
+        async def main():
+            return await pool.submit(_square, 7)
+
+        assert run(main()) == 49
+        pool.shutdown()
+
+    def test_depth_returns_to_zero(self):
+        metrics = Metrics()
+        pool = WorkerPool(workers=0, queue_limit=4, metrics=metrics)
+
+        async def main():
+            await pool.submit(_square, 3)
+
+        run(main())
+        assert pool.depth == 0
+        snap = metrics.snapshot()
+        assert snap["pool"]["completed"] == 1
+        assert snap["pool"]["peak_depth"] == 1
+        pool.shutdown()
+
+
+class TestProcessPool:
+    def test_result_matches_inline(self):
+        pool = WorkerPool(workers=1, queue_limit=4)
+
+        async def main():
+            return await pool.submit(_square, 9)
+
+        try:
+            assert run(main()) == 81
+        finally:
+            pool.shutdown()
+
+    def test_queue_limit_raises_429(self):
+        metrics = Metrics()
+        pool = WorkerPool(workers=1, queue_limit=1, metrics=metrics)
+
+        async def main():
+            first = asyncio.ensure_future(pool.submit(_slow_square, 2))
+            await asyncio.sleep(0.05)  # first task now occupies the only slot
+            with pytest.raises(OverloadedError):
+                await pool.submit(_slow_square, 3)
+            return await first
+
+        try:
+            assert run(main()) == 4
+        finally:
+            pool.shutdown()
+        assert metrics.snapshot()["pool"]["rejected"] == 1
+
+    def test_exception_propagates_and_frees_slot(self):
+        pool = WorkerPool(workers=1, queue_limit=1)
+
+        async def main():
+            with pytest.raises(ZeroDivisionError):
+                await pool.submit(_divide, 1, 0)
+            return await pool.submit(_divide, 8, 2)
+
+        try:
+            assert run(main()) == 4
+        finally:
+            pool.shutdown()
+
+
+def _divide(a, b):
+    return a // b
+
+
+class TestValidation:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=-1, queue_limit=1)
+
+    def test_zero_queue_limit_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0, queue_limit=0)

@@ -17,7 +17,7 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Packages held to ``mypy --strict`` (the typed core).
-STRICT_PACKAGES = ["repro.utils", "repro.energy", "repro.lintkit"]
+STRICT_PACKAGES = ["repro.utils", "repro.energy", "repro.lintkit", "repro.service"]
 
 mypy_available = shutil.which("mypy") is not None or (
     subprocess.run(
