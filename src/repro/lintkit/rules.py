@@ -11,12 +11,14 @@ RP103     no wall-clock / stdlib-``random`` nondeterminism in library code
 RP104     public numeric parameters are validated at the API boundary
 RP105     ``__all__`` entries must exist in the module namespace
 RP106     no mutable default arguments
+RP107     no bare ``time.sleep`` in ``repro.service`` (use ``RetryPolicy``)
 ========  ==============================================================
 """
 
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.lintkit.engine import ModuleContext, Rule, register
@@ -29,6 +31,7 @@ __all__ = [
     "UnvalidatedNumericParamRule",
     "DunderAllConsistencyRule",
     "MutableDefaultRule",
+    "ServiceBareSleepRule",
 ]
 
 
@@ -561,6 +564,72 @@ class DunderAllConsistencyRule(Rule):
 # --------------------------------------------------------------------- #
 
 _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+# --------------------------------------------------------------------- #
+# RP107 — bare time.sleep in the service layer                          #
+# --------------------------------------------------------------------- #
+
+
+@register
+class ServiceBareSleepRule(Rule):
+    """Flag ``time.sleep`` usage in ``repro.service`` outside ``retry.py``.
+
+    Hand-rolled ``time.sleep`` retry loops block threads for fixed,
+    unjittered intervals, synchronize stampedes against an overloaded
+    server and make tests slow and flaky.  All waiting in the service
+    layer must flow through :class:`repro.service.retry.RetryPolicy` and
+    its injectable sleeper (``retry.default_sleeper`` is the one sanctioned
+    ``time.sleep`` call site).  Both calls *and* bare references are
+    flagged, so aliasing ``time.sleep`` into a default argument cannot
+    dodge the rule.
+    """
+
+    rule_id = "RP107"
+    summary = "bare time.sleep in repro.service (use RetryPolicy / a sleeper)"
+    library_only = True
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        parts = Path(ctx.path).parts
+        in_service = (
+            "repro" in parts
+            and "service" in parts
+            and parts.index("service") == parts.index("repro") + 1
+        )
+        if not in_service or ctx.path_endswith("service", "retry.py"):
+            return False
+        return super().applies_to(ctx)
+
+    @staticmethod
+    def _sleep_imports(tree: ast.Module) -> Set[str]:
+        """Local names bound by ``from time import sleep`` (and aliases)."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        names.add(alias.asname or alias.name)
+        return names
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imported = self._sleep_imports(ctx.tree)
+        message = (
+            "bare time.sleep in service code; wait through "
+            "repro.service.retry (RetryPolicy backoff + injectable sleeper)"
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and _dotted_name(node) == "time.sleep":
+                yield ctx.finding(self.rule_id, node, message)
+            elif isinstance(node, ast.ImportFrom) and node.module == "time" and any(
+                alias.name == "sleep" for alias in node.names
+            ):
+                yield ctx.finding(self.rule_id, node, message)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in imported
+            ):
+                yield ctx.finding(self.rule_id, node, message)
 
 
 @register

@@ -17,19 +17,27 @@ heavy sweeps run in a bounded process pool with 429 backpressure.  See
 """
 
 from repro.service.app import ENDPOINTS, PlanningService
-from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.client import (
+    TRANSPORT_FAILURE_STATUS,
+    CircuitOpenError,
+    ServiceClient,
+    ServiceClientError,
+)
 from repro.service.coalescer import Coalescer
 from repro.service.config import DEFAULT_PORT, ServiceConfig
 from repro.service.errors import (
     BadRequestError,
+    DeadlineExceededError,
     MethodNotAllowedError,
     NotFoundError,
     OverloadedError,
     PayloadTooLargeError,
     ServiceError,
 )
+from repro.service.faults import FaultInjector
 from repro.service.metrics import LatencyHistogram, Metrics
 from repro.service.pool import WorkerPool
+from repro.service.retry import CircuitBreaker, RetryPolicy
 from repro.service.server import ServiceServer, serve
 from repro.service.testing import ThreadedServer
 
@@ -38,18 +46,24 @@ __all__ = [
     "PlanningService",
     "ServiceClient",
     "ServiceClientError",
+    "CircuitOpenError",
+    "TRANSPORT_FAILURE_STATUS",
     "Coalescer",
     "DEFAULT_PORT",
     "ServiceConfig",
     "BadRequestError",
+    "DeadlineExceededError",
     "MethodNotAllowedError",
     "NotFoundError",
     "OverloadedError",
     "PayloadTooLargeError",
     "ServiceError",
+    "FaultInjector",
     "LatencyHistogram",
     "Metrics",
     "WorkerPool",
+    "RetryPolicy",
+    "CircuitBreaker",
     "ServiceServer",
     "serve",
     "ThreadedServer",

@@ -39,10 +39,12 @@ from repro.service.coalescer import Coalescer
 from repro.service.config import ServiceConfig
 from repro.service.errors import (
     BadRequestError,
+    DeadlineExceededError,
     MethodNotAllowedError,
     NotFoundError,
     ServiceError,
 )
+from repro.service.faults import FaultInjector
 from repro.service.metrics import Metrics
 from repro.service.pool import WorkerPool
 from repro.service.schemas import (
@@ -51,6 +53,7 @@ from repro.service.schemas import (
     InterweaveRequest,
     OverlayRequest,
     UnderlayRequest,
+    error_payload,
     parse_ebar_request,
     parse_interweave_request,
     parse_overlay_request,
@@ -98,10 +101,20 @@ _InterweaveKey = Tuple[
 class PlanningService:
     """Everything between the HTTP layer and the repro library."""
 
-    def __init__(self, config: ServiceConfig) -> None:
+    def __init__(
+        self, config: ServiceConfig, faults: Optional[FaultInjector] = None
+    ) -> None:
         self.config = config
         self.metrics = Metrics()
-        self.pool = WorkerPool(config.workers, config.queue_limit, self.metrics)
+        self.faults = faults if faults is not None else FaultInjector.from_env()
+        self.pool = WorkerPool(
+            config.workers,
+            config.queue_limit,
+            self.metrics,
+            max_restarts=config.max_pool_restarts,
+            faults=self.faults,
+        )
+        self._draining = False
         self._tables: Dict[str, EbarTable] = {}
         self._ebar_cache: "OrderedDict[Tuple[str, str, float, int, int, int], float]"
         self._ebar_cache = OrderedDict()
@@ -135,6 +148,23 @@ class PlanningService:
         """Solve (or load) the default-convention table before serving."""
         self._table(self.config.table_convention)
 
+    def mark_draining(self) -> None:
+        """Flip the readiness view to ``draining`` (graceful-shutdown entry)."""
+        self._draining = True
+
+    def health_status(self) -> str:
+        """The readiness view served by ``/healthz``.
+
+        ``draining`` once graceful shutdown started, ``degraded`` while the
+        worker pool's restart budget is exhausted (sweeps run inline on the
+        event loop), ``ok`` otherwise.
+        """
+        if self._draining:
+            return "draining"
+        if self.pool.degraded:
+            return "degraded"
+        return "ok"
+
     def flush(self) -> None:
         """Flush every open coalescing window (graceful-drain path)."""
         self._ebar_coalescer.flush_all()
@@ -166,19 +196,26 @@ class PlanningService:
         started = loop.time()
         self.metrics.record_request(path)
         try:
-            status, payload = await self._dispatch(method, path, body)
+            status, payload = await self._dispatch_with_deadline(method, path, body)
+        except DeadlineExceededError as exc:
+            self.metrics.deadline_timeout()
+            status, payload = exc.status, error_payload(
+                exc.status, exc.reason, str(exc)
+            )
         except ServiceError as exc:
-            status, payload = exc.status, {"error": exc.reason, "detail": str(exc)}
+            status, payload = exc.status, error_payload(
+                exc.status, exc.reason, str(exc)
+            )
         except (ValueError, TypeError) as exc:
-            status, payload = 400, {"error": "bad request", "detail": str(exc)}
+            status, payload = 400, error_payload(400, "bad request", str(exc))
         except KeyError as exc:
             detail = exc.args[0] if exc.args else str(exc)
-            status, payload = 404, {"error": "not found", "detail": str(detail)}
+            status, payload = 404, error_payload(404, "not found", str(detail))
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # pragma: no cover - defensive 500 path
             logger.exception("internal error serving %s %s", method, path)
-            status, payload = 500, {"error": "internal error", "detail": str(exc)}
+            status, payload = 500, error_payload(500, "internal error", str(exc))
         latency_ms = (loop.time() - started) * 1000.0
         self.metrics.record_response(status, latency_ms)
         if self.config.request_log:
@@ -197,6 +234,40 @@ class PlanningService:
             )
         return status, payload
 
+    async def _dispatch_with_deadline(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Payload]:
+        """Run one request under the configured per-request deadline.
+
+        Chaos latency (if armed) is injected *inside* the deadline scope,
+        so an injected stall is cancelled and surfaced as 504 exactly like
+        a genuinely slow sweep.  ``asyncio.wait_for`` cancels the handler
+        coroutine at the deadline; a task already running inside a worker
+        process finishes there and is discarded (processes cannot be
+        preempted mid-compute), but the event loop and the connection are
+        freed immediately.
+        """
+        timeout_s = self.config.request_timeout_s
+        delay_s = self.faults.request_delay_s(path)
+        if timeout_s is None:
+            return await self._run_request(method, path, body, delay_s)
+        try:
+            return await asyncio.wait_for(
+                self._run_request(method, path, body, delay_s), timeout_s
+            )
+        except asyncio.TimeoutError:
+            raise DeadlineExceededError(
+                f"request exceeded the {timeout_s * 1000.0:g} ms deadline "
+                "and was cancelled"
+            ) from None
+
+    async def _run_request(
+        self, method: str, path: str, body: bytes, delay_s: float
+    ) -> Tuple[int, Payload]:
+        if delay_s > 0.0:
+            await asyncio.sleep(delay_s)
+        return await self._dispatch(method, path, body)
+
     async def _dispatch(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Payload]:
@@ -206,9 +277,11 @@ class PlanningService:
         if method != allowed:
             raise MethodNotAllowedError(f"{path} only accepts {allowed}")
         if path == "/healthz":
-            return 200, {"status": "ok"}
+            return 200, {"status": self.health_status()}
         if path == "/metrics":
-            return 200, self.metrics.snapshot()
+            snapshot = self.metrics.snapshot()
+            snapshot["health"] = self.health_status()
+            return 200, snapshot
         data = self._parse_json(body)
         if path == "/v1/ebar":
             return 200, await self._handle_ebar(parse_ebar_request(data))

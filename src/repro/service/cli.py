@@ -5,6 +5,8 @@ Usage::
     repro-service [--host H] [--port P] [--workers N] [--coalesce-ms MS]
                   [--queue-limit N] [--max-coalesce N] [--seed N]
                   [--table-convention paper|diversity_only]
+                  [--request-timeout-ms MS] [--max-pool-restarts N]
+                  [--retry-after-s S]
                   [--drain-timeout-s S] [--no-request-log] [--quiet]
 
 The server announces its bound address as a ``{"event": "listening"}`` JSON
@@ -85,6 +87,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-request cap on sweep axis length",
     )
     parser.add_argument(
+        "--request-timeout-ms",
+        type=float,
+        default=None,
+        help="per-request deadline; exceeding it answers 504 (default: none)",
+    )
+    parser.add_argument(
+        "--max-pool-restarts",
+        type=int,
+        default=3,
+        help="broken worker-pool restarts before degrading to inline sweeps",
+    )
+    parser.add_argument(
+        "--retry-after-s",
+        type=float,
+        default=1.0,
+        help="Retry-After hint sent on 429 backpressure responses",
+    )
+    parser.add_argument(
         "--drain-timeout-s",
         type=float,
         default=5.0,
@@ -115,6 +135,9 @@ def build_config(args: argparse.Namespace) -> ServiceConfig:
         max_sweep_points=args.max_sweep_points,
         drain_timeout_s=args.drain_timeout_s,
         request_log=not args.no_request_log,
+        request_timeout_ms=args.request_timeout_ms,
+        max_pool_restarts=args.max_pool_restarts,
+        retry_after_s=args.retry_after_s,
     )
 
 

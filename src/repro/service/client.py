@@ -4,48 +4,111 @@ One thin, dependency-free wrapper per endpoint; non-2xx responses raise
 :class:`ServiceClientError` carrying the HTTP status and the server's JSON
 error payload.  The client is deliberately synchronous — it is what a
 simulation script, a bench worker thread or a CI smoke test calls.
+
+Transport failures (connection refused/reset, DNS errors, timeouts, a
+response truncated mid-body) never leak raw ``urllib``/``socket``
+exceptions: they are re-raised as :class:`ServiceClientError` with the
+synthetic status :data:`TRANSPORT_FAILURE_STATUS` (599), so callers handle
+exactly one exception type for "the request did not produce a usable
+response".
+
+Resilience is opt-in per client: pass a
+:class:`~repro.service.retry.RetryPolicy` to retry transport failures and
+429/503 responses with jittered exponential backoff (honoring the
+server's ``Retry-After`` hint), and/or a
+:class:`~repro.service.retry.CircuitBreaker` to fail fast after repeated
+transport failures instead of hammering a dead endpoint.  Both sleeps and
+clocks are injectable, so retry behavior is testable without waiting.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import urllib.error
 import urllib.request
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
-from repro.utils.validation import check_in_range, check_positive
+from repro.service.retry import CircuitBreaker, RetryPolicy, default_sleeper
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
 
-__all__ = ["ServiceClient", "ServiceClientError"]
+__all__ = [
+    "ServiceClient",
+    "ServiceClientError",
+    "CircuitOpenError",
+    "TRANSPORT_FAILURE_STATUS",
+    "RETRYABLE_STATUSES",
+]
 
 Payload = Dict[str, object]
 Point = Tuple[float, float]
 Axis = Union[float, Sequence[float]]
 
+#: Synthetic status for failures below HTTP (refused, reset, timeout, ...).
+TRANSPORT_FAILURE_STATUS = 599
+
+#: Statuses worth retrying: transport failures plus explicit backpressure.
+RETRYABLE_STATUSES = frozenset({429, 503, TRANSPORT_FAILURE_STATUS})
+
 
 class ServiceClientError(Exception):
-    """A non-2xx response: HTTP status plus the server's error payload."""
+    """A failed request: HTTP status (or 599) plus the server's payload."""
 
     def __init__(
-        self, status: int, message: str, payload: Optional[Payload] = None
+        self,
+        status: int,
+        message: str,
+        payload: Optional[Payload] = None,
+        retry_after_s: Optional[float] = None,
     ) -> None:
         check_in_range(status, "status", 100, 599)
+        if retry_after_s is not None:
+            check_non_negative(retry_after_s, "retry_after_s")
         super().__init__(f"HTTP {status}: {message}")
         self.status = int(status)
         self.message = message
         self.payload: Payload = payload if payload is not None else {}
+        #: Parsed ``Retry-After`` header of a 429/503 response (seconds).
+        self.retry_after_s = retry_after_s
+
+    @property
+    def is_transport_failure(self) -> bool:
+        """True when no HTTP response was received at all."""
+        return self.status == TRANSPORT_FAILURE_STATUS
+
+
+class CircuitOpenError(ServiceClientError):
+    """The client's circuit breaker refused the call locally."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(503, message)
 
 
 class ServiceClient:
     """Synchronous JSON client bound to one service address."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8123, timeout_s: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8123,
+        timeout_s: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
         check_in_range(port, "port", 1, 65535)
         check_positive(timeout_s, "timeout_s")
         self.host = host
         self.port = int(port)
         self.timeout_s = float(timeout_s)
+        self.retry = retry
+        self.breaker = breaker
+        self._sleep = sleep if sleep is not None else default_sleeper
 
     # ------------------------------------------------------------------ #
     # Transport                                                          #
@@ -57,7 +120,48 @@ class ServiceClient:
     def request(
         self, method: str, path: str, body: Optional[Payload] = None
     ) -> Payload:
-        """One request; returns the decoded JSON payload of a 2xx response."""
+        """One logical request; returns the JSON payload of a 2xx response.
+
+        With a :class:`RetryPolicy` configured, transport failures and
+        429/503 responses are retried (every endpoint is a deterministic
+        pure function of its body, so replays are always safe); other
+        failures raise immediately.  A configured breaker refuses calls
+        with :class:`CircuitOpenError` while open.
+        """
+        attempt = 0
+        while True:
+            if self.breaker is not None and not self.breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit breaker open after "
+                    f"{self.breaker.consecutive_failures} consecutive "
+                    f"transport failure(s) to {self.host}:{self.port}"
+                )
+            try:
+                result = self._request_once(method, path, body)
+            except ServiceClientError as exc:
+                if self.breaker is not None:
+                    if exc.is_transport_failure:
+                        self.breaker.record_failure()
+                    else:  # an HTTP response proves the transport works
+                        self.breaker.record_success()
+                retries_left = (
+                    self.retry is not None
+                    and attempt + 1 < self.retry.max_attempts
+                    and exc.status in RETRYABLE_STATUSES
+                )
+                if not retries_left:
+                    raise
+                assert self.retry is not None
+                self._sleep(self.retry.backoff_s(attempt, exc.retry_after_s))
+                attempt += 1
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
+
+    def _request_once(
+        self, method: str, path: str, body: Optional[Payload]
+    ) -> Payload:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
@@ -73,7 +177,24 @@ class ServiceClient:
             raw = exc.read()
             payload = self._safe_decode(raw)
             detail = str(payload.get("detail", raw.decode("utf-8", "replace")))
-            raise ServiceClientError(exc.code, detail, payload) from None
+            raise ServiceClientError(
+                exc.code,
+                detail,
+                payload,
+                retry_after_s=_parse_retry_after(exc.headers.get("Retry-After")),
+            ) from None
+        except (
+            urllib.error.URLError,
+            socket.timeout,
+            TimeoutError,
+            ConnectionError,
+            http.client.HTTPException,
+        ) as exc:
+            raise ServiceClientError(
+                TRANSPORT_FAILURE_STATUS,
+                f"transport failure contacting {self.host}:{self.port}: "
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
 
     @staticmethod
     def _decode(raw: bytes, status: int) -> Payload:
@@ -95,7 +216,7 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
 
     def healthz(self) -> Payload:
-        """``GET /healthz`` — liveness probe, ``{"status": "ok"}``."""
+        """``GET /healthz`` — readiness probe: ``ok``/``degraded``/``draining``."""
         return self.request("GET", "/healthz")
 
     def metrics_snapshot(self) -> Payload:
@@ -206,3 +327,14 @@ class ServiceClient:
         if environment is not None:
             body["environment"] = environment
         return self.request("POST", "/v1/interweave/pattern", body)
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Delta-seconds form of ``Retry-After`` (HTTP-dates are ignored)."""
+    if value is None:
+        return None
+    try:
+        parsed = float(value.strip())
+    except ValueError:
+        return None
+    return parsed if parsed >= 0.0 else None

@@ -58,6 +58,17 @@ class ServiceConfig:
         after SIGTERM before force-closing connections.
     request_log:
         Emit one structured (JSON) log line per request.
+    request_timeout_ms:
+        Per-request deadline.  A request whose handler (including pooled
+        sweep work) exceeds it is cancelled and answered 504 with a
+        structured error body.  ``None`` disables the deadline.
+    max_pool_restarts:
+        How many times the supervised worker pool may replace a broken
+        ``ProcessPoolExecutor`` (a crashed/killed worker) before giving up
+        and degrading to inline execution.
+    retry_after_s:
+        Backoff hint sent as the ``Retry-After`` header on 429 responses
+        (rounded up to whole seconds on the wire).
     """
 
     host: str = "127.0.0.1"
@@ -71,6 +82,9 @@ class ServiceConfig:
     max_sweep_points: int = 4096
     drain_timeout_s: float = 5.0
     request_log: bool = True
+    request_timeout_ms: Optional[float] = None
+    max_pool_restarts: int = 3
+    retry_after_s: float = 1.0
 
     def __post_init__(self) -> None:
         check_in_range(self.port, "port", 0, 65535)
@@ -87,8 +101,19 @@ class ServiceConfig:
             )
         check_positive_int(self.max_sweep_points, "max_sweep_points")
         check_positive(self.drain_timeout_s, "drain_timeout_s")
+        if self.request_timeout_ms is not None:
+            check_positive(self.request_timeout_ms, "request_timeout_ms")
+        check_non_negative_int(self.max_pool_restarts, "max_pool_restarts")
+        check_positive(self.retry_after_s, "retry_after_s")
 
     @property
     def coalesce_window_s(self) -> float:
         """The coalescing window in seconds (what the event loop uses)."""
         return self.coalesce_ms / 1000.0
+
+    @property
+    def request_timeout_s(self) -> Optional[float]:
+        """The per-request deadline in seconds (``None`` when disabled)."""
+        if self.request_timeout_ms is None:
+            return None
+        return self.request_timeout_ms / 1000.0

@@ -16,6 +16,7 @@ __all__ = [
     "MethodNotAllowedError",
     "PayloadTooLargeError",
     "OverloadedError",
+    "DeadlineExceededError",
 ]
 
 
@@ -59,3 +60,10 @@ class OverloadedError(ServiceError):
 
     status = 429
     reason = "Too Many Requests"
+
+
+class DeadlineExceededError(ServiceError):
+    """The request blew past ``--request-timeout-ms``; its work was cancelled."""
+
+    status = 504
+    reason = "Gateway Timeout"

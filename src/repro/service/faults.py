@@ -1,0 +1,189 @@
+"""Chaos-injection hooks for fault-tolerance testing (off by default).
+
+:class:`FaultInjector` is a small, deterministic switchboard the serving
+stack consults at three points:
+
+* :meth:`maybe_kill_worker` — SIGKILL one live worker process of the sweep
+  pool (exercises ``BrokenProcessPool`` supervision and restart budgets);
+* :meth:`request_delay_s` — extra event-loop latency awaited inside the
+  request deadline scope (exercises 504 deadline handling);
+* :meth:`take_abort` — truncate the HTTP response mid-body and close the
+  connection (exercises client transport-error mapping and retries).
+
+Every fault is *armed* with an explicit count and decrements as it fires,
+so chaos tests are reproducible without any randomness.  A freshly built
+injector (and therefore every production deployment) is completely inert:
+all hooks are constant-time no-ops until something arms them, either
+programmatically or through the ``REPRO_SERVICE_FAULTS`` environment
+variable — a JSON object such as::
+
+    REPRO_SERVICE_FAULTS='{"kill_worker": 1, "delay_ms": 250,
+                           "delay_times": 2, "abort": 1,
+                           "paths": ["/v1/underlay/energy"]}'
+
+which the service reads once at boot (see :class:`PlanningService`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from typing import Mapping, Optional, Tuple
+
+from repro.utils.validation import check_non_negative, check_non_negative_int
+
+__all__ = ["FaultInjector", "FAULTS_ENV_VAR"]
+
+#: Environment variable holding the boot-time fault plan (JSON object).
+FAULTS_ENV_VAR = "REPRO_SERVICE_FAULTS"
+
+
+class FaultInjector:
+    """Deterministic, count-armed fault switchboard (inert by default)."""
+
+    def __init__(self) -> None:
+        self._kill_worker = 0
+        self._delay_s = 0.0
+        self._delay_times = 0
+        self._abort = 0
+        self._paths: Optional[Tuple[str, ...]] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                       #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> "FaultInjector":
+        """Build an injector from ``REPRO_SERVICE_FAULTS`` (inert if unset).
+
+        Raises
+        ------
+        ValueError
+            When the variable is set but is not a valid JSON fault plan —
+            a misconfigured chaos run should fail at boot, not silently
+            serve without faults.
+        """
+        env = os.environ if environ is None else environ
+        raw = env.get(FAULTS_ENV_VAR, "").strip()
+        injector = cls()
+        if not raw:
+            return injector
+        try:
+            plan = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{FAULTS_ENV_VAR} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(plan, dict):
+            raise ValueError(f"{FAULTS_ENV_VAR} must be a JSON object")
+        known = {"kill_worker", "delay_ms", "delay_times", "abort", "paths"}
+        unknown = sorted(set(plan) - known)
+        if unknown:
+            raise ValueError(
+                f"{FAULTS_ENV_VAR} has unknown key(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        paths = plan.get("paths")
+        if paths is not None:
+            if not isinstance(paths, list) or not all(
+                isinstance(p, str) for p in paths
+            ):
+                raise ValueError(f"{FAULTS_ENV_VAR} 'paths' must be a string list")
+        if "kill_worker" in plan:
+            injector.arm_kill_worker(_as_count(plan["kill_worker"], "kill_worker"))
+        delay_ms = plan.get("delay_ms")
+        if delay_ms is not None:
+            if isinstance(delay_ms, bool) or not isinstance(delay_ms, (int, float)):
+                raise ValueError(f"{FAULTS_ENV_VAR} 'delay_ms' must be a number")
+            injector.arm_delay(
+                float(delay_ms) / 1000.0,
+                times=_as_count(plan.get("delay_times", 1), "delay_times"),
+                paths=None if paths is None else tuple(paths),
+            )
+        if "abort" in plan:
+            injector.arm_abort(
+                _as_count(plan["abort"], "abort"),
+                paths=None if paths is None else tuple(paths),
+            )
+        return injector
+
+    # ------------------------------------------------------------------ #
+    # Arming                                                             #
+    # ------------------------------------------------------------------ #
+
+    def arm_kill_worker(self, times: int = 1) -> None:
+        """SIGKILL one pool worker on each of the next ``times`` dispatches."""
+        self._kill_worker = check_non_negative_int(times, "times")
+
+    def arm_delay(
+        self,
+        delay_s: float,
+        times: int = 1,
+        paths: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        """Inject ``delay_s`` of latency into the next ``times`` requests."""
+        self._delay_s = check_non_negative(delay_s, "delay_s")
+        self._delay_times = check_non_negative_int(times, "times")
+        if paths is not None:
+            self._paths = tuple(paths)
+
+    def arm_abort(
+        self, times: int = 1, paths: Optional[Tuple[str, ...]] = None
+    ) -> None:
+        """Truncate and drop the connection on the next ``times`` responses."""
+        self._abort = check_non_negative_int(times, "times")
+        if paths is not None:
+            self._paths = tuple(paths)
+
+    @property
+    def armed(self) -> bool:
+        """True while any fault remains armed."""
+        return bool(self._kill_worker or self._delay_times or self._abort)
+
+    def _matches(self, path: str) -> bool:
+        return self._paths is None or path in self._paths
+
+    # ------------------------------------------------------------------ #
+    # Hooks (called by the serving stack; no-ops unless armed)           #
+    # ------------------------------------------------------------------ #
+
+    def maybe_kill_worker(self, executor: object) -> bool:
+        """SIGKILL one live worker of ``executor`` if the fault is armed.
+
+        ``executor`` is a ``ProcessPoolExecutor``; its worker table is
+        reached through the private ``_processes`` attribute, which is as
+        close as the stdlib lets a chaos hook get to "a machine reboots
+        under a shard".  Returns whether a worker was killed.
+        """
+        if self._kill_worker <= 0:
+            return False
+        processes = getattr(executor, "_processes", None)
+        if not processes:
+            return False
+        self._kill_worker -= 1
+        pid = next(iter(processes))
+        os.kill(pid, signal.SIGKILL)
+        return True
+
+    def request_delay_s(self, path: str) -> float:
+        """Latency to inject into this request (0.0 when unarmed)."""
+        if self._delay_times <= 0 or not self._matches(path):
+            return 0.0
+        self._delay_times -= 1
+        return self._delay_s
+
+    def take_abort(self, path: str) -> bool:
+        """Whether to abort this response mid-body (consumes one count)."""
+        if self._abort <= 0 or not self._matches(path):
+            return False
+        self._abort -= 1
+        return True
+
+
+def _as_count(value: object, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{FAULTS_ENV_VAR} {name!r} must be an integer")
+    return check_non_negative_int(value, name)

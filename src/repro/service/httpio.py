@@ -33,6 +33,7 @@ REASONS: Dict[int, str] = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 MAX_HEADER_BYTES = 16 * 1024
@@ -132,16 +133,25 @@ async def read_request(
 
 
 def render_response(
-    status: int, payload: Dict[str, object], keep_alive: bool = True
+    status: int,
+    payload: Dict[str, object],
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
-    """Serialize one JSON response with correct framing headers."""
+    """Serialize one JSON response with correct framing headers.
+
+    ``extra_headers`` (e.g. ``{"Retry-After": "1"}`` on 429) are emitted
+    verbatim after the framing headers.
+    """
     body = json.dumps(payload, sort_keys=True).encode("utf-8")
     reason = REASONS.get(status, "Unknown")
-    head = (
-        f"HTTP/1.1 {status} {reason}\r\n"
-        "Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-        "\r\n"
-    )
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if extra_headers:
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+    head = "\r\n".join(lines) + "\r\n\r\n"
     return head.encode("latin-1") + body

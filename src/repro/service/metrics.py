@@ -128,6 +128,11 @@ class Metrics:
         self._pool_peak_depth = 0
         self._pool_completed = 0
         self._pool_rejected = 0
+        # resilience: pool supervision, deadlines, degraded fallback
+        self._pool_restarts = 0
+        self._pool_task_retries = 0
+        self._degraded_requests = 0
+        self._deadline_timeouts = 0
 
     # ------------------------------------------------------------------ #
     # Request lifecycle                                                  #
@@ -182,10 +187,31 @@ class Metrics:
         """A sweep was rejected because the queue was full (429)."""
         self._pool_rejected += 1
 
+    def pool_restart(self) -> None:
+        """The supervised pool replaced a broken ProcessPoolExecutor."""
+        self._pool_restarts += 1
+
+    def pool_task_retry(self) -> None:
+        """A victim task was re-dispatched after a pool restart."""
+        self._pool_task_retries += 1
+
+    def degraded_request(self) -> None:
+        """A pooled task ran inline because worker execution was unavailable."""
+        self._degraded_requests += 1
+
+    def deadline_timeout(self) -> None:
+        """A request exceeded the per-request deadline and was answered 504."""
+        self._deadline_timeouts += 1
+
     @property
     def pool_depth(self) -> int:
         """Current sweep-pool queue depth (running + queued tasks)."""
         return self._pool_depth
+
+    @property
+    def pool_restarts(self) -> int:
+        """Total broken-pool restarts since boot."""
+        return self._pool_restarts
 
     # ------------------------------------------------------------------ #
 
@@ -217,5 +243,9 @@ class Metrics:
                 "peak_depth": self._pool_peak_depth,
                 "completed": self._pool_completed,
                 "rejected": self._pool_rejected,
+                "restarts": self._pool_restarts,
+                "task_retries": self._pool_task_retries,
+                "degraded_requests": self._degraded_requests,
             },
+            "deadline_timeouts": self._deadline_timeouts,
         }

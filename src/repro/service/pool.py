@@ -1,4 +1,4 @@
-"""Bounded worker pool for heavy sweep requests.
+"""Supervised, bounded worker pool for heavy sweep requests.
 
 Sweeps (vector ``d1`` / ``distances`` / ``points`` requests) are dispatched
 to a :class:`concurrent.futures.ProcessPoolExecutor` so that a long overlay
@@ -7,18 +7,36 @@ grid cannot stall the event loop serving single-point lookups.  The pool is
 queued); beyond that :meth:`submit` raises :class:`OverloadedError`, which
 the HTTP layer surfaces as 429 — backpressure instead of unbounded memory.
 
-``workers=0`` runs the work function inline on the event loop: bit-identical
-results (the work functions are deterministic pure functions of their
-arguments), no fork cost — the right choice for tests and tiny deployments.
+The pool is also *supervised*.  A killed or crashed worker process poisons
+the whole ``ProcessPoolExecutor`` (every pending future fails with
+``BrokenProcessPool``), so on that signal the pool
+
+1. replaces the broken executor with a fresh one, spending one unit of a
+   bounded restart budget (``max_restarts``);
+2. re-dispatches the victim task once on the fresh executor;
+3. if the retry breaks again — or the budget is exhausted — runs the task
+   *inline* on the event loop, exactly as a ``workers=0`` pool would.
+
+Once the restart budget is gone the pool latches into **degraded** mode
+(every task inline, ``/healthz`` reports ``degraded``) rather than failing
+requests forever on a machine that keeps killing workers.  The work
+functions are deterministic pure functions of their arguments, so inline,
+retried and pooled executions are bit-identical by construction.
+
+``workers=0`` runs the work function inline by design: no fork cost, no
+supervision needed — the right choice for tests and tiny deployments (and
+*not* counted as degraded).
 """
 
 from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Optional, TypeVar
 
 from repro.service.errors import OverloadedError
+from repro.service.faults import FaultInjector
 from repro.service.metrics import Metrics
 from repro.utils.validation import check_non_negative_int, check_positive_int
 
@@ -28,18 +46,24 @@ ResultT = TypeVar("ResultT")
 
 
 class WorkerPool:
-    """A depth-limited ``ProcessPoolExecutor`` front end (429 when full)."""
+    """A depth-limited, self-healing ``ProcessPoolExecutor`` front end."""
 
     def __init__(
         self,
         workers: int,
         queue_limit: int,
         metrics: Optional[Metrics] = None,
+        max_restarts: int = 3,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._workers = check_non_negative_int(workers, "workers")
         self._queue_limit = check_positive_int(queue_limit, "queue_limit")
         self._metrics = metrics
+        self._faults = faults
         self._inflight = 0
+        self._restarts_left = check_non_negative_int(max_restarts, "max_restarts")
+        self._restarts_used = 0
+        self._degraded = False
         self._executor: Optional[ProcessPoolExecutor] = None
         if self._workers > 0:
             self._executor = ProcessPoolExecutor(max_workers=self._workers)
@@ -54,6 +78,16 @@ class WorkerPool:
     def depth(self) -> int:
         """Tasks currently in flight (running + queued)."""
         return self._inflight
+
+    @property
+    def degraded(self) -> bool:
+        """True once the restart budget is exhausted (tasks run inline)."""
+        return self._degraded
+
+    @property
+    def restarts_used(self) -> int:
+        """Broken-executor replacements performed so far."""
+        return self._restarts_used
 
     async def submit(
         self, fn: Callable[..., ResultT], *args: Any
@@ -76,14 +110,77 @@ class WorkerPool:
         if self._metrics is not None:
             self._metrics.pool_enter()
         try:
-            if self._executor is None:
-                return fn(*args)
-            loop = asyncio.get_running_loop()
-            return await loop.run_in_executor(self._executor, fn, *args)
+            return await self._run(fn, *args)
         finally:
             self._inflight -= 1
             if self._metrics is not None:
                 self._metrics.pool_exit()
+
+    async def _run(self, fn: Callable[..., ResultT], *args: Any) -> ResultT:
+        if self._executor is None:
+            if self._workers > 0:  # degraded: worker execution is gone
+                if self._metrics is not None:
+                    self._metrics.degraded_request()
+                return fn(*args)
+            return fn(*args)
+        loop = asyncio.get_running_loop()
+        executor = self._executor
+        try:
+            return await self._dispatch(loop, executor, fn, *args)
+        except BrokenProcessPool:
+            if self._recover(executor):
+                retry_executor = self._executor
+                assert retry_executor is not None
+                try:
+                    result = await self._dispatch(loop, retry_executor, fn, *args)
+                except BrokenProcessPool:
+                    # The retry died too: leave the pool usable for later
+                    # tasks (budget permitting) and finish this one inline.
+                    self._recover(retry_executor)
+                else:
+                    if self._metrics is not None:
+                        self._metrics.pool_task_retry()
+                    return result
+            if self._metrics is not None:
+                self._metrics.degraded_request()
+            return fn(*args)
+
+    async def _dispatch(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        executor: ProcessPoolExecutor,
+        fn: Callable[..., ResultT],
+        *args: Any,
+    ) -> ResultT:
+        future = loop.run_in_executor(executor, fn, *args)
+        if self._faults is not None:
+            self._faults.maybe_kill_worker(executor)
+        return await future
+
+    def _recover(self, broken: ProcessPoolExecutor) -> bool:
+        """Ensure a usable executor after ``broken`` failed.
+
+        Returns True when ``self._executor`` is healthy again — either this
+        call replaced it (spending restart budget) or a concurrent task's
+        recovery already did.  Returns False once the budget is exhausted,
+        latching the pool into degraded (inline) mode.
+        """
+        if self._degraded:
+            return False
+        if self._executor is not broken:
+            return self._executor is not None
+        if self._restarts_left <= 0:
+            self._degraded = True
+            self._executor = None
+            broken.shutdown(wait=False)
+            return False
+        self._restarts_left -= 1
+        self._restarts_used += 1
+        broken.shutdown(wait=False)
+        self._executor = ProcessPoolExecutor(max_workers=self._workers)
+        if self._metrics is not None:
+            self._metrics.pool_restart()
+        return True
 
     def shutdown(self) -> None:
         """Wait for running tasks and release the worker processes."""

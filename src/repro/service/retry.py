@@ -1,0 +1,170 @@
+"""Client-side resilience: retry backoff policy and circuit breaker.
+
+:class:`RetryPolicy` computes exponential-backoff-with-full-jitter delays
+(the AWS architecture-blog scheme: sleep ``uniform(0, min(cap, base *
+multiplier**attempt))``) and honors a server-provided ``Retry-After`` hint
+when one is available.  Jitter is drawn from a :mod:`repro.utils.rng`
+generator, so a seeded policy produces a reproducible delay sequence —
+tests assert exact backoff schedules instead of sleeping.
+
+:class:`CircuitBreaker` is the classic three-state machine over
+*transport* failures (connection refused/reset, timeouts — not HTTP error
+statuses, which prove the server is reachable): ``closed`` until
+``failure_threshold`` consecutive failures, then ``open`` (every call
+refused locally) for ``reset_timeout_s``, then ``half_open`` (one probe
+allowed; success closes the breaker, failure re-opens it).
+
+Both classes take injectable ``sleep``/``clock`` callables and never read
+a wall clock themselves; :func:`default_sleeper` and
+:func:`default_clock` are the one sanctioned place the service's client
+stack touches ``time`` (rule RP107 forbids ``time.sleep`` anywhere else
+under ``repro.service``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
+    "default_sleeper",
+    "default_clock",
+]
+
+
+def default_sleeper(delay_s: float) -> None:
+    """Really sleep (the production sleeper; tests inject a recorder)."""
+    if delay_s > 0.0:
+        time.sleep(delay_s)
+
+
+def default_clock() -> float:
+    """A monotonic clock in seconds (the production clock for breakers)."""
+    return time.monotonic()  # lint: ignore[RP103]
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter, ``Retry-After`` aware.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first one; ``1`` disables retries.
+    base_delay_s, multiplier, max_delay_s:
+        Backoff cap before attempt ``k`` (0-based) is
+        ``min(max_delay_s, base_delay_s * multiplier**k)``; the actual
+        delay is uniform in ``[0, cap]`` (full jitter).
+    rng:
+        Seed or generator for the jitter draw (``None`` = fresh entropy;
+        pass an int for a deterministic schedule).
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay_s: float = 0.1,
+        multiplier: float = 2.0,
+        max_delay_s: float = 5.0,
+        rng: RngLike = None,
+    ) -> None:
+        self.max_attempts = check_positive_int(max_attempts, "max_attempts")
+        self.base_delay_s = check_positive(base_delay_s, "base_delay_s")
+        self.multiplier = check_positive(multiplier, "multiplier")
+        self.max_delay_s = check_positive(max_delay_s, "max_delay_s")
+        self._rng = as_rng(rng)
+
+    def backoff_s(
+        self, attempt: int, retry_after_s: Optional[float] = None
+    ) -> float:
+        """Delay before re-trying after failed attempt ``attempt`` (0-based).
+
+        A server-provided ``retry_after_s`` (from a ``Retry-After`` header
+        on 429/503) overrides the jittered backoff: the server knows its
+        own queue better than the client's exponential guess.
+        """
+        check_non_negative(attempt, "attempt")
+        if retry_after_s is not None:
+            return check_non_negative(retry_after_s, "retry_after_s")
+        cap = min(self.max_delay_s, self.base_delay_s * self.multiplier**attempt)
+        return float(self._rng.uniform(0.0, cap))
+
+
+class CircuitBreaker:
+    """Trip after consecutive transport failures; recover via a probe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive transport failures that open the circuit.
+    reset_timeout_s:
+        How long an open circuit refuses calls before allowing one
+        half-open probe.
+    clock:
+        Injectable monotonic clock (seconds); defaults to
+        :func:`default_clock`.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.failure_threshold = check_positive_int(
+            failure_threshold, "failure_threshold"
+        )
+        self.reset_timeout_s = check_positive(reset_timeout_s, "reset_timeout_s")
+        self._clock = clock if clock is not None else default_clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"``."""
+        if self._opened_at is None:
+            return "closed"
+        if self._probing or self._elapsed() >= self.reset_timeout_s:
+            return "half_open"
+        return "open"
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now (may admit one half-open probe)."""
+        if self._opened_at is None:
+            return True
+        if self._probing:  # one probe at a time
+            return False
+        if self._elapsed() >= self.reset_timeout_s:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A call completed at the transport level; close the circuit."""
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """A transport failure; open the circuit at the threshold."""
+        self._failures += 1
+        if self._probing or self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self._probing = False
+
+    def _elapsed(self) -> float:
+        assert self._opened_at is not None
+        return self._clock() - self._opened_at

@@ -15,7 +15,7 @@ value identifying everything a batch kernel shares across merged requests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.energy.ebar import CONVENTIONS
 from repro.service.errors import BadRequestError
@@ -39,6 +39,7 @@ __all__ = [
     "parse_overlay_request",
     "parse_underlay_request",
     "parse_interweave_request",
+    "error_payload",
     "EBAR_SOLVERS",
 ]
 
@@ -428,6 +429,35 @@ def parse_interweave_request(data: object, max_points: int = 4096) -> Interweave
         )
     except (ValueError, TypeError) as exc:
         raise BadRequestError(str(exc)) from exc
+
+
+# --------------------------------------------------------------------- #
+# Error bodies                                                          #
+# --------------------------------------------------------------------- #
+
+
+def error_payload(
+    status: int,
+    error: str,
+    detail: str,
+    retry_after_s: Optional[float] = None,
+) -> Dict[str, object]:
+    """The one structured error-body shape every non-2xx response carries.
+
+    ``{"error": <reason>, "detail": <message>, "status": <code>}`` plus an
+    optional ``retry_after_s`` hint mirrored from the ``Retry-After``
+    header, so clients can recover the full failure context from the body
+    alone (e.g. after the header layer has been stripped by a proxy).
+    """
+    check_in_range(status, "status", 100, 599)
+    payload: Dict[str, object] = {
+        "error": error,
+        "detail": detail,
+        "status": int(status),
+    }
+    if retry_after_s is not None:
+        payload["retry_after_s"] = check_non_negative(retry_after_s, "retry_after_s")
+    return payload
 
 
 # Re-exported for the work module's typed signatures.

@@ -14,9 +14,10 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
 import signal
 import sys
-from typing import Callable, Optional, Set
+from typing import Callable, Dict, Optional, Set
 
 from repro.service.app import PlanningService
 from repro.service.config import ServiceConfig
@@ -61,8 +62,16 @@ class ServiceServer:
         )
 
     async def shutdown(self) -> None:
-        """Graceful drain: unbind, flush, wait for in-flight, close."""
+        """Graceful drain: unbind, flush, wait for in-flight, close.
+
+        While draining, requests already being served (and pipelined
+        requests on established keep-alive connections) still complete —
+        answered with ``Connection: close`` and a ``/healthz`` readiness of
+        ``draining`` — but the listening socket is gone, so new connections
+        are refused immediately.
+        """
         self._draining = True
+        self.service.mark_draining()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -101,7 +110,7 @@ class ServiceServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        while not self._draining:
+        while True:
             try:
                 request = await read_request(reader)
             except ServiceError as exc:
@@ -125,10 +134,29 @@ class ServiceServer:
             finally:
                 self._exit()
             keep_alive = head.keep_alive and not self._draining
-            writer.write(render_response(status, payload, keep_alive=keep_alive))
+            blob = render_response(
+                status,
+                payload,
+                keep_alive=keep_alive,
+                extra_headers=self._extra_headers(status),
+            )
+            if self.service.faults.take_abort(head.path):
+                # Chaos hook: ship half the response, then drop the
+                # connection — the client sees a truncated body.
+                writer.write(blob[: max(1, len(blob) // 2)])
+                await writer.drain()
+                return
+            writer.write(blob)
             await writer.drain()
             if not keep_alive:
                 return
+
+    def _extra_headers(self, status: int) -> Optional[Dict[str, str]]:
+        """Backpressure responses carry an explicit retry hint."""
+        if status in (429, 503):
+            seconds = max(1, math.ceil(self.service.config.retry_after_s))
+            return {"Retry-After": str(seconds)}
+        return None
 
     def _enter(self) -> None:
         self._active += 1

@@ -13,6 +13,7 @@ import asyncio
 import threading
 from typing import Optional
 
+from repro.service.app import PlanningService
 from repro.service.client import ServiceClient
 from repro.service.config import ServiceConfig
 from repro.service.server import ServiceServer, serve
@@ -53,6 +54,13 @@ class ThreadedServer:
             raise RuntimeError("server is not running")
         return self._server.port
 
+    @property
+    def service(self) -> "PlanningService":
+        """The live :class:`PlanningService` (chaos tests arm faults here)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.service
+
     def client(self, timeout_s: float = 30.0) -> ServiceClient:
         """A fresh :class:`ServiceClient` bound to this server's port."""
         return ServiceClient(self.config.host, self.port, timeout_s=timeout_s)
@@ -71,14 +79,24 @@ class ThreadedServer:
             raise RuntimeError(f"service failed to start: {self._error!r}")
         return self
 
-    def stop(self) -> None:
-        """Trigger the graceful drain and join the server thread."""
+    def request_stop(self) -> None:
+        """Trigger the graceful drain *without* joining the server thread.
+
+        Drain tests use this to observe the draining state (in-flight
+        requests completing, ``/healthz`` reporting ``draining``, new
+        connections refused) while the server is still shutting down; call
+        :meth:`stop` afterwards to join.
+        """
         if self._loop is not None and self._stop is not None:
             loop, stop = self._loop, self._stop
             try:
                 loop.call_soon_threadsafe(stop.set)
             except RuntimeError:  # loop already closed
                 pass
+
+    def stop(self) -> None:
+        """Trigger the graceful drain and join the server thread."""
+        self.request_stop()
         if self._thread is not None:
             self._thread.join(self.startup_timeout_s)
             self._thread = None

@@ -416,3 +416,55 @@ class TestEngine:
         stats = LintStats()
         lint_source("def f(x=[]):\n    pass\n", path=LIB, stats=stats)
         assert stats.per_rule.get("RP106") == 1
+
+
+# --------------------------------------------------------------------- #
+# RP107 — bare time.sleep in the service layer                          #
+# --------------------------------------------------------------------- #
+
+#: A path inside repro.service, where RP107 applies.
+SERVICE = "src/repro/service/client.py"
+
+
+class TestRP107:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\ntime.sleep(1.0)",
+            "import time\nbackoff = time.sleep",  # bare reference, no call
+            "import time\ndef f(sleep=time.sleep):\n    pass",
+            "from time import sleep",
+            "from time import sleep\nsleep(0.5)",
+            "from time import sleep as pause\npause(0.5)",
+        ],
+    )
+    def test_fires_in_service_code(self, snippet):
+        assert "RP107" in rule_ids(lint(snippet, path=SERVICE, select=["RP107"]))
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import asyncio\nawait_ = asyncio.sleep",
+            "import time\nt = time.monotonic()",
+            "from repro.service.retry import default_sleeper\ndefault_sleeper(0.1)",
+        ],
+    )
+    def test_silent_on_good_service_code(self, snippet):
+        assert lint(snippet, path=SERVICE, select=["RP107"]) == []
+
+    def test_non_service_library_code_is_exempt(self):
+        src = "import time\ntime.sleep(1.0)"
+        assert lint(src, path=LIB, select=["RP107"]) == []
+
+    def test_retry_module_is_exempt(self):
+        src = "import time\ntime.sleep(1.0)"
+        path = "src/repro/service/retry.py"
+        assert lint(src, path=path, select=["RP107"]) == []
+
+    def test_tests_are_exempt(self):
+        src = "import time\ntime.sleep(1.0)"
+        assert lint(src, path="tests/test_service_pool.py", select=["RP107"]) == []
+
+    def test_suppressed(self):
+        src = "import time\ntime.sleep(1.0)  # lint: ignore[RP107]"
+        assert lint(src, path=SERVICE, select=["RP107"]) == []

@@ -251,3 +251,88 @@ class TestBackpressure:
             assert asyncio.run(main()) == 429
         finally:
             svc.close()
+
+
+class TestErrorPayloadShape:
+    def test_every_error_body_carries_status_error_and_detail(self, service):
+        status, payload = call(service, "GET", "/nope")
+        assert status == 404
+        assert {"error", "detail", "status"} <= set(payload)
+        assert payload["status"] == 404
+
+
+class TestHealthStates:
+    def test_degraded_pool_flips_readiness(self):
+        svc = PlanningService(
+            ServiceConfig(workers=0, coalesce_ms=0.0, request_log=False)
+        )
+        try:
+            assert svc.health_status() == "ok"
+            svc.pool._degraded = True
+            assert svc.health_status() == "degraded"
+            status, payload = call(svc, "GET", "/healthz")
+            assert (status, payload) == (200, {"status": "degraded"})
+            status, payload = call(svc, "GET", "/metrics")
+            assert payload["health"] == "degraded"
+        finally:
+            svc.close()
+
+    def test_draining_wins_over_degraded(self):
+        svc = PlanningService(
+            ServiceConfig(workers=0, coalesce_ms=0.0, request_log=False)
+        )
+        try:
+            svc.pool._degraded = True
+            svc.mark_draining()
+            assert svc.health_status() == "draining"
+        finally:
+            svc.close()
+
+
+class TestDeadline:
+    def _service(self, timeout_ms):
+        return PlanningService(
+            ServiceConfig(
+                workers=0,
+                coalesce_ms=0.0,
+                request_log=False,
+                request_timeout_ms=timeout_ms,
+            )
+        )
+
+    def test_stalled_request_maps_to_504(self):
+        svc = self._service(50.0)
+        svc.faults.arm_delay(5.0, times=1)
+        try:
+            status, payload = call(
+                svc, "POST", "/v1/ebar", {"p": 0.001, "b": 2, "mt": 2, "mr": 2}
+            )
+        finally:
+            svc.close()
+        assert status == 504
+        assert payload["error"] == "Gateway Timeout"
+        assert payload["status"] == 504
+        assert "50 ms" in str(payload["detail"])
+        assert svc.metrics.snapshot()["deadline_timeouts"] == 1
+
+    def test_no_timeout_configured_never_cancels(self):
+        svc = PlanningService(
+            ServiceConfig(workers=0, coalesce_ms=0.0, request_log=False)
+        )
+        svc.faults.arm_delay(0.05, times=1)
+        try:
+            status, _ = call(
+                svc, "POST", "/v1/ebar", {"p": 0.001, "b": 2, "mt": 2, "mr": 2}
+            )
+        finally:
+            svc.close()
+        assert status == 200
+
+    def test_fast_request_beats_the_deadline(self):
+        svc = self._service(30000.0)
+        try:
+            status, _ = call(svc, "GET", "/healthz")
+        finally:
+            svc.close()
+        assert status == 200
+        assert svc.metrics.snapshot()["deadline_timeouts"] == 0

@@ -1,0 +1,74 @@
+"""Graceful drain: in-flight requests finish, new connections are refused.
+
+Uses :meth:`ThreadedServer.request_stop` to trigger SIGTERM-style drain
+without joining, so the draining state itself is observable: a keep-alive
+connection opened *before* the drain can still talk to the server (and
+sees ``/healthz`` report ``draining`` with ``Connection: close``), while
+fresh connections bounce off the closed listener.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.config import ServiceConfig
+from repro.service.testing import ThreadedServer
+
+
+class TestGracefulDrain:
+    def test_inflight_completes_probes_see_draining_new_connections_refused(self):
+        config = ServiceConfig(
+            port=0,
+            workers=0,
+            coalesce_ms=0.0,
+            request_log=False,
+            drain_timeout_s=30.0,
+        )
+        server = ThreadedServer(config).start()
+        try:
+            port = server.port  # unreadable once the listener is closed
+            # A keep-alive connection established before the drain begins.
+            conn = http.client.HTTPConnection(config.host, port, timeout=30.0)
+            conn.request("GET", "/healthz")
+            first = conn.getresponse()
+            assert json.loads(first.read()) == {"status": "ok"}
+
+            # Park one request inside an injected stall, then start draining
+            # while it is still in flight.
+            server.service.faults.arm_delay(0.8, times=1, paths=("/v1/ebar",))
+            results = []
+
+            def inflight():
+                results.append(server.client().ebar(0.001, 2, 2, 2))
+
+            thread = threading.Thread(target=inflight)
+            thread.start()
+            time.sleep(0.2)  # request is now inside its 0.8 s stall
+            server.request_stop()
+            time.sleep(0.2)  # listener closed, drain waiting on in-flight
+
+            # The pre-drain connection still gets answers: readiness flips
+            # to draining and the server asks it to close.
+            conn.request("GET", "/healthz")
+            probe = conn.getresponse()
+            assert json.loads(probe.read()) == {"status": "draining"}
+            assert probe.getheader("Connection") == "close"
+            conn.close()
+
+            # The in-flight request completes normally despite the drain.
+            thread.join(30.0)
+            assert not thread.is_alive()
+            assert len(results) == 1
+            assert results[0]["e_bar"] > 0
+
+            # New connections are refused: the listening socket is gone.
+            with pytest.raises(ServiceClientError) as err:
+                ServiceClient(config.host, port, timeout_s=5.0).healthz()
+            assert err.value.status == 599
+            assert err.value.is_transport_failure
+        finally:
+            server.stop()

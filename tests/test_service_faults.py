@@ -1,0 +1,134 @@
+"""FaultInjector: inert defaults, env parsing, arming, count decrement."""
+
+import json
+
+import pytest
+
+from repro.service.app import PlanningService
+from repro.service.config import ServiceConfig
+from repro.service.faults import FAULTS_ENV_VAR, FaultInjector
+
+
+class TestInertDefault:
+    def test_fresh_injector_is_unarmed(self):
+        faults = FaultInjector()
+        assert not faults.armed
+
+    def test_hooks_are_noops_when_unarmed(self):
+        faults = FaultInjector()
+        assert faults.request_delay_s("/v1/ebar") == 0.0
+        assert faults.take_abort("/v1/ebar") is False
+        assert faults.maybe_kill_worker(object()) is False
+
+    def test_from_env_without_the_variable_is_inert(self):
+        assert not FaultInjector.from_env(environ={}).armed
+
+
+class TestFromEnv:
+    def _env(self, plan):
+        return {FAULTS_ENV_VAR: json.dumps(plan)}
+
+    def test_full_plan_arms_everything(self):
+        faults = FaultInjector.from_env(
+            environ=self._env(
+                {
+                    "kill_worker": 2,
+                    "delay_ms": 250,
+                    "delay_times": 3,
+                    "abort": 1,
+                    "paths": ["/v1/underlay/energy"],
+                }
+            )
+        )
+        assert faults.armed
+        assert faults.request_delay_s("/v1/underlay/energy") == 0.25
+        assert faults.take_abort("/v1/underlay/energy") is True
+
+    def test_delay_defaults_to_one_shot(self):
+        faults = FaultInjector.from_env(environ=self._env({"delay_ms": 100}))
+        assert faults.request_delay_s("/x") == 0.1
+        assert faults.request_delay_s("/x") == 0.0
+
+    def test_blank_value_is_inert(self):
+        assert not FaultInjector.from_env(environ={FAULTS_ENV_VAR: "  "}).armed
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "{not json",
+            '"just a string"',
+            "[1, 2]",
+            '{"surprise": 1}',
+            '{"kill_worker": "one"}',
+            '{"kill_worker": true}',
+            '{"kill_worker": -1}',
+            '{"delay_ms": "fast"}',
+            '{"delay_ms": 10, "delay_times": 1.5}',
+            '{"abort": 1, "paths": "/v1/ebar"}',
+            '{"abort": 1, "paths": [1]}',
+        ],
+    )
+    def test_malformed_plans_fail_loudly(self, raw):
+        with pytest.raises(ValueError):
+            FaultInjector.from_env(environ={FAULTS_ENV_VAR: raw})
+
+    def test_service_reads_the_plan_at_boot(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, '{"abort": 1}')
+        service = PlanningService(
+            ServiceConfig(workers=0, coalesce_ms=0.0, request_log=False)
+        )
+        try:
+            assert service.faults.armed
+            assert service.faults.take_abort("/v1/ebar") is True
+        finally:
+            service.close()
+
+    def test_explicit_injector_overrides_the_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, '{"abort": 5}')
+        faults = FaultInjector()
+        service = PlanningService(
+            ServiceConfig(workers=0, coalesce_ms=0.0, request_log=False),
+            faults=faults,
+        )
+        try:
+            assert service.faults is faults
+            assert not service.faults.armed
+        finally:
+            service.close()
+
+
+class TestCounts:
+    def test_delay_consumes_one_count_per_matching_request(self):
+        faults = FaultInjector()
+        faults.arm_delay(0.5, times=2)
+        assert faults.request_delay_s("/a") == 0.5
+        assert faults.request_delay_s("/b") == 0.5
+        assert faults.request_delay_s("/c") == 0.0
+        assert not faults.armed
+
+    def test_path_mismatch_does_not_consume(self):
+        faults = FaultInjector()
+        faults.arm_delay(0.5, times=1, paths=("/v1/ebar",))
+        assert faults.request_delay_s("/healthz") == 0.0
+        assert faults.request_delay_s("/v1/ebar") == 0.5
+
+    def test_abort_consumes_one_count(self):
+        faults = FaultInjector()
+        faults.arm_abort(1)
+        assert faults.take_abort("/x") is True
+        assert faults.take_abort("/x") is False
+
+    def test_kill_without_processes_does_not_consume(self):
+        faults = FaultInjector()
+        faults.arm_kill_worker(1)
+        assert faults.maybe_kill_worker(object()) is False
+        assert faults.armed  # the count is still pending
+
+    def test_negative_counts_rejected(self):
+        faults = FaultInjector()
+        with pytest.raises(ValueError):
+            faults.arm_kill_worker(-1)
+        with pytest.raises(ValueError):
+            faults.arm_delay(-0.1)
+        with pytest.raises(ValueError):
+            faults.arm_abort(-2)

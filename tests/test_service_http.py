@@ -93,3 +93,22 @@ class TestRenderResponse:
         raw = render_response(429, {"error": "too many"}, keep_alive=False)
         assert raw.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
         assert b"Connection: close\r\n" in raw
+
+    def test_gateway_timeout_reason_phrase(self):
+        raw = render_response(504, {"error": "Gateway Timeout"})
+        assert raw.startswith(b"HTTP/1.1 504 Gateway Timeout\r\n")
+
+    def test_extra_headers_are_emitted(self):
+        raw = render_response(
+            429,
+            {"error": "too many"},
+            keep_alive=False,
+            extra_headers={"Retry-After": "2"},
+        )
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"\r\nRetry-After: 2\r\n" in head + b"\r\n"
+        assert json.loads(body) == {"error": "too many"}
+
+    def test_no_extra_headers_by_default(self):
+        raw = render_response(429, {"error": "too many"})
+        assert b"Retry-After" not in raw

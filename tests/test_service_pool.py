@@ -1,6 +1,9 @@
-"""WorkerPool: inline mode, process mode, depth limit and 429 backpressure."""
+"""WorkerPool: inline mode, process mode, depth limit, 429 backpressure,
+and supervision of killed worker processes."""
 
 import asyncio
+import os
+import signal
 import time
 
 import pytest
@@ -103,3 +106,108 @@ class TestValidation:
     def test_zero_queue_limit_rejected(self):
         with pytest.raises(ValueError):
             WorkerPool(workers=0, queue_limit=0)
+
+    def test_negative_restart_budget_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=1, queue_limit=1, max_restarts=-1)
+
+
+def _die_once(flag_path, main_pid):
+    """SIGKILL the hosting worker on the first run, succeed afterwards.
+
+    The flag file is cross-process state: the first worker to run this
+    creates it and dies, the retry (in a fresh worker) sees it and returns.
+    Inline execution (``os.getpid() == main_pid``) never kills, so a
+    degraded pool running this inline survives.
+    """
+    if os.getpid() == main_pid:
+        return "inline"
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "retried"
+
+
+def _die_always(main_pid):
+    """SIGKILL every worker that runs this; succeed only inline."""
+    if os.getpid() != main_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "inline"
+
+
+class TestSupervision:
+    def test_killed_worker_restarts_pool_and_retries_task(self, tmp_path):
+        metrics = Metrics()
+        pool = WorkerPool(workers=1, queue_limit=4, metrics=metrics, max_restarts=3)
+        flag = str(tmp_path / "died-once")
+
+        async def main():
+            return await pool.submit(_die_once, flag, os.getpid())
+
+        try:
+            assert run(main()) == "retried"
+        finally:
+            pool.shutdown()
+        assert pool.degraded is False
+        assert pool.restarts_used == 1
+        snap = metrics.snapshot()
+        assert snap["pool"]["restarts"] == 1
+        assert snap["pool"]["task_retries"] == 1
+        assert snap["pool"]["degraded_requests"] == 0
+
+    def test_pool_still_works_after_a_restart(self, tmp_path):
+        pool = WorkerPool(workers=1, queue_limit=4, max_restarts=3)
+        flag = str(tmp_path / "died-once")
+
+        async def main():
+            first = await pool.submit(_die_once, flag, os.getpid())
+            second = await pool.submit(_square, 6)
+            return first, second
+
+        try:
+            assert run(main()) == ("retried", 36)
+        finally:
+            pool.shutdown()
+
+    def test_exhausted_budget_latches_degraded_inline_mode(self):
+        metrics = Metrics()
+        pool = WorkerPool(workers=1, queue_limit=4, metrics=metrics, max_restarts=1)
+
+        async def main():
+            first = await pool.submit(_die_always, os.getpid())
+            second = await pool.submit(_square, 5)
+            return first, second
+
+        try:
+            # One restart is spent on the retry, which also dies; the task
+            # finishes inline and the pool latches degraded.
+            assert run(main()) == ("inline", 25)
+        finally:
+            pool.shutdown()
+        assert pool.degraded is True
+        assert pool.restarts_used == 1
+        snap = metrics.snapshot()
+        assert snap["pool"]["restarts"] == 1
+        assert snap["pool"]["degraded_requests"] == 2  # victim + follow-up
+        assert snap["pool"]["completed"] == 2
+
+    def test_zero_budget_degrades_without_any_restart(self):
+        metrics = Metrics()
+        pool = WorkerPool(workers=1, queue_limit=4, metrics=metrics, max_restarts=0)
+
+        async def main():
+            return await pool.submit(_die_always, os.getpid())
+
+        try:
+            assert run(main()) == "inline"
+        finally:
+            pool.shutdown()
+        assert pool.degraded is True
+        assert pool.restarts_used == 0
+        assert metrics.snapshot()["pool"]["restarts"] == 0
+
+    def test_workers_zero_is_not_degraded(self):
+        pool = WorkerPool(workers=0, queue_limit=4)
+        assert pool.degraded is False
+        pool.shutdown()

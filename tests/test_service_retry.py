@@ -1,0 +1,253 @@
+"""RetryPolicy backoff schedules, CircuitBreaker states, and client retries.
+
+Nothing here sleeps or reads a wall clock: policies get seeded RNGs,
+breakers get a hand-cranked fake clock, and the client gets a recording
+sleeper — so every schedule is asserted exactly.
+"""
+
+import pytest
+
+from repro.service.client import (
+    CircuitOpenError,
+    ServiceClient,
+    ServiceClientError,
+)
+from repro.service.config import ServiceConfig
+from repro.service.retry import CircuitBreaker, RetryPolicy
+from repro.service.testing import ThreadedServer
+from repro.utils.rng import as_rng
+
+
+class TestRetryPolicy:
+    def test_seeded_schedule_is_reproducible(self):
+        first = [RetryPolicy(rng=42).backoff_s(k) for k in range(4)]
+        second = [RetryPolicy(rng=42).backoff_s(k) for k in range(4)]
+        assert first == second
+
+    def test_schedule_matches_full_jitter_formula(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, multiplier=2.0, max_delay_s=5.0, rng=7
+        )
+        rng = as_rng(7)
+        for attempt in range(8):
+            cap = min(5.0, 0.1 * 2.0**attempt)
+            assert policy.backoff_s(attempt) == float(rng.uniform(0.0, cap))
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=10.0, max_delay_s=2.0, rng=3
+        )
+        for attempt in range(10):
+            assert 0.0 <= policy.backoff_s(attempt) <= 2.0
+
+    def test_retry_after_overrides_the_jitter(self):
+        policy = RetryPolicy(rng=1)
+        assert policy.backoff_s(0, retry_after_s=7.5) == 7.5
+        assert policy.backoff_s(3, retry_after_s=0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(rng=1).backoff_s(-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(rng=1).backoff_s(0, retry_after_s=-2.0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_at_threshold_and_refuses(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.consecutive_failures == 2
+
+    def test_half_open_admits_one_probe_then_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=30.0, clock=clock
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now += 31.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # a second concurrent call is refused
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=5, reset_timeout_s=10.0, clock=clock
+        )
+        for _ in range(5):
+            breaker.record_failure()
+        clock.now += 11.0
+        assert breaker.allow()
+        breaker.record_failure()  # the probe died: open again, no threshold wait
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+class _ScriptedClient(ServiceClient):
+    """A client whose single-request transport is a scripted outcome list."""
+
+    def __init__(self, outcomes, **kwargs):
+        super().__init__("127.0.0.1", 8123, **kwargs)
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    def _request_once(self, method, path, body):
+        self.calls += 1
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestClientRetryLoop:
+    def test_retries_transport_failures_until_success(self):
+        sleeps = []
+        client = _ScriptedClient(
+            [
+                ServiceClientError(599, "refused"),
+                ServiceClientError(599, "refused"),
+                {"status": "ok"},
+            ],
+            retry=RetryPolicy(max_attempts=4, rng=5),
+            sleep=sleeps.append,
+        )
+        assert client.request("GET", "/healthz") == {"status": "ok"}
+        assert client.calls == 3
+        assert len(sleeps) == 2
+        assert all(delay >= 0.0 for delay in sleeps)
+
+    def test_sleeps_exactly_the_policy_schedule(self):
+        sleeps = []
+        client = _ScriptedClient(
+            [
+                ServiceClientError(503, "unavailable"),
+                ServiceClientError(503, "unavailable"),
+                {"ok": True},
+            ],
+            retry=RetryPolicy(max_attempts=3, rng=11),
+            sleep=sleeps.append,
+        )
+        client.request("GET", "/metrics")
+        twin = RetryPolicy(max_attempts=3, rng=11)
+        assert sleeps == [twin.backoff_s(0), twin.backoff_s(1)]
+
+    def test_retry_after_hint_drives_the_sleep(self):
+        sleeps = []
+        client = _ScriptedClient(
+            [ServiceClientError(429, "busy", retry_after_s=4.0), {"ok": True}],
+            retry=RetryPolicy(max_attempts=2, rng=1),
+            sleep=sleeps.append,
+        )
+        client.request("POST", "/v1/ebar", {"p": 0.001})
+        assert sleeps == [4.0]
+
+    def test_exhausted_attempts_reraise(self):
+        client = _ScriptedClient(
+            [ServiceClientError(599, "down")] * 2,
+            retry=RetryPolicy(max_attempts=2, rng=1),
+            sleep=lambda _s: None,
+        )
+        with pytest.raises(ServiceClientError):
+            client.request("GET", "/healthz")
+        assert client.calls == 2
+
+    def test_non_retryable_statuses_raise_immediately(self):
+        client = _ScriptedClient(
+            [ServiceClientError(400, "bad request"), {"never": "reached"}],
+            retry=RetryPolicy(max_attempts=5, rng=1),
+            sleep=lambda _s: None,
+        )
+        with pytest.raises(ServiceClientError) as err:
+            client.request("POST", "/v1/ebar", {})
+        assert err.value.status == 400
+        assert client.calls == 1
+
+    def test_no_policy_means_no_retries(self):
+        client = _ScriptedClient([ServiceClientError(503, "unavailable")])
+        with pytest.raises(ServiceClientError):
+            client.request("GET", "/healthz")
+        assert client.calls == 1
+
+    def test_breaker_opens_after_transport_failures_and_refuses_locally(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        client = _ScriptedClient(
+            [ServiceClientError(599, "down")] * 2, breaker=breaker
+        )
+        for _ in range(2):
+            with pytest.raises(ServiceClientError):
+                client.request("GET", "/healthz")
+        with pytest.raises(CircuitOpenError):
+            client.request("GET", "/healthz")
+        assert client.calls == 2  # the third call never touched the wire
+
+    def test_http_errors_do_not_trip_the_breaker(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        client = _ScriptedClient(
+            [ServiceClientError(404, "not found")] * 4, breaker=breaker
+        )
+        for _ in range(4):
+            with pytest.raises(ServiceClientError):
+                client.request("GET", "/nope")
+        assert breaker.state == "closed"
+        assert client.calls == 4
+
+
+class TestBackpressureEndToEnd:
+    def test_429_carries_retry_after_and_clears_when_the_pool_drains(self):
+        config = ServiceConfig(
+            port=0,
+            workers=0,
+            coalesce_ms=0.0,
+            request_log=False,
+            queue_limit=2,
+            retry_after_s=1.0,
+        )
+        with ThreadedServer(config) as server:
+            # Saturate the pool accounting so the next sweep is rejected.
+            server.service.pool._inflight = config.queue_limit
+            with pytest.raises(ServiceClientError) as err:
+                server.client().underlay_energy(
+                    1e-3, 2, 2, 5.0, [40.0, 60.0], 10e3
+                )
+            assert err.value.status == 429
+            assert err.value.retry_after_s == 1.0
+            assert err.value.payload["status"] == 429
+
+            server.service.pool._inflight = 0
+            payload = server.client().underlay_energy(
+                1e-3, 2, 2, 5.0, [40.0, 60.0], 10e3
+            )
+            assert payload["count"] == 2
