@@ -17,10 +17,16 @@ cached at two levels:
 
 * a **process-level memo** shares the solved grid between all instances
   with identical grid/``n0``/convention specs in the same process;
-* an **on-disk cache** (``np.savez``, keyed by a hash of the spec) makes
-  repeat experiment/benchmark runs skip the solve entirely.  The cache
-  directory defaults to ``$XDG_CACHE_HOME/repro-comimo`` (falling back to
-  ``~/.cache/repro-comimo``) and can be overridden per instance
+* an **on-disk cache** (one ``.npy`` file in NumPy's native array format,
+  keyed by a hash of the spec) makes repeat experiment/benchmark runs skip
+  the solve entirely.  Warm loads go through ``np.load(..., mmap_mode="r")``:
+  the grid is *memory-mapped read-only* rather than deserialized, so every
+  process on the host — serving shards, pool workers, parallel experiment
+  jobs — shares one page-cache-resident copy zero-copy instead of each
+  materializing its own.  Writes stay atomic (serialize to a temp file,
+  then ``os.replace``), so concurrent readers never observe a torn file.
+  The cache directory defaults to ``$XDG_CACHE_HOME/repro-comimo`` (falling
+  back to ``~/.cache/repro-comimo``) and can be overridden per instance
   (``cache_dir=...``) or via ``REPRO_CACHE_DIR``.  Set ``REPRO_NO_CACHE=1``
   (or pass ``use_cache=False``) to disable both levels — e.g. for hermetic
   CI runs that must not touch the home directory.
@@ -29,14 +35,15 @@ cached at two levels:
 from __future__ import annotations
 
 import hashlib
+import io
 import os
 import pathlib
-import tempfile
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.energy.ebar import CONVENTIONS, DEFAULT_N0, solve_ebar_batch
+from repro.utils.fsio import atomic_write_bytes
 from repro.utils.validation import check_positive
 
 ArrayLike = Union[float, np.ndarray]
@@ -57,8 +64,10 @@ DEFAULT_B_GRID: Tuple[int, ...] = tuple(range(1, 17))
 DEFAULT_M_GRID: Tuple[int, ...] = (1, 2, 3, 4)
 
 #: Bump when the on-disk layout or the solver semantics change — old cache
-#: files then miss and are rebuilt rather than misread.
-_CACHE_FORMAT_VERSION = 1
+#: files then miss and are rebuilt rather than misread.  v2: one raw ``.npy``
+#: grid per spec, loaded with ``mmap_mode="r"`` (zero-copy, page-cache
+#: shared across processes) instead of the v1 ``np.savez`` archive.
+_CACHE_FORMAT_VERSION = 2
 
 #: Grid spec key: axes, n0 (hex), convention, cache format version.
 _MemoKey = Tuple[object, ...]
@@ -200,13 +209,23 @@ class EbarTable:
         spec = repr(self._memo_key()).encode()
         digest = hashlib.sha256(spec).hexdigest()[:20]
         base = pathlib.Path(cache_dir) if cache_dir is not None else default_cache_dir()
-        return base / f"ebar-v{_CACHE_FORMAT_VERSION}-{digest}.npz"
+        return base / f"ebar-v{_CACHE_FORMAT_VERSION}-{digest}.npy"
 
     def _load_cached_grid(self, path: pathlib.Path) -> Optional[np.ndarray]:
+        """Memory-map a cached grid read-only (zero-copy, shared pages).
+
+        Every process that loads the same cache file maps the same
+        page-cache copy: shards and pool workers share one warm grid
+        instead of each deserializing their own.  The file was written
+        atomically, so any successfully opened file is complete; anything
+        malformed (truncated tmp leftovers, foreign files, stale shapes)
+        is treated as a miss and re-solved.
+        """
         try:
-            with np.load(path) as data:
-                grid = np.asarray(data["ebar"], dtype=float)
-        except (OSError, KeyError, ValueError):
+            grid = np.load(path, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(grid, np.ndarray) or grid.dtype != np.float64:
             return None
         if grid.shape != (
             len(self.p_values),
@@ -215,21 +234,22 @@ class EbarTable:
             len(self.mr_values),
         ):
             return None
-        grid.setflags(write=False)
         return grid
 
     def _save_cached_grid(self, path: pathlib.Path, grid: np.ndarray) -> None:
-        tmp_name = None
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".npz.tmp")
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, **self.to_arrays())
-            os.replace(tmp_name, path)
-        except OSError:
-            # unwritable cache dir: skip silently, the table still works
-            if tmp_name is not None and os.path.exists(tmp_name):
-                os.unlink(tmp_name)
+        """Serialize the solved grid and publish it atomically.
+
+        The ``.npy`` bytes are built in memory (the default grid is only a
+        few KiB) and handed to :func:`atomic_write_bytes`, so concurrent
+        readers either miss or map a complete file — never a torn one.  An
+        unwritable cache directory is a silent no-op; the in-memory table
+        still works.
+        """
+        buffer = io.BytesIO()
+        np.lib.format.write_array(
+            buffer, np.ascontiguousarray(grid), allow_pickle=False
+        )
+        atomic_write_bytes(path, buffer.getvalue())
 
     @classmethod
     def clear_memory_cache(cls) -> None:

@@ -36,9 +36,11 @@ from repro.service.errors import (
 )
 from repro.service.faults import FaultInjector
 from repro.service.metrics import LatencyHistogram, Metrics
-from repro.service.pool import WorkerPool
+from repro.service.pool import RestartBudget, WorkerPool
+from repro.service.rescache import ResultCache, canonical_digest
 from repro.service.retry import CircuitBreaker, RetryPolicy
 from repro.service.server import ServiceServer, serve
+from repro.service.shard import ShardSupervisor, aggregate_snapshots
 from repro.service.testing import ThreadedServer
 
 __all__ = [
@@ -62,9 +64,14 @@ __all__ = [
     "LatencyHistogram",
     "Metrics",
     "WorkerPool",
+    "RestartBudget",
+    "ResultCache",
+    "canonical_digest",
     "RetryPolicy",
     "CircuitBreaker",
     "ServiceServer",
     "serve",
+    "ShardSupervisor",
+    "aggregate_snapshots",
     "ThreadedServer",
 ]

@@ -47,6 +47,7 @@ from repro.service.errors import (
 from repro.service.faults import FaultInjector
 from repro.service.metrics import Metrics
 from repro.service.pool import WorkerPool
+from repro.service.rescache import ResultCache, canonical_digest
 from repro.service.schemas import (
     EbarRequest,
     EnvironmentSpec,
@@ -98,6 +99,25 @@ _InterweaveKey = Tuple[
 ]
 
 
+def _response_is_pure(path: str, data: object) -> bool:
+    """Whether this request's response is a pure function of its body.
+
+    The one impure case: an interweave request with a stochastic
+    environment (``n_scatterers > 0``) and no explicit seed — the service
+    draws a fresh seed per request, so replaying a cached response would
+    freeze what is meant to be a new random environment each time.  Such
+    requests bypass the persistent result cache entirely.
+    """
+    if path != "/v1/interweave/pattern" or not isinstance(data, dict):
+        return True
+    env = data.get("environment")
+    if not isinstance(env, dict):
+        return True
+    if env.get("seed") is not None:
+        return True
+    return bool(env.get("n_scatterers", 6) == 0)
+
+
 class PlanningService:
     """Everything between the HTTP layer and the repro library."""
 
@@ -115,6 +135,11 @@ class PlanningService:
             faults=self.faults,
         )
         self._draining = False
+        self._result_cache: Optional[ResultCache] = None
+        if config.result_cache:
+            cache = ResultCache(config.result_cache_dir)
+            if cache.enabled:  # REPRO_NO_CACHE wins over the config flag
+                self._result_cache = cache
         self._tables: Dict[str, EbarTable] = {}
         self._ebar_cache: "OrderedDict[Tuple[str, str, float, int, int, int], float]"
         self._ebar_cache = OrderedDict()
@@ -283,17 +308,33 @@ class PlanningService:
             snapshot["health"] = self.health_status()
             return 200, snapshot
         data = self._parse_json(body)
+        cache = self._result_cache
+        digest: Optional[str] = None
+        if cache is not None and _response_is_pure(path, data):
+            digest = canonical_digest(path, data)
+            cached = cache.get(digest)
+            if cached is not None:
+                self.metrics.result_cache_hit()
+                return 200, cached
+            self.metrics.result_cache_miss()
+        payload = await self._dispatch_post(path, data)
+        if cache is not None and digest is not None:
+            cache.put(digest, payload)
+        return 200, payload
+
+    async def _dispatch_post(self, path: str, data: object) -> Payload:
+        """Route one parsed POST body to its endpoint handler."""
         if path == "/v1/ebar":
-            return 200, await self._handle_ebar(parse_ebar_request(data))
+            return await self._handle_ebar(parse_ebar_request(data))
         if path == "/v1/overlay/feasible":
-            return 200, await self._handle_overlay(
+            return await self._handle_overlay(
                 parse_overlay_request(data, self.config.max_sweep_points)
             )
         if path == "/v1/underlay/energy":
-            return 200, await self._handle_underlay(
+            return await self._handle_underlay(
                 parse_underlay_request(data, self.config.max_sweep_points)
             )
-        return 200, await self._handle_interweave(
+        return await self._handle_interweave(
             parse_interweave_request(data, self.config.max_sweep_points)
         )
 

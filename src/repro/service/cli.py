@@ -2,17 +2,28 @@
 
 Usage::
 
-    repro-service [--host H] [--port P] [--workers N] [--coalesce-ms MS]
-                  [--queue-limit N] [--max-coalesce N] [--seed N]
-                  [--table-convention paper|diversity_only]
+    repro-service [--host H] [--port P] [--workers N|auto] [--shards N|auto]
+                  [--coalesce-ms MS] [--queue-limit N] [--max-coalesce N]
+                  [--seed N] [--table-convention paper|diversity_only]
                   [--request-timeout-ms MS] [--max-pool-restarts N]
-                  [--retry-after-s S]
-                  [--drain-timeout-s S] [--no-request-log] [--quiet]
+                  [--max-shard-restarts N] [--retry-after-s S]
+                  [--drain-timeout-s S] [--admin-port P]
+                  [--no-result-cache] [--result-cache-dir DIR]
+                  [--no-request-log] [--quiet]
 
 The server announces its bound address as a ``{"event": "listening"}`` JSON
 line on stdout (``--port 0`` binds an ephemeral port), logs one structured
 JSON line per request to stderr, and drains gracefully on SIGTERM/SIGINT
 (exit code 0).
+
+``--shards 2`` (or more, or ``auto`` = one per available CPU) runs the
+:class:`repro.service.shard.ShardSupervisor` instead of a single server:
+N server processes share the port via ``SO_REUSEPORT`` (or an inherited
+listener where unsupported), crashed shards are replaced from a restart
+budget, and the supervisor's announced ``admin_port`` serves aggregated
+``/healthz`` and ``/metrics``.  ``auto`` counts *available* CPUs (cgroup /
+affinity aware) through :func:`repro.utils.sysinfo.available_cpu_count` —
+never raw ``os.cpu_count()``.
 """
 
 from __future__ import annotations
@@ -21,13 +32,29 @@ import argparse
 import asyncio
 import logging
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.energy.ebar import CONVENTIONS
 from repro.service.config import DEFAULT_PORT, ServiceConfig
 from repro.service.server import serve
+from repro.service.shard import ShardSupervisor
+from repro.utils.sysinfo import default_shard_count, default_worker_count
+from repro.utils.validation import check_positive_int
 
-__all__ = ["main", "build_config"]
+__all__ = ["main", "build_config", "resolve_count"]
+
+
+def resolve_count(value: str, name: str, auto: Callable[[], int]) -> int:
+    """Parse an ``N``-or-``auto`` CLI count (``auto`` asks ``sysinfo``)."""
+    if value.strip().lower() == "auto":
+        return auto()
+    try:
+        count = int(value)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer or 'auto', got {value!r}"
+        ) from None
+    return count
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,9 +73,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers",
+        default="2",
+        help="worker processes for sweep requests; 0 runs sweeps inline; "
+        "'auto' sizes to the available CPUs minus one",
+    )
+    parser.add_argument(
+        "--shards",
+        default="1",
+        help="server processes sharing the port; >1 runs the shard "
+        "supervisor; 'auto' sizes to the available CPUs",
+    )
+    parser.add_argument(
+        "--max-shard-restarts",
         type=int,
-        default=2,
-        help="worker processes for sweep requests; 0 runs sweeps inline",
+        default=3,
+        help="crashed-shard replacements before the fleet degrades",
     )
     parser.add_argument(
         "--coalesce-ms",
@@ -111,6 +150,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="graceful-shutdown budget for in-flight requests",
     )
     parser.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        help="also serve /healthz and /metrics on this private loopback "
+        "port (0 = ephemeral, announced as admin_port)",
+    )
+    parser.add_argument(
+        "--reuse-port",
+        action="store_true",
+        help="bind with SO_REUSEPORT so sibling processes can share the port",
+    )
+    parser.add_argument(
+        "--listen-fd",
+        type=int,
+        default=None,
+        help="adopt an inherited listening socket on this file descriptor "
+        "(shard-supervisor fallback; overrides --host/--port binding)",
+    )
+    parser.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        help="this server's slot in a shard fleet (set by the supervisor)",
+    )
+    parser.add_argument(
+        "--result-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve repeated POST requests from the persistent request-hash "
+        "result cache (REPRO_NO_CACHE=1 force-disables it)",
+    )
+    parser.add_argument(
+        "--result-cache-dir",
+        default=None,
+        help="override the result-cache directory",
+    )
+    parser.add_argument(
         "--no-request-log",
         action="store_true",
         help="disable per-request structured log lines",
@@ -126,7 +202,7 @@ def build_config(args: argparse.Namespace) -> ServiceConfig:
     return ServiceConfig(
         host=args.host,
         port=args.port,
-        workers=args.workers,
+        workers=resolve_count(args.workers, "workers", default_worker_count),
         coalesce_ms=args.coalesce_ms,
         max_coalesce=args.max_coalesce,
         queue_limit=args.queue_limit,
@@ -138,6 +214,12 @@ def build_config(args: argparse.Namespace) -> ServiceConfig:
         request_timeout_ms=args.request_timeout_ms,
         max_pool_restarts=args.max_pool_restarts,
         retry_after_s=args.retry_after_s,
+        reuse_port=args.reuse_port,
+        listen_fd=args.listen_fd,
+        admin_port=args.admin_port,
+        shard_index=args.shard_index,
+        result_cache=args.result_cache,
+        result_cache_dir=args.result_cache_dir,
     )
 
 
@@ -146,6 +228,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         config = build_config(args)
+        shards = check_positive_int(
+            resolve_count(args.shards, "shards", default_shard_count), "shards"
+        )
     except ValueError as exc:
         print(f"repro-service: {exc}", file=sys.stderr)
         return 2
@@ -155,7 +240,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         format="%(message)s",
     )
     try:
-        asyncio.run(serve(config))
+        if shards > 1:
+            supervisor = ShardSupervisor(
+                config, shards, max_shard_restarts=args.max_shard_restarts
+            )
+            asyncio.run(supervisor.run())
+        else:
+            asyncio.run(serve(config))
     except KeyboardInterrupt:  # pragma: no cover - signal handler races
         pass
     return 0

@@ -69,6 +69,34 @@ class ServiceConfig:
     retry_after_s:
         Backoff hint sent as the ``Retry-After`` header on 429 responses
         (rounded up to whole seconds on the wire).
+    reuse_port:
+        Bind the listening socket with ``SO_REUSEPORT`` so several server
+        processes (shards) can share one port, with the kernel balancing
+        accepted connections across them.  Requires OS support.
+    listen_fd:
+        Adopt an already-listening socket inherited on this file
+        descriptor instead of binding one — the shard supervisor's
+        fallback on platforms without ``SO_REUSEPORT`` (children then
+        share the supervisor's accept queue).  Overrides host/port/
+        ``reuse_port`` for the main listener.
+    admin_port:
+        When not ``None``, additionally serve ``/healthz`` and
+        ``/metrics`` (and everything else) on a private loopback listener
+        at this port (``0`` = ephemeral, announced as ``admin_port``).
+        The shard supervisor uses it to reach each shard individually
+        behind the kernel's connection balancing.
+    shard_index:
+        This server's slot in a shard fleet (``None`` outside one);
+        echoed in the announce line and per-request logs so supervisors
+        can attribute output.
+    result_cache:
+        Serve repeated POST requests from the persistent request-hash
+        result cache (see :mod:`repro.service.rescache`).  Off by default
+        for library users and tests; the CLI daemon turns it on.
+        ``REPRO_NO_CACHE=1`` force-disables it regardless.
+    result_cache_dir:
+        Override the result-cache directory (default: the shared
+        ``repro-comimo`` cache root).
     """
 
     host: str = "127.0.0.1"
@@ -85,6 +113,12 @@ class ServiceConfig:
     request_timeout_ms: Optional[float] = None
     max_pool_restarts: int = 3
     retry_after_s: float = 1.0
+    reuse_port: bool = False
+    listen_fd: Optional[int] = None
+    admin_port: Optional[int] = None
+    shard_index: Optional[int] = None
+    result_cache: bool = False
+    result_cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_in_range(self.port, "port", 0, 65535)
@@ -105,6 +139,12 @@ class ServiceConfig:
             check_positive(self.request_timeout_ms, "request_timeout_ms")
         check_non_negative_int(self.max_pool_restarts, "max_pool_restarts")
         check_positive(self.retry_after_s, "retry_after_s")
+        if self.listen_fd is not None:
+            check_non_negative_int(self.listen_fd, "listen_fd")
+        if self.admin_port is not None:
+            check_in_range(self.admin_port, "admin_port", 0, 65535)
+        if self.shard_index is not None:
+            check_non_negative_int(self.shard_index, "shard_index")
 
     @property
     def coalesce_window_s(self) -> float:

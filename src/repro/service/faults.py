@@ -5,6 +5,8 @@ stack consults at three points:
 
 * :meth:`maybe_kill_worker` — SIGKILL one live worker process of the sweep
   pool (exercises ``BrokenProcessPool`` supervision and restart budgets);
+* :meth:`take_kill_shard` — tell the shard supervisor to SIGKILL one live
+  shard process once the fleet is ready (exercises shard replacement);
 * :meth:`request_delay_s` — extra event-loop latency awaited inside the
   request deadline scope (exercises 504 deadline handling);
 * :meth:`take_abort` — truncate the HTTP response mid-body and close the
@@ -44,6 +46,7 @@ class FaultInjector:
 
     def __init__(self) -> None:
         self._kill_worker = 0
+        self._kill_shard = 0
         self._delay_s = 0.0
         self._delay_times = 0
         self._abort = 0
@@ -79,7 +82,14 @@ class FaultInjector:
             ) from exc
         if not isinstance(plan, dict):
             raise ValueError(f"{FAULTS_ENV_VAR} must be a JSON object")
-        known = {"kill_worker", "delay_ms", "delay_times", "abort", "paths"}
+        known = {
+            "kill_worker",
+            "kill_shard",
+            "delay_ms",
+            "delay_times",
+            "abort",
+            "paths",
+        }
         unknown = sorted(set(plan) - known)
         if unknown:
             raise ValueError(
@@ -94,6 +104,8 @@ class FaultInjector:
                 raise ValueError(f"{FAULTS_ENV_VAR} 'paths' must be a string list")
         if "kill_worker" in plan:
             injector.arm_kill_worker(_as_count(plan["kill_worker"], "kill_worker"))
+        if "kill_shard" in plan:
+            injector.arm_kill_shard(_as_count(plan["kill_shard"], "kill_shard"))
         delay_ms = plan.get("delay_ms")
         if delay_ms is not None:
             if isinstance(delay_ms, bool) or not isinstance(delay_ms, (int, float)):
@@ -118,6 +130,16 @@ class FaultInjector:
         """SIGKILL one pool worker on each of the next ``times`` dispatches."""
         self._kill_worker = check_non_negative_int(times, "times")
 
+    def arm_kill_shard(self, times: int = 1) -> None:
+        """SIGKILL ``times`` shard processes once the fleet is ready.
+
+        Consumed by the *shard supervisor* (see :mod:`repro.service.shard`),
+        not by individual servers: after every shard has announced, the
+        supervisor kills one live shard per armed count — exercising
+        shard replacement and the restart budget end to end.
+        """
+        self._kill_shard = check_non_negative_int(times, "times")
+
     def arm_delay(
         self,
         delay_s: float,
@@ -141,7 +163,9 @@ class FaultInjector:
     @property
     def armed(self) -> bool:
         """True while any fault remains armed."""
-        return bool(self._kill_worker or self._delay_times or self._abort)
+        return bool(
+            self._kill_worker or self._kill_shard or self._delay_times or self._abort
+        )
 
     def _matches(self, path: str) -> bool:
         return self._paths is None or path in self._paths
@@ -166,6 +190,13 @@ class FaultInjector:
         self._kill_worker -= 1
         pid = next(iter(processes))
         os.kill(pid, signal.SIGKILL)
+        return True
+
+    def take_kill_shard(self) -> bool:
+        """Whether the supervisor should kill one shard now (consumes one)."""
+        if self._kill_shard <= 0:
+            return False
+        self._kill_shard -= 1
         return True
 
     def request_delay_s(self, path: str) -> float:

@@ -92,6 +92,49 @@ class LatencyHistogram:
             cumulative += bucket_count
         return self._max_ms
 
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s observations into this histogram (same bounds).
+
+        The shard supervisor uses this to aggregate per-shard ``/metrics``
+        snapshots into one fleet-wide latency view; quantiles are then
+        re-interpolated over the merged buckets.
+        """
+        if other._bounds != self._bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for j, count in enumerate(other._counts):
+            self._counts[j] += count
+        self._count += other._count
+        self._sum_ms += other._sum_ms
+        if other._max_ms > self._max_ms:
+            self._max_ms = other._max_ms
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, object]) -> "LatencyHistogram":
+        """Rebuild a histogram from its :meth:`snapshot` dict.
+
+        Inverse of :meth:`snapshot` up to the derived quantile fields; used
+        to merge ``/metrics`` payloads fetched from remote shards.
+        """
+        buckets = snapshot.get("buckets")
+        if not isinstance(buckets, dict):
+            raise ValueError("snapshot has no 'buckets' dict")
+        bounds: List[float] = []
+        counts: List[int] = []
+        for key, value in buckets.items():
+            if key == "overflow":
+                continue
+            if not key.startswith("le_"):
+                raise ValueError(f"unexpected bucket key {key!r}")
+            bounds.append(float(key[3:]))
+            counts.append(int(value))
+        histogram = cls(bounds)
+        counts.append(int(buckets.get("overflow", 0)))
+        histogram._counts = counts
+        histogram._count = int(snapshot.get("count", 0))
+        histogram._sum_ms = float(snapshot.get("sum_ms", 0.0))
+        histogram._max_ms = float(snapshot.get("max_ms", 0.0))
+        return histogram
+
     def snapshot(self) -> Dict[str, object]:
         """Counts, sum/max and interpolated p50/p95/p99 plus the buckets."""
         buckets = {f"le_{bound:g}": count for bound, count in zip(self._bounds, self._counts)}
@@ -123,6 +166,9 @@ class Metrics:
         # ebar result cache
         self._cache_hits = 0
         self._cache_misses = 0
+        # persistent request-hash result cache
+        self._result_cache_hits = 0
+        self._result_cache_misses = 0
         # sweep pool
         self._pool_depth = 0
         self._pool_peak_depth = 0
@@ -170,6 +216,14 @@ class Metrics:
     def cache_miss(self) -> None:
         """Count one ē_b result-cache miss."""
         self._cache_misses += 1
+
+    def result_cache_hit(self) -> None:
+        """Count one persistent result-cache hit (response served from disk)."""
+        self._result_cache_hits += 1
+
+    def result_cache_miss(self) -> None:
+        """Count one persistent result-cache miss (response computed fresh)."""
+        self._result_cache_misses += 1
 
     def pool_enter(self) -> None:
         """A sweep entered the worker pool (depth and peak tracking)."""
@@ -237,6 +291,10 @@ class Metrics:
             "ebar_cache": {
                 "hits": self._cache_hits,
                 "misses": self._cache_misses,
+            },
+            "result_cache": {
+                "hits": self._result_cache_hits,
+                "misses": self._result_cache_misses,
             },
             "pool": {
                 "depth": self._pool_depth,

@@ -40,9 +40,47 @@ from repro.service.faults import FaultInjector
 from repro.service.metrics import Metrics
 from repro.utils.validation import check_non_negative_int, check_positive_int
 
-__all__ = ["WorkerPool"]
+__all__ = ["WorkerPool", "RestartBudget"]
 
 ResultT = TypeVar("ResultT")
+
+
+class RestartBudget:
+    """A bounded, count-based supply of restarts (no clocks, no windows).
+
+    Shared supervision primitive: the worker pool spends one unit per
+    broken-executor replacement, the shard supervisor one per replaced
+    shard process.  Once the budget is exhausted the owner latches into
+    its degraded mode instead of restarting forever on a host that keeps
+    killing children.
+    """
+
+    def __init__(self, max_restarts: int) -> None:
+        self._left = check_non_negative_int(max_restarts, "max_restarts")
+        self._used = 0
+
+    @property
+    def used(self) -> int:
+        """Restarts performed so far."""
+        return self._used
+
+    @property
+    def left(self) -> int:
+        """Restarts remaining before exhaustion."""
+        return self._left
+
+    @property
+    def exhausted(self) -> bool:
+        """True once no restart budget remains."""
+        return self._left <= 0
+
+    def spend(self) -> bool:
+        """Consume one restart; False (and no change) when exhausted."""
+        if self._left <= 0:
+            return False
+        self._left -= 1
+        self._used += 1
+        return True
 
 
 class WorkerPool:
@@ -61,8 +99,9 @@ class WorkerPool:
         self._metrics = metrics
         self._faults = faults
         self._inflight = 0
-        self._restarts_left = check_non_negative_int(max_restarts, "max_restarts")
-        self._restarts_used = 0
+        self._budget = RestartBudget(
+            check_non_negative_int(max_restarts, "max_restarts")
+        )
         self._degraded = False
         self._executor: Optional[ProcessPoolExecutor] = None
         if self._workers > 0:
@@ -87,7 +126,7 @@ class WorkerPool:
     @property
     def restarts_used(self) -> int:
         """Broken-executor replacements performed so far."""
-        return self._restarts_used
+        return self._budget.used
 
     async def submit(
         self, fn: Callable[..., ResultT], *args: Any
@@ -169,13 +208,11 @@ class WorkerPool:
             return False
         if self._executor is not broken:
             return self._executor is not None
-        if self._restarts_left <= 0:
+        if not self._budget.spend():
             self._degraded = True
             self._executor = None
             broken.shutdown(wait=False)
             return False
-        self._restarts_left -= 1
-        self._restarts_used += 1
         broken.shutdown(wait=False)
         self._executor = ProcessPoolExecutor(max_workers=self._workers)
         if self._metrics is not None:

@@ -16,6 +16,7 @@ import json
 import logging
 import math
 import signal
+import socket
 import sys
 from typing import Callable, Dict, Optional, Set
 
@@ -35,6 +36,7 @@ class ServiceServer:
     def __init__(self, service: PlanningService) -> None:
         self.service = service
         self._server: Optional[asyncio.AbstractServer] = None
+        self._admin_server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
         self._active = 0
         self._idle = asyncio.Event()
@@ -51,15 +53,45 @@ class ServiceServer:
         return int(self._server.sockets[0].getsockname()[1])
 
     @property
+    def admin_port(self) -> Optional[int]:
+        """The private loopback admin port (``None`` when not configured)."""
+        if self._admin_server is None or not self._admin_server.sockets:
+            return None
+        return int(self._admin_server.sockets[0].getsockname()[1])
+
+    @property
     def active_requests(self) -> int:
         return self._active
 
     async def start(self) -> None:
-        """Bind the listening socket (``config.port`` 0 → ephemeral)."""
+        """Bind the listening socket(s) (``config.port`` 0 → ephemeral).
+
+        Three binding modes, in precedence order: adopt an inherited,
+        already-listening socket (``listen_fd`` — the shard supervisor's
+        fallback when ``SO_REUSEPORT`` is unavailable); bind with
+        ``SO_REUSEPORT`` so sibling shards share the port (``reuse_port``);
+        or a plain exclusive bind.  When ``admin_port`` is configured a
+        second, loopback-only listener serves the same request handler so
+        a supervisor can reach *this* process behind the kernel's
+        connection balancing.
+        """
         config = self.service.config
-        self._server = await asyncio.start_server(
-            self._handle_connection, host=config.host, port=config.port
-        )
+        if config.listen_fd is not None:
+            sock = socket.socket(fileno=config.listen_fd)
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=config.host,
+                port=config.port,
+                reuse_port=config.reuse_port,
+            )
+        if config.admin_port is not None:
+            self._admin_server = await asyncio.start_server(
+                self._handle_connection, host="127.0.0.1", port=config.admin_port
+            )
 
     async def shutdown(self) -> None:
         """Graceful drain: unbind, flush, wait for in-flight, close.
@@ -72,9 +104,10 @@ class ServiceServer:
         """
         self._draining = True
         self.service.mark_draining()
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        for listener in (self._server, self._admin_server):
+            if listener is not None:
+                listener.close()
+                await listener.wait_closed()
         self.service.flush()
         try:
             await asyncio.wait_for(
@@ -209,12 +242,16 @@ async def serve(
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 break
     if announce:
-        print(
-            json.dumps(
-                {"event": "listening", "host": config.host, "port": server.port}
-            ),
-            flush=True,
-        )
+        announcement: Dict[str, object] = {
+            "event": "listening",
+            "host": config.host,
+            "port": server.port,
+        }
+        if server.admin_port is not None:
+            announcement["admin_port"] = server.admin_port
+        if config.shard_index is not None:
+            announcement["shard"] = config.shard_index
+        print(json.dumps(announcement), flush=True)
     logger.info(
         "%s",
         json.dumps(

@@ -7,8 +7,14 @@ Every formula in the paper mixes dB, dBm, dBi and linear quantities; the
 inline.
 """
 
+from repro.utils.fsio import atomic_write_bytes
 from repro.utils.qfunc import inv_qfunc, qfunc
 from repro.utils.rng import as_rng, spawn_rngs, spawn_seed_sequences
+from repro.utils.sysinfo import (
+    available_cpu_count,
+    default_shard_count,
+    default_worker_count,
+)
 from repro.utils.units import (
     amplitude_ratio_to_db,
     db_to_amplitude_ratio,
@@ -34,6 +40,10 @@ from repro.utils.validation import (
 __all__ = [
     "qfunc",
     "inv_qfunc",
+    "atomic_write_bytes",
+    "available_cpu_count",
+    "default_shard_count",
+    "default_worker_count",
     "as_rng",
     "spawn_rngs",
     "spawn_seed_sequences",

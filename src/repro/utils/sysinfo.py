@@ -1,0 +1,44 @@
+"""CPU-topology helpers shared by the service, benchmarks and the CLI.
+
+The serving stack sizes itself from the CPUs actually *available* to this
+process (the scheduler affinity mask, which containers and ``taskset``
+shrink below ``os.cpu_count()``).  Every ``--workers auto`` / ``--shards
+auto`` default flows through this one module so the policy lives in one
+audited place — no raw ``os.cpu_count()`` calls in ``repro.service``.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "available_cpu_count",
+    "default_shard_count",
+    "default_worker_count",
+]
+
+
+def available_cpu_count() -> int:
+    """CPUs usable by this process (affinity-aware, always >= 1).
+
+    Prefers ``os.sched_getaffinity`` (respects cgroup/taskset masks) and
+    falls back to ``os.cpu_count()`` on platforms without it.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def default_shard_count() -> int:
+    """``--shards auto``: one serving shard per available CPU."""
+    return available_cpu_count()
+
+
+def default_worker_count() -> int:
+    """``--workers auto``: CPUs minus one (leave a core for the event loop).
+
+    Never below 1 — a single-CPU host still gets one sweep worker so heavy
+    requests stay off the event loop.
+    """
+    return max(1, available_cpu_count() - 1)

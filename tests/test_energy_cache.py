@@ -92,13 +92,13 @@ class TestDiskCache:
 
     def test_cache_file_lands_in_cache_dir(self, tmp_path):
         EbarTable(**GRID)
-        files = list((tmp_path / "cache").glob("ebar-v*.npz"))
+        files = list((tmp_path / "cache").glob("ebar-v*.npy"))
         assert len(files) == 1
 
     def test_corrupt_cache_file_triggers_resolve(self, tmp_path, count_solves):
         EbarTable(**GRID)
-        (path,) = (tmp_path / "cache").glob("ebar-v*.npz")
-        path.write_bytes(b"not an npz archive")
+        (path,) = (tmp_path / "cache").glob("ebar-v*.npy")
+        path.write_bytes(b"not a npy array file")
         EbarTable.clear_memory_cache()
         EbarTable(**GRID)
         assert len(count_solves) == 2
@@ -106,8 +106,8 @@ class TestDiskCache:
     def test_explicit_cache_dir_overrides_env(self, tmp_path, count_solves):
         explicit = tmp_path / "elsewhere"
         EbarTable(**GRID, cache_dir=explicit)
-        assert list(explicit.glob("ebar-v*.npz"))
-        assert not list((tmp_path / "cache").glob("ebar-v*.npz"))
+        assert list(explicit.glob("ebar-v*.npy"))
+        assert not list((tmp_path / "cache").glob("ebar-v*.npy"))
 
 
 class TestEnvironmentControls:
@@ -121,7 +121,7 @@ class TestEnvironmentControls:
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert default_cache_dir() == tmp_path / "xdg" / "repro-comimo"
         EbarTable(**GRID)
-        assert list((tmp_path / "xdg" / "repro-comimo").glob("ebar-v*.npz"))
+        assert list((tmp_path / "xdg" / "repro-comimo").glob("ebar-v*.npy"))
 
     def test_home_fallback(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
@@ -136,13 +136,13 @@ class TestEnvironmentControls:
         EbarTable(**GRID)
         EbarTable(**GRID)
         assert len(count_solves) == 2
-        assert not list((tmp_path / "cache").glob("ebar-v*.npz"))
+        assert not list((tmp_path / "cache").glob("ebar-v*.npy"))
 
     def test_use_cache_false_disables_both_levels(self, tmp_path, count_solves):
         EbarTable(**GRID, use_cache=False)
         EbarTable(**GRID, use_cache=False)
         assert len(count_solves) == 2
-        assert not list((tmp_path / "cache").glob("ebar-v*.npz"))
+        assert not list((tmp_path / "cache").glob("ebar-v*.npy"))
 
     def test_unwritable_cache_dir_is_tolerated(self, tmp_path, monkeypatch):
         blocked = tmp_path / "blocked"
@@ -181,3 +181,34 @@ class TestEnergyModelConstruction:
         monkeypatch.setattr(scipy_optimize, "brentq", forbidden)
         model = EnergyModel(ebar_provider=EbarTable(**GRID))
         assert model.ebar(0.001, 2, 2, 2) > 0.0
+
+
+class TestMemmapCache:
+    def test_warm_load_is_memory_mapped_readonly(self, count_solves):
+        EbarTable(**GRID)
+        EbarTable.clear_memory_cache()
+        warm = EbarTable(**GRID)
+        assert len(count_solves) == 1
+        # Zero-copy contract: the warm grid is a read-only memmap over the
+        # cache file, not a deserialized private copy.
+        assert isinstance(warm._grid, np.memmap)
+        assert warm._grid.flags.writeable is False
+
+    def test_memmapped_instances_share_one_file_mapping(self):
+        built = EbarTable(**GRID)
+        EbarTable.clear_memory_cache()
+        first = EbarTable(**GRID)
+        second = EbarTable(**GRID)  # memo hit: the exact same mapping
+        assert second._grid is first._grid
+        assert np.array_equal(
+            built.to_arrays()["ebar"], first.to_arrays()["ebar"], equal_nan=True
+        )
+
+    def test_stale_cache_version_is_ignored(self, tmp_path, count_solves):
+        EbarTable(**GRID)
+        (path,) = (tmp_path / "cache").glob("ebar-v*.npy")
+        stale = path.with_name(path.name.replace("ebar-v", "ebar-v0", 1))
+        path.rename(stale)
+        EbarTable.clear_memory_cache()
+        EbarTable(**GRID)  # the v-prefixed name misses; re-solve
+        assert len(count_solves) == 2

@@ -1,0 +1,113 @@
+"""Multiprocess stress for the memory-mapped ē_b disk cache.
+
+The v2 cache contract: any number of processes may race on one cache
+directory — concurrent cold builders, memmap readers and an atomic
+re-writer — and every one of them must end up with the bit-identical
+solved grid, because the writer publishes complete files only
+(tmp + ``os.replace``) and a malformed/missing file is a silent re-solve,
+never a torn read.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.energy.table import EbarTable
+
+GRID = dict(
+    p_values=(0.01, 0.001),
+    b_values=(1, 2, 4),
+    mt_values=(1, 2),
+    mr_values=(1, 2),
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    """Fresh cache dir, cold memo, caching force-enabled for children."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    EbarTable.clear_memory_cache()
+    yield
+    EbarTable.clear_memory_cache()
+
+
+def _load_grid_bytes(cache_dir):
+    """Child: build/load the table against ``cache_dir``; return raw grid."""
+    EbarTable.clear_memory_cache()
+    table = EbarTable(cache_dir=cache_dir, **GRID)
+    return np.asarray(table.to_arrays()["ebar"]).tobytes()
+
+
+def _churn_writer(cache_dir, rounds):
+    """Child: repeatedly delete and atomically republish the cache file."""
+    for _ in range(rounds):
+        EbarTable.clear_memory_cache()
+        table = EbarTable(cache_dir=cache_dir, **GRID)
+        for name in os.listdir(cache_dir):
+            if name.startswith("ebar-v") and name.endswith(".npy"):
+                try:
+                    os.unlink(os.path.join(cache_dir, name))
+                except FileNotFoundError:
+                    pass
+        # Rebuild from scratch: re-solves and atomically rewrites the file.
+        EbarTable.clear_memory_cache()
+        del table
+    EbarTable.clear_memory_cache()
+    EbarTable(cache_dir=cache_dir, **GRID)  # leave a final file behind
+    return True
+
+
+def _churn_reader(cache_dir, rounds):
+    """Child: load the grid ``rounds`` times while the writer races."""
+    blobs = []
+    for _ in range(rounds):
+        blobs.append(_load_grid_bytes(cache_dir))
+    return blobs
+
+
+class TestColdStartRace:
+    def test_concurrent_cold_builders_agree_bit_for_bit(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=3) as pool:
+            blobs = pool.map(_load_grid_bytes, [cache_dir] * 3)
+        reference = _load_grid_bytes(cache_dir)
+        assert all(blob == reference for blob in blobs)
+        # The racing writers collapsed onto exactly one published file.
+        files = [n for n in os.listdir(cache_dir) if n.endswith(".npy")]
+        assert len(files) == 1
+        assert not [n for n in os.listdir(cache_dir) if n.endswith(".tmp")]
+
+    def test_published_file_is_the_solved_grid(self, tmp_path):
+        table = EbarTable(**GRID)
+        (path,) = (tmp_path / "cache").glob("ebar-v*.npy")
+        on_disk = np.load(path, mmap_mode="r")
+        assert np.array_equal(
+            np.asarray(on_disk),
+            np.asarray(table.to_arrays()["ebar"]),
+            equal_nan=True,
+        )
+
+
+class TestWriterReaderRace:
+    def test_readers_never_see_torn_or_divergent_grids(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        reference = _load_grid_bytes(cache_dir)
+        rounds = 6
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=3) as pool:
+            writer = pool.apply_async(_churn_writer, (cache_dir, rounds))
+            readers = [
+                pool.apply_async(_churn_reader, (cache_dir, rounds))
+                for _ in range(2)
+            ]
+            assert writer.get(timeout=120) is True
+            blobs = [blob for r in readers for blob in r.get(timeout=120)]
+        # Every load — whether it mapped the file mid-churn or re-solved a
+        # momentarily missing one — produced the bit-identical grid.
+        assert len(blobs) == 2 * rounds
+        assert all(blob == reference for blob in blobs)
+        assert not [n for n in os.listdir(cache_dir) if n.endswith(".tmp")]

@@ -1,0 +1,48 @@
+"""CPU-derived sizing helpers shared by ``--workers auto``/``--shards auto``."""
+
+import pytest
+
+from repro.utils.sysinfo import (
+    available_cpu_count,
+    default_shard_count,
+    default_worker_count,
+)
+
+
+class TestAvailableCpuCount:
+    def test_is_a_positive_int(self):
+        count = available_cpu_count()
+        assert isinstance(count, int)
+        assert count >= 1
+
+    def test_respects_affinity_when_present(self, monkeypatch):
+        import repro.utils.sysinfo as sysinfo
+
+        monkeypatch.setattr(
+            sysinfo.os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False
+        )
+        assert available_cpu_count() == 3
+
+
+class TestDerivedDefaults:
+    def test_shards_cover_every_available_cpu(self, monkeypatch):
+        import repro.utils.sysinfo as sysinfo
+
+        monkeypatch.setattr(
+            sysinfo.os, "sched_getaffinity", lambda pid: set(range(8)), raising=False
+        )
+        assert default_shard_count() == 8
+
+    @pytest.mark.parametrize("cpus,expected", [(1, 1), (2, 1), (8, 7)])
+    def test_workers_leave_one_cpu_for_the_event_loop(
+        self, monkeypatch, cpus, expected
+    ):
+        import repro.utils.sysinfo as sysinfo
+
+        monkeypatch.setattr(
+            sysinfo.os,
+            "sched_getaffinity",
+            lambda pid: set(range(cpus)),
+            raising=False,
+        )
+        assert default_worker_count() == expected
