@@ -4,7 +4,9 @@
 # Usage:  scripts/lint.sh
 #
 # Runs, in order:
-#   1. repro.lintkit (always available — stdlib only; rules RP101-RP106)
+#   1. repro.lintkit (always available — stdlib + numpy; per-file rules
+#      RP101-RP107/RP204/RP205 and project-graph rules RP201-RP203) over
+#      src, tests, benchmarks and scripts, against the committed baseline
 #   2. ruff check    (skipped with a notice when ruff is not installed)
 #   3. mypy --strict on the typed core (skipped when mypy is not installed)
 #
@@ -20,7 +22,8 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 status=0
 
 echo "== repro.lintkit =="
-python -m repro.lintkit src tests --statistics || status=1
+python -m repro.lintkit src tests benchmarks scripts \
+    --baseline lint-baseline.json --statistics || status=1
 
 echo
 echo "== ruff =="
@@ -33,9 +36,11 @@ else
 fi
 
 echo
-echo "== mypy --strict (repro.utils, repro.energy, repro.lintkit, repro.service) =="
+echo "== mypy --strict (utils, energy, lintkit, service, network, mac, simulation) =="
 if command -v mypy >/dev/null 2>&1 || python -c "import mypy" >/dev/null 2>&1; then
-    python -m mypy --strict -p repro.utils -p repro.energy -p repro.lintkit -p repro.service || status=1
+    python -m mypy --strict \
+        -p repro.utils -p repro.energy -p repro.lintkit -p repro.service \
+        -p repro.network -p repro.mac -p repro.simulation || status=1
 else
     echo "mypy not installed; skipping (CI runs it)"
 fi

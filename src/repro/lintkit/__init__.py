@@ -4,43 +4,77 @@ The library's correctness rests on conventions that plain tests cannot
 enforce: every dB↔linear conversion flows through :mod:`repro.utils.units`,
 every random stream through :mod:`repro.utils.rng`, every public numeric
 parameter through :mod:`repro.utils.validation`.  This package checks those
-conventions mechanically, on every file, using only the stdlib :mod:`ast`
-module (no third-party lint dependency).
+conventions mechanically using only the stdlib :mod:`ast` module (no
+third-party lint dependency), in two tiers:
+
+- **per-file rules** (RP101–RP107, RP204, RP205) are pure functions of a
+  single module's source — cacheable and parallel;
+- **project rules** (RP201–RP203) walk a best-effort call graph
+  (:mod:`repro.lintkit.graph`) built from per-module summaries, catching
+  path properties: blocking work reachable inside ``repro.service`` async
+  defs, unawaited coroutines, and nondeterminism reachable from cached
+  ``/v1/*`` handlers.
+
+Warm runs are incremental: per-file results (including the summaries the
+graph is rebuilt from) are content-hash cached, so an unchanged tree
+re-parses nothing.  Findings can be ratcheted with a committed baseline
+and exported as SARIF for code-scanning UIs.
 
 Usage::
 
-    python -m repro.lintkit src tests          # lint the repo (exit 1 on findings)
+    python -m repro.lintkit src tests benchmarks scripts \\
+        --baseline lint-baseline.json          # the CI gate (exit 1 on new findings)
     python -m repro.lintkit --list-rules       # describe the RP-rules
+    python -m repro.lintkit src --format sarif --output lint.sarif
 
 Suppress a finding on one line with a trailing comment::
 
     gain = 10 ** (x / 10)  # lint: ignore[RP101]
 
 See ``docs/static_analysis.md`` for the full rule catalogue with bad/good
-examples.
+examples, the project-graph architecture and the baseline workflow.
 """
 
+from repro.lintkit.baseline import Baseline, load_baseline, write_baseline
+from repro.lintkit.cache import AnalysisCache
 from repro.lintkit.engine import (
     LintStats,
     ModuleContext,
+    ProjectRule,
     Rule,
+    all_project_rules,
     all_rules,
+    analyze_paths,
     lint_paths,
     lint_source,
     register,
+    register_project,
 )
 from repro.lintkit.findings import Finding
+from repro.lintkit.graph import ModuleSummary, ProjectGraph, summarize_module
 
-# Importing the rules module populates the registry as a side effect.
+# Importing the rule modules populates the registries as a side effect.
 from repro.lintkit import rules as _rules  # noqa: F401
+from repro.lintkit import projectrules as _projectrules  # noqa: F401
 
 __all__ = [
+    "AnalysisCache",
+    "Baseline",
     "Finding",
     "LintStats",
     "ModuleContext",
+    "ModuleSummary",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
+    "analyze_paths",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "register",
+    "register_project",
+    "summarize_module",
+    "write_baseline",
 ]

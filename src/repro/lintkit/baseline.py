@@ -1,0 +1,123 @@
+"""Committed-baseline support: accepted findings don't block CI, new ones do.
+
+A baseline is a JSON document of finding *fingerprints*.  A fingerprint
+deliberately excludes the line/column — ``sha256(path || rule || message)``
+— so unrelated edits that shift a known finding up or down the file do not
+resurrect it, while any change to its message (which embeds the offending
+call for most rules) does.
+
+Workflow::
+
+    python -m repro.lintkit src tests --write-baseline lint-baseline.json
+    git add lint-baseline.json            # accept the current findings
+    python -m repro.lintkit src tests --baseline lint-baseline.json
+                                          # exit 0 unless NEW findings appear
+
+The tree is currently clean (every deliberate exception is suppressed
+in-line with a justification), so the committed ``lint-baseline.json`` is
+empty — the file exists to pin the workflow and format, not to hide debt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import FrozenSet, Iterable, List, Tuple, Union
+
+from repro.lintkit.findings import Finding
+
+__all__ = [
+    "Baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "partition",
+]
+
+#: Format marker inside the baseline document.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Location-independent identity of one finding."""
+    digest = hashlib.sha256()
+    digest.update(finding.path.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(finding.rule_id.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(finding.message.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class Baseline:
+    """An accepted set of finding fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[str] = ()) -> None:
+        self._fingerprints: FrozenSet[str] = frozenset(fingerprints)
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return fingerprint(finding) in self._fingerprints
+
+    @property
+    def fingerprints(self) -> FrozenSet[str]:
+        return self._fingerprints
+
+
+def partition(
+    findings: Iterable[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, baselined) against the accepted set."""
+    new: List[Finding] = []
+    accepted: List[Finding] = []
+    for finding in findings:
+        (accepted if finding in baseline else new).append(finding)
+    return new, accepted
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> Baseline:
+    """Read a baseline document written by :func:`write_baseline`.
+
+    Raises
+    ------
+    ValueError
+        When the document is not a recognizable baseline (the committed
+        file being corrupt must fail CI loudly, not silently accept
+        everything).
+    """
+    raw = pathlib.Path(path).read_text(encoding="utf-8")
+    try:
+        document = json.loads(raw)
+    except ValueError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from None
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != "repro.lintkit-baseline"
+        or not isinstance(document.get("fingerprints"), list)
+    ):
+        raise ValueError(f"baseline {path} is not a lintkit baseline document")
+    fingerprints = [
+        item for item in document["fingerprints"] if isinstance(item, str)
+    ]
+    return Baseline(fingerprints)
+
+
+def write_baseline(
+    path: Union[str, pathlib.Path], findings: Iterable[Finding]
+) -> Baseline:
+    """Accept the given findings: write their fingerprints to ``path``."""
+    ordered = sorted(findings)
+    document = {
+        "format": "repro.lintkit-baseline",
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({fingerprint(f) for f in ordered}),
+        # Human-readable context so baseline diffs are reviewable; the
+        # fingerprints above are the only part the matcher reads.
+        "findings": [f.format() for f in ordered],
+    }
+    blob = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    pathlib.Path(path).write_text(blob, encoding="utf-8")
+    return Baseline(document["fingerprints"])

@@ -1,0 +1,118 @@
+"""Content-hash incremental cache for per-file analysis results.
+
+The entry for a file is keyed by ``sha256(rule_key || path || source)``:
+pure content addressing, so there is no invalidation logic to get wrong —
+edit the file (or the linter itself, or the rule selection) and the key
+simply changes.  ``rule_key`` folds in a digest of ``repro/lintkit``'s own
+source files, so upgrading a rule transparently invalidates every entry it
+could have produced.
+
+Entries carry everything a warm run needs *without re-parsing*: the
+per-file findings, the suppressed-finding count, and the
+:class:`~repro.lintkit.graph.ModuleSummary` from which the project graph
+(RP2xx rules) is rebuilt.  Layout follows :mod:`repro.service.rescache`:
+a versioned directory under the shared ``repro-comimo`` cache root,
+256-way fan-out subdirectories, atomic writes, corrupt entries read as
+silent misses, and ``REPRO_NO_CACHE=1`` force-disables everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional, Union
+
+from repro.energy.table import default_cache_dir
+from repro.utils.fsio import atomic_write_bytes
+
+__all__ = ["AnalysisCache", "CACHE_VERSION", "lintkit_rule_key"]
+
+#: Bump when the entry payload contract changes; old entries are abandoned.
+CACHE_VERSION = 1
+
+_RULE_KEY_MEMO: Dict[str, str] = {}
+
+
+def _disabled_by_env() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "0") not in ("", "0")
+
+
+def lintkit_rule_key(extra: str = "") -> str:
+    """Digest of the analyzer's own source, salted with ``extra``.
+
+    ``extra`` encodes run parameters that change results (the ``--select``
+    set).  The lintkit-source digest is memoized per process: hashing a
+    dozen small files once is cheap, re-hashing them per analyzed file is
+    not.
+    """
+    if extra not in _RULE_KEY_MEMO:
+        digest = hashlib.sha256()
+        package_dir = pathlib.Path(__file__).resolve().parent
+        for source_path in sorted(package_dir.glob("*.py")):
+            digest.update(source_path.name.encode("utf-8"))
+            digest.update(source_path.read_bytes())
+        digest.update(extra.encode("utf-8"))
+        _RULE_KEY_MEMO[extra] = digest.hexdigest()
+    return _RULE_KEY_MEMO[extra]
+
+
+class AnalysisCache:
+    """Disk-backed per-file analysis entries, content-hash addressed."""
+
+    def __init__(
+        self, cache_dir: Union[str, pathlib.Path, None] = None
+    ) -> None:
+        base = (
+            pathlib.Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        )
+        self._dir = base / f"lintkit-v{CACHE_VERSION}"
+        self._enabled = not _disabled_by_env()
+
+    @property
+    def enabled(self) -> bool:
+        """False when ``REPRO_NO_CACHE`` disabled the cache at construction."""
+        return self._enabled
+
+    @property
+    def directory(self) -> pathlib.Path:
+        """The versioned directory entries live under."""
+        return self._dir
+
+    @staticmethod
+    def entry_key(source: str, path: str, rule_key: str) -> str:
+        """Content-hash address of one file's analysis result."""
+        digest = hashlib.sha256()
+        digest.update(rule_key.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> pathlib.Path:
+        return self._dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored entry payload, or None on miss/corruption/disable."""
+        if not self._enabled:
+            return None
+        try:
+            raw = self._entry_path(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None  # torn/corrupt entry: a miss, never an error
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> bool:
+        """Store an entry; unwritable cache dirs are silent no-ops."""
+        if not self._enabled:
+            return False
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return atomic_write_bytes(self._entry_path(key), blob.encode("utf-8"))

@@ -2,7 +2,8 @@
 
 Exit status 0 when the tree is clean, 1 when findings remain, 2 on usage
 errors — the contract both the tier-1 gate (``tests/test_lintkit_clean.py``)
-and CI rely on.
+and CI rely on.  With ``--baseline``, findings recorded in the committed
+baseline file do not affect the exit status; everything new still does.
 """
 
 from __future__ import annotations
@@ -12,7 +13,16 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.lintkit.engine import LintStats, all_rules, lint_paths
+from repro.lintkit.baseline import Baseline, load_baseline, partition, write_baseline
+from repro.lintkit.cache import AnalysisCache
+from repro.lintkit.engine import (
+    LintStats,
+    all_project_rules,
+    all_rules,
+    analyze_paths,
+)
+from repro.lintkit.findings import Finding
+from repro.lintkit.sarif import sarif_json
 
 __all__ = ["main", "build_parser"]
 
@@ -22,7 +32,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lintkit",
         description="Repo-specific AST lint: unit-safety, RNG discipline, "
-        "validation coverage (rules RP101-RP106).",
+        "validation coverage (RP101-RP107) plus project-wide dataflow rules "
+        "over the call graph (RP201-RP205).",
     )
     parser.add_argument(
         "paths",
@@ -37,14 +48,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the findings (in the chosen format) to FILE — "
+        "used by CI to upload the report as an artifact",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="accepted-findings file: baselined findings are reported "
+        "but do not fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="accept the current findings: write their fingerprints to "
+        "FILE and exit 0",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="worker processes for parsing (default: the CPU count)",
+    )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="ignore the content-hash analysis cache (REPRO_NO_CACHE=1 "
+        "does the same)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="override the analysis-cache directory",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the project-graph tier (RP2xx rules)",
+    )
+    parser.add_argument(
         "--statistics",
         action="store_true",
-        help="print per-rule finding counts and suppression totals",
+        help="print per-rule finding counts, cache hit rates and "
+        "suppression totals",
     )
     parser.add_argument(
         "--list-rules",
@@ -52,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="describe the registered rules and exit",
     )
     return parser
+
+
+def _render(findings: Sequence[Finding], fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps([finding.to_dict() for finding in findings], indent=2)
+    if fmt == "sarif":
+        return sarif_json(findings)
+    return "\n".join(finding.format() for finding in findings)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -63,34 +123,69 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in all_rules():
             scope = "library only" if rule.library_only else "library + tests"
             print(f"{rule.rule_id}  {rule.summary}  [{scope}]")
+        for project_rule in all_project_rules():
+            print(
+                f"{project_rule.rule_id}  {project_rule.summary}  "
+                "[project graph]"
+            )
         return 0
 
     select: Optional[List[str]] = None
     if args.select:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
     stats = LintStats()
+    cache = AnalysisCache(args.cache_dir) if args.cache_dir else None
     try:
-        findings = lint_paths(args.paths, select=select, stats=stats)
+        findings = analyze_paths(
+            args.paths,
+            select=select,
+            stats=stats,
+            jobs=args.jobs,
+            cache=cache,
+            incremental=not args.no_incremental,
+            project=not args.no_project,
+        )
     except (FileNotFoundError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.format == "json":
-        print(json.dumps([finding.to_dict() for finding in findings], indent=2))
-    else:
-        for finding in findings:
-            print(finding.format())
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to baseline {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = Baseline()
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    new_findings, baselined = partition(findings, baseline)
+    stats.baselined = len(baselined)
+
+    rendered = _render(findings, args.format)
+    if rendered:
+        print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
     if args.statistics:
         for rule_id in sorted(stats.per_rule):
             print(f"{rule_id}: {stats.per_rule[rule_id]} finding(s)", file=sys.stderr)
         print(
-            f"checked {stats.files} file(s), "
-            f"{len(findings)} finding(s), {stats.suppressed} suppressed",
+            f"checked {stats.files} file(s) "
+            f"({stats.parsed} parsed, {stats.cached} from cache), "
+            f"{len(findings)} finding(s), {stats.baselined} baselined, "
+            f"{stats.suppressed} suppressed",
             file=sys.stderr,
         )
-    if args.format == "text" and findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
-    return 1 if findings else 0
+    if args.format == "text" and new_findings:
+        print(f"{len(new_findings)} finding(s)", file=sys.stderr)
+    return 1 if new_findings else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -5,26 +5,60 @@ decorator.  The engine parses each ``*.py`` file once, hands every rule the
 same :class:`ModuleContext`, filters findings through per-line suppression
 comments (``# lint: ignore[RP101]`` or ``# lint: ignore[RP101, RP105]``)
 and returns the surviving findings sorted by location.
+
+Two analysis tiers share that parse:
+
+* **Per-file rules** (:class:`Rule`, the RP1xx family plus RP204/RP205)
+  see one module at a time.  Their results depend only on that file's
+  bytes, so they are cached content-addressed by :class:`AnalysisCache`.
+* **Project rules** (:class:`ProjectRule`, RP201–RP203) see the whole
+  tree as a :class:`~repro.lintkit.graph.ProjectGraph`.  They re-run every
+  invocation — they are cheap graph walks — but the graph itself is
+  rebuilt from cached :class:`~repro.lintkit.graph.ModuleSummary` records,
+  so a warm run over an unchanged tree re-parses *zero* files.
+
+:func:`analyze_paths` is the full driver (both tiers, incremental cache,
+parallel parsing); :func:`lint_paths` remains the simple per-file-only
+entry point.
 """
 
 from __future__ import annotations
 
 import ast
 import re
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
+from repro.lintkit.cache import AnalysisCache, lintkit_rule_key
 from repro.lintkit.findings import Finding
+from repro.lintkit.graph import ModuleSummary, ProjectGraph, summarize_module
+from repro.utils.sysinfo import available_cpu_count
 from repro.utils.validation import check_non_negative_int
 
 __all__ = [
     "ModuleContext",
     "Rule",
+    "ProjectRule",
     "register",
+    "register_project",
     "all_rules",
+    "all_project_rules",
+    "split_select",
     "lint_source",
     "lint_paths",
+    "analyze_paths",
     "LintStats",
     "PARSE_ERROR_RULE_ID",
 ]
@@ -82,17 +116,103 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule:
+    """Base class for whole-project rules (the graph-walking RP2xx tier).
+
+    Unlike :class:`Rule`, a project rule sees every analyzed module at
+    once as a :class:`~repro.lintkit.graph.ProjectGraph` and reports on
+    *reachability* — properties no single file can witness.  Findings are
+    still anchored to concrete (path, line) sites, so the same
+    ``# lint: ignore[RP2xx]`` suppression mechanism applies.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, graph: ProjectGraph) -> Iterable[Finding]:
+        """Yield findings over the whole project graph."""
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
+_PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}
 
 
 def register(rule_cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule to the global registry."""
     if not rule_cls.rule_id:
         raise ValueError(f"{rule_cls.__name__} must define a rule_id")
-    if rule_cls.rule_id in _REGISTRY:
+    if rule_cls.rule_id in _REGISTRY or rule_cls.rule_id in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
     _REGISTRY[rule_cls.rule_id] = rule_cls
     return rule_cls
+
+
+def register_project(rule_cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a project rule to the project registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} must define a rule_id")
+    if rule_cls.rule_id in _REGISTRY or rule_cls.rule_id in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _PROJECT_REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_project_rules(
+    select: Optional[Iterable[str]] = None,
+) -> List[ProjectRule]:
+    """Instantiate registered project rules, optionally restricted.
+
+    Raises
+    ------
+    KeyError
+        If ``select`` names an unknown project rule id.
+    """
+    if select is None:
+        ids: List[str] = sorted(_PROJECT_REGISTRY)
+    else:
+        ids = list(select)
+        unknown = [rule_id for rule_id in ids if rule_id not in _PROJECT_REGISTRY]
+        if unknown:
+            raise KeyError(
+                f"unknown project rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(_PROJECT_REGISTRY))}"
+            )
+    return [_PROJECT_REGISTRY[rule_id]() for rule_id in ids]
+
+
+def split_select(
+    select: Optional[Iterable[str]],
+) -> Tuple[Optional[List[str]], Optional[List[str]]]:
+    """Partition a ``--select`` list into (per-file ids, project ids).
+
+    ``None`` passes through as ``(None, None)`` — "all of both".  With an
+    explicit selection, either half may come back as an *empty list*,
+    meaning "run none of that tier".
+
+    Raises
+    ------
+    KeyError
+        If any id is unknown to both registries.
+    """
+    if select is None:
+        return None, None
+    file_ids: List[str] = []
+    project_ids: List[str] = []
+    unknown: List[str] = []
+    for rule_id in select:
+        if rule_id in _REGISTRY:
+            file_ids.append(rule_id)
+        elif rule_id in _PROJECT_REGISTRY:
+            project_ids.append(rule_id)
+        else:
+            unknown.append(rule_id)
+    if unknown:
+        known = sorted(list(_REGISTRY) + list(_PROJECT_REGISTRY))
+        raise KeyError(
+            f"unknown rule id(s) {', '.join(unknown)}; known: {', '.join(known)}"
+        )
+    return file_ids, project_ids
 
 
 def all_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
@@ -139,15 +259,27 @@ def _is_test_path(path: Path) -> bool:
 
 @dataclass
 class LintStats:
-    """Mutable run statistics (files seen, findings suppressed)."""
+    """Mutable run statistics (files seen, findings suppressed).
+
+    ``parsed``/``cached`` split ``files`` for incremental runs: a warm
+    :func:`analyze_paths` pass over an unchanged tree reports
+    ``parsed == 0``.  ``baselined`` counts findings swallowed by a
+    ``--baseline`` file (tallied by the CLI, not the engine).
+    """
 
     files: int = 0
     suppressed: int = 0
     per_rule: Dict[str, int] = field(default_factory=dict)
+    parsed: int = 0
+    cached: int = 0
+    baselined: int = 0
 
     def __post_init__(self) -> None:
         check_non_negative_int(self.files, "files")
         check_non_negative_int(self.suppressed, "suppressed")
+        check_non_negative_int(self.parsed, "parsed")
+        check_non_negative_int(self.cached, "cached")
+        check_non_negative_int(self.baselined, "baselined")
 
     def count(self, finding: Finding) -> None:
         """Tally one (unsuppressed) finding into the per-rule counters."""
@@ -229,4 +361,188 @@ def lint_paths(
         findings.extend(
             lint_source(source, path=str(file_path), rules=rules, stats=stats)
         )
+    return sorted(findings)
+
+
+# --------------------------------------------------------------------- #
+# Full analysis driver: per-file rules + project graph, incrementally   #
+# --------------------------------------------------------------------- #
+
+
+def _analyze_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    root: Optional[str],
+) -> Dict[str, Any]:
+    """One file -> a JSON-able cache entry payload.
+
+    The payload carries per-file findings, the suppressed count, and the
+    :class:`ModuleSummary` the project graph is rebuilt from — everything
+    a warm run needs in place of the parse.
+    """
+    is_test = _is_test_path(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        parse_error = Finding(
+            path=path,
+            line=int(exc.lineno or 1),
+            col=int(exc.offset or 0) + 1 if exc.offset else 1,
+            rule_id=PARSE_ERROR_RULE_ID,
+            message=f"could not parse file: {exc.msg}",
+        )
+        return {
+            "findings": [parse_error.to_dict()],
+            "suppressed": 0,
+            "summary": None,
+        }
+    lines = tuple(source.splitlines())
+    ctx = ModuleContext(path=path, tree=tree, lines=lines, is_test=is_test)
+    suppressed_map = _suppressions(lines)
+    findings: List[Finding] = []
+    suppressed_count = 0
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if finding.rule_id in suppressed_map.get(finding.line, frozenset()):
+                suppressed_count += 1
+                continue
+            findings.append(finding)
+    summary = summarize_module(
+        tree, path, is_test, suppressions=suppressed_map, root=root
+    )
+    return {
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+        "suppressed": suppressed_count,
+        "summary": summary.to_dict(),
+    }
+
+
+#: (path, source, per-file select ids, module root) for one worker call.
+_WorkItem = Tuple[str, str, Optional[List[str]], Optional[str]]
+
+
+def _analyze_worker(item: _WorkItem) -> Tuple[str, Dict[str, Any]]:
+    """Process-pool worker: analyze one already-read file."""
+    path, source, file_ids, root = item
+    import repro.lintkit  # noqa: F401  (populate registries in fresh workers)
+
+    return path, _analyze_source(source, path, all_rules(file_ids), root)
+
+
+def _finding_from_dict(data: Dict[str, Any]) -> Finding:
+    return Finding(
+        path=str(data["path"]),
+        line=int(data["line"]),
+        col=int(data["col"]),
+        rule_id=str(data["rule"]),
+        message=str(data["message"]),
+    )
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    stats: Optional[LintStats] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[AnalysisCache] = None,
+    incremental: bool = True,
+    project: bool = True,
+    root: Optional[str] = None,
+) -> List[Finding]:
+    """Run both analysis tiers over files/trees, incrementally and in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for parsing cache-miss files (default: the
+        sysinfo CPU count; values <= 1 parse serially in-process).
+    cache, incremental:
+        ``incremental=False`` (or ``REPRO_NO_CACHE=1``) disables the
+        content-hash cache; ``cache`` overrides the default location.
+    project:
+        Run the graph tier (RP2xx).  Per-file results are unaffected.
+    root:
+        Directory that module dotted names are computed relative to
+        (default: heuristic based on ``src``/``repro`` path components).
+    """
+    select_list = list(select) if select is not None else None
+    file_ids, project_ids = split_select(select_list)
+    rules = all_rules(file_ids)
+    entry_cache = cache if cache is not None else AnalysisCache()
+    use_cache = incremental and entry_cache.enabled
+    rule_key = lintkit_rule_key(
+        ",".join(sorted(select_list)) if select_list is not None else ""
+    )
+
+    payloads: Dict[str, Dict[str, Any]] = {}
+    misses: List[_WorkItem] = []
+    miss_keys: Dict[str, str] = {}
+    for file_path in _iter_python_files(paths):
+        path = str(file_path)
+        if stats is not None:
+            stats.files += 1
+        source = file_path.read_text(encoding="utf-8")
+        entry_key = AnalysisCache.entry_key(source, path, rule_key)
+        cached = entry_cache.get(entry_key) if use_cache else None
+        if cached is not None:
+            payloads[path] = cached
+            if stats is not None:
+                stats.cached += 1
+            continue
+        misses.append((path, source, file_ids, root))
+        miss_keys[path] = entry_key
+
+    worker_count = jobs if jobs is not None else available_cpu_count()
+    if worker_count > 1 and len(misses) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(worker_count, len(misses))
+        ) as executor:
+            for path, payload in executor.map(_analyze_worker, misses):
+                payloads[path] = payload
+    else:
+        for item in misses:
+            path = item[0]
+            payloads[path] = _analyze_source(item[1], path, rules, root)
+    for path, _, _, _ in misses:
+        if stats is not None:
+            stats.parsed += 1
+        if use_cache:
+            entry_cache.put(miss_keys[path], payloads[path])
+
+    findings: List[Finding] = []
+    for path in payloads:
+        payload = payloads[path]
+        for data in payload.get("findings", []):
+            finding = _finding_from_dict(data)
+            findings.append(finding)
+            if stats is not None:
+                stats.count(finding)
+        if stats is not None:
+            stats.suppressed += int(payload.get("suppressed", 0))
+
+    run_project = project and (project_ids is None or bool(project_ids))
+    if run_project:
+        summaries = [
+            ModuleSummary.from_dict(payload["summary"])
+            for payload in payloads.values()
+            if payload.get("summary") is not None
+        ]
+        graph = ProjectGraph(summaries)
+        suppression_index: Dict[Tuple[str, int], FrozenSet[str]] = {}
+        for summary in summaries:
+            for line, ids in summary.suppressions:
+                suppression_index[(summary.path, line)] = frozenset(ids)
+        for project_rule in all_project_rules(project_ids):
+            for finding in project_rule.check(graph):
+                covered = suppression_index.get((finding.path, finding.line))
+                if covered is not None and finding.rule_id in covered:
+                    if stats is not None:
+                        stats.suppressed += 1
+                    continue
+                findings.append(finding)
+                if stats is not None:
+                    stats.count(finding)
     return sorted(findings)

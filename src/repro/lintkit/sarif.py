@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 serialization of lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code hosts and
+IDEs ingest for inline annotations; emitting it lets the CI lint job
+upload findings as a reviewable artifact without any custom tooling on
+the other end.  Only the small, stable core of the spec is produced:
+one ``run`` with a tool descriptor, one ``result`` per finding with a
+physical location, and the rule index wired up so viewers can show the
+rule summary next to each hit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lintkit.engine import all_project_rules, all_rules
+from repro.lintkit.findings import Finding
+
+__all__ = ["sarif_document", "sarif_json"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptors() -> List[Dict[str, Any]]:
+    descriptors = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in all_rules()
+    ]
+    descriptors.extend(
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in all_project_rules()
+    )
+    return sorted(descriptors, key=lambda d: str(d["id"]))
+
+
+def sarif_document(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """The findings as a SARIF 2.1.0 log object (JSON-serializable dict)."""
+    descriptors = _rule_descriptors()
+    rule_index = {str(d["id"]): i for i, d in enumerate(descriptors)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lintkit",
+                        "informationUri": "docs/static_analysis.md",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(findings: Sequence[Finding]) -> str:
+    """The findings rendered as a SARIF JSON string."""
+    return json.dumps(sarif_document(findings), indent=2, sort_keys=True)

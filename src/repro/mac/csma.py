@@ -120,7 +120,7 @@ class MacStats:
 class _Station:
     __slots__ = ("station_id", "cw", "retries", "backoff_slots", "frame_start_us", "has_frame")
 
-    def __init__(self, station_id: int):
+    def __init__(self, station_id: int) -> None:
         self.station_id = station_id
         self.cw = 0  # set on frame arrival
         self.retries = 0
@@ -158,7 +158,7 @@ class CsmaCaSimulator:
         saturated: bool = True,
         arrival_rate_fps: float = 100.0,
         rng: RngLike = None,
-    ):
+    ) -> None:
         if n_stations < 1:
             raise ValueError("n_stations must be >= 1")
         if arrival_rate_fps <= 0.0:

@@ -33,7 +33,7 @@ class Cluster:
         construction.
     """
 
-    def __init__(self, cluster_id: int, nodes: Sequence[SUNode]):
+    def __init__(self, cluster_id: int, nodes: Sequence[SUNode]) -> None:
         if not nodes:
             raise ValueError("a cluster needs at least one node")
         ids = [n.node_id for n in nodes]

@@ -98,7 +98,7 @@ class CoMIMONet:
         longhaul_range: float,
         max_cluster_size: Optional[int] = None,
         backbone: str = "mst",
-    ):
+    ) -> None:
         if not nodes:
             raise ValueError("CoMIMONet needs at least one node")
         if cluster_diameter <= 0.0 or longhaul_range <= 0.0:

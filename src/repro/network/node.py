@@ -36,7 +36,7 @@ class SUNode:
         node_id: int,
         position: Tuple[float, float],
         battery_j: float = float("inf"),
-    ):
+    ) -> None:
         if node_id < 0:
             raise ValueError("node_id must be non-negative")
         if battery_j <= 0.0:

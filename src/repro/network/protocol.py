@@ -23,14 +23,14 @@ and per-cluster energy — the cross-layer accounting of ref [9].
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
 from repro.energy.model import EnergyModel
 from repro.energy.optimize import DEFAULT_B_RANGE, minimize_over_b
 from repro.mac.csma import CsmaCaSimulator, CsmaConfig
-from repro.network.comimonet import CoMIMONet
+from repro.network.comimonet import CoMIMONet, CooperativeLink
 from repro.simulation.events import EventScheduler
 from repro.utils.rng import RngLike, as_rng
 from repro.utils.validation import (
@@ -112,7 +112,7 @@ class SessionSimulator:
         mac_contenders: int = 3,
         cooperative: bool = True,
         rng: RngLike = None,
-    ):
+    ) -> None:
         self.network = network
         self.model = model
         self.bandwidth = check_positive(bandwidth, "bandwidth")
@@ -135,7 +135,7 @@ class SessionSimulator:
     def _draw_mac_delay(self) -> float:
         return float(self.rng.choice(self._mac_delays_s))
 
-    def _hop_parameters(self, link) -> tuple:
+    def _hop_parameters(self, link: CooperativeLink) -> Tuple[int, int, int]:
         """(mt, mr, best_b) for one hop under the current policy."""
         # Imported here: repro.core.schemes itself imports repro.network
         # modules, so a module-level import would be circular.
@@ -160,7 +160,15 @@ class SessionSimulator:
         )
         return mt, mr, best.b
 
-    def _charge_hop(self, link, mt: int, mr: int, b: int, chunk_bits: float, result: SessionResult) -> None:
+    def _charge_hop(
+        self,
+        link: CooperativeLink,
+        mt: int,
+        mr: int,
+        b: int,
+        chunk_bits: float,
+        result: SessionResult,
+    ) -> None:
         """Drain batteries for one chunk over one hop."""
         from repro.core.schemes import hop_energy
 

@@ -24,6 +24,7 @@ from repro.service.app import PlanningService
 from repro.service.config import ServiceConfig
 from repro.service.errors import ServiceError
 from repro.service.httpio import read_request, render_response
+from repro.service.schemas import error_payload
 
 __all__ = ["ServiceServer", "serve"]
 
@@ -77,7 +78,10 @@ class ServiceServer:
         """
         config = self.service.config
         if config.listen_fd is not None:
-            sock = socket.socket(fileno=config.listen_fd)
+            # Adopts an already-bound inherited fd: wraps an existing kernel
+            # object without any network I/O, and runs once at startup
+            # before the server accepts traffic.
+            sock = socket.socket(fileno=config.listen_fd)  # lint: ignore[RP201]
             self._server = await asyncio.start_server(
                 self._handle_connection, sock=sock
             )
@@ -150,7 +154,7 @@ class ServiceServer:
                 writer.write(
                     render_response(
                         exc.status,
-                        {"error": exc.reason, "detail": str(exc)},
+                        error_payload(exc.status, exc.reason, str(exc)),
                         keep_alive=False,
                     )
                 )

@@ -58,6 +58,7 @@ from repro.service.faults import FAULTS_ENV_VAR, FaultInjector
 from repro.service.httpio import read_request, render_response
 from repro.service.metrics import LatencyHistogram
 from repro.service.pool import RestartBudget
+from repro.service.schemas import error_payload
 from repro.utils.validation import check_non_negative_int, check_positive_int
 
 __all__ = ["ShardSupervisor", "aggregate_snapshots"]
@@ -483,11 +484,11 @@ class ShardSupervisor:
             merged["health"] = self._health(failures, statuses)
             merged["shards"] = self._shards_section()
             return 200, merged
-        return 404, {
-            "error": "not found",
-            "detail": f"the supervisor only serves /healthz and /metrics, "
-            f"not {path}",
-        }
+        return 404, error_payload(
+            404,
+            "not found",
+            f"the supervisor only serves /healthz and /metrics, not {path}",
+        )
 
     async def _handle_admin(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -500,7 +501,7 @@ class ShardSupervisor:
                     writer.write(
                         render_response(
                             exc.status,
-                            {"error": exc.reason, "detail": str(exc)},
+                            error_payload(exc.status, exc.reason, str(exc)),
                             keep_alive=False,
                         )
                     )
@@ -510,10 +511,11 @@ class ShardSupervisor:
                     return
                 head, _ = request
                 if head.method != "GET":
-                    status, payload = 405, {
-                        "error": "method not allowed",
-                        "detail": "the supervisor admin endpoint is GET-only",
-                    }
+                    status, payload = 405, error_payload(
+                        405,
+                        "method not allowed",
+                        "the supervisor admin endpoint is GET-only",
+                    )
                 else:
                     status, payload = await self._admin_response(head.path)
                 keep_alive = head.keep_alive and not self._draining
@@ -561,10 +563,13 @@ class ShardSupervisor:
                     self._loop.add_signal_handler(signum, stop_event.set)
                 except (NotImplementedError, RuntimeError):  # pragma: no cover
                     break
-        self._bind()
+        # One-time startup work before any traffic exists: binding the
+        # listeners and forking the shard fleet happen exactly once, with
+        # nothing else scheduled on the loop yet.
+        self._bind()  # lint: ignore[RP201]
         try:
             for index in range(self.shards):
-                self._spawn(index)
+                self._spawn(index)  # lint: ignore[RP201]
             await self._event_loop(stop_event, announce, on_ready)
         finally:
             await self._shutdown()
@@ -605,7 +610,10 @@ class ShardSupervisor:
                         await self._on_fleet_ready(announce, on_ready)
                 elif kind == "exit":
                     ready.discard(index)
-                    if not self._on_shard_exit(index, info):
+                    # Shard replacement Popens a new process: rare (restart
+                    # budget), and the supervisor loop serves only admin
+                    # traffic, so the brief fork is an accepted stall.
+                    if not self._on_shard_exit(index, info):  # lint: ignore[RP201]
                         return
         finally:
             stop_task.cancel()

@@ -71,6 +71,99 @@ class TestOutput:
         for rule_id in ("RP101", "RP102", "RP103", "RP104", "RP105", "RP106"):
             assert rule_id in out
 
+    def test_list_rules_includes_project_tier(self, capsys):
+        main(["--list-rules"])
+        out = capsys.readouterr().out
+        for rule_id in ("RP201", "RP202", "RP203", "RP204", "RP205"):
+            assert rule_id in out
+        assert "[project graph]" in out
+
+    def test_sarif_format(self, tree, capsys):
+        assert main([str(tree / "src"), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.lintkit"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"RP101", "RP201", "RP205"} <= rule_ids
+        assert run["results"][0]["ruleId"] == "RP101"
+        location = run["results"][0]["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 1
+
+    def test_output_file(self, tree, tmp_path, capsys):
+        # --output *also* writes the report: stdout keeps the findings
+        # (for humans and logs), FILE gets the artifact CI uploads.
+        report = tmp_path / "report.json"
+        main([str(tree / "src"), "--format", "json", "--output", str(report)])
+        payload = json.loads(report.read_text())
+        assert payload[0]["rule"] == "RP101"
+        assert json.loads(capsys.readouterr().out) == payload
+
+
+class TestBaseline:
+    def test_write_then_apply_suppresses_known_findings(self, tree, capsys):
+        baseline = tree / "baseline.json"
+        assert main([str(tree / "src"), "--write-baseline", str(baseline)]) == 0
+        # Baselined findings are reported but no longer fail the run.
+        assert main(
+            [str(tree / "src"), "--baseline", str(baseline), "--statistics"]
+        ) == 0
+        assert "1 baselined" in capsys.readouterr().err
+        # A new finding still fails even with the baseline applied.
+        (tree / "src" / "pkg" / "fresh.py").write_text("z = 10.0 ** (w / 10.0)\n")
+        assert main([str(tree / "src"), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+
+    def test_corrupt_baseline_exits_two(self, tree, capsys):
+        baseline = tree / "baseline.json"
+        baseline.write_text("{not json")
+        assert main([str(tree / "src"), "--baseline", str(baseline)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestIncrementalFlags:
+    def test_statistics_report_cache_hits(self, tree, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        argv = [
+            str(tree / "src"),
+            "--cache-dir",
+            str(tree / "cache"),
+            "--statistics",
+        ]
+        main(argv)
+        assert "(2 parsed, 0 from cache)" in capsys.readouterr().err
+        main(argv)
+        assert "(0 parsed, 2 from cache)" in capsys.readouterr().err
+
+    def test_no_incremental_bypasses_cache(self, tree, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        argv = [
+            str(tree / "src"),
+            "--cache-dir",
+            str(tree / "cache"),
+            "--statistics",
+        ]
+        main(argv)
+        capsys.readouterr()
+        main(argv + ["--no-incremental"])
+        assert "(2 parsed, 0 from cache)" in capsys.readouterr().err
+
+    def test_jobs_flag_parallel_parse(self, tree, capsys):
+        assert main([str(tree / "src"), "--jobs", "2", "--no-incremental"]) == 1
+        assert "RP101" in capsys.readouterr().out
+
+    def test_no_project_skips_graph_tier(self, tmp_path, capsys):
+        service = tmp_path / "src" / "repro" / "service"
+        service.mkdir(parents=True)
+        (service / "app.py").write_text(
+            "async def _handle_x(self):\n    time.sleep(0.01)\n"
+        )
+        argv = [str(tmp_path / "src"), "--select", "RP201", "--no-incremental"]
+        assert main(argv) == 1
+        assert "RP201" in capsys.readouterr().out
+        assert main(argv + ["--no-project"]) == 0
+
 
 def test_module_entry_point(tree):
     """``python -m repro.lintkit`` works end to end as CI invokes it."""

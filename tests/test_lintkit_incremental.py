@@ -1,0 +1,123 @@
+"""Incremental-analysis cache: warm runs must not re-parse, and must not
+change results.
+
+The cache is content-hash addressed (file source + path + a digest of the
+linter's own source), so the invariants under test are behavioral: a warm
+run over an unchanged tree parses zero files, yields byte-identical
+findings — including graph-tier RP2xx findings rebuilt from cached module
+summaries — and is measurably faster than the cold run.
+"""
+
+import time
+
+import pytest
+
+from repro.lintkit import AnalysisCache, LintStats, analyze_paths
+from repro.lintkit.cache import lintkit_rule_key
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    # CI's test jobs export REPRO_NO_CACHE=1; these tests are *about* the
+    # cache, so re-enable it and point it at a private directory.
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    return AnalysisCache(tmp_path / "cache")
+
+
+def write_tree(root, n_files=6, lines_per_file=12):
+    src = root / "src" / "repro" / "service"
+    src.mkdir(parents=True, exist_ok=True)
+    for index in range(n_files):
+        body = "\n".join(
+            f"def fn_{index}_{j}(x):\n    return x + {j}" for j in range(lines_per_file)
+        )
+        (src / f"mod_{index}.py").write_text(body + "\n")
+    # One file with a real graph-tier finding: blocking sleep in a handler.
+    (src / "app.py").write_text(
+        "async def _handle_x(self):\n    time.sleep(0.01)\n"
+    )
+    return root / "src"
+
+
+def run(tree, cache, **kwargs):
+    stats = LintStats()
+    findings = analyze_paths([str(tree)], stats=stats, jobs=1, cache=cache, **kwargs)
+    return findings, stats
+
+
+class TestWarmRuns:
+    def test_warm_run_parses_nothing_and_matches_cold(self, tmp_path, cache):
+        tree = write_tree(tmp_path)
+        cold_findings, cold = run(tree, cache)
+        warm_findings, warm = run(tree, cache)
+
+        assert cold.parsed == cold.files and cold.cached == 0
+        assert warm.parsed == 0 and warm.cached == warm.files == cold.files
+        assert warm_findings == cold_findings
+        # The graph tier fires identically from cached summaries alone.
+        assert any(f.rule_id == "RP201" for f in warm_findings)
+
+    def test_editing_one_file_reparses_only_that_file(self, tmp_path, cache):
+        tree = write_tree(tmp_path)
+        run(tree, cache)
+        (tree / "repro" / "service" / "mod_0.py").write_text(
+            "def changed(x):\n    return x\n"
+        )
+        _, warm = run(tree, cache)
+        assert warm.parsed == 1
+        assert warm.cached == warm.files - 1
+
+    def test_select_change_invalidates_entries(self, tmp_path, cache):
+        tree = write_tree(tmp_path)
+        run(tree, cache, select=["RP201"])
+        _, warm = run(tree, cache, select=["RP205"])
+        assert warm.parsed == warm.files  # different rule_key, all misses
+
+    def test_corrupt_entry_is_a_silent_miss(self, tmp_path, cache):
+        tree = write_tree(tmp_path, n_files=2)
+        cold_findings, _ = run(tree, cache)
+        entries = sorted(cache.directory.rglob("*.json"))
+        assert entries
+        entries[0].write_text("{not json")
+        warm_findings, warm = run(tree, cache)
+        assert warm.parsed == 1  # only the clobbered entry re-analyzes
+        assert warm_findings == cold_findings
+
+    def test_no_cache_env_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        disabled = AnalysisCache(tmp_path / "cache")
+        assert not disabled.enabled
+        tree = write_tree(tmp_path, n_files=2)
+        run(tree, disabled)
+        _, warm = run(tree, disabled)
+        assert warm.cached == 0 and warm.parsed == warm.files
+
+    def test_incremental_false_bypasses_cache(self, tmp_path, cache):
+        tree = write_tree(tmp_path, n_files=2)
+        run(tree, cache)
+        _, warm = run(tree, cache, incremental=False)
+        assert warm.cached == 0 and warm.parsed == warm.files
+
+
+class TestWarmSpeed:
+    def test_warm_run_is_measurably_faster(self, tmp_path, cache):
+        # Enough files that parse + rule time dominates file reads.
+        tree = write_tree(tmp_path, n_files=40, lines_per_file=40)
+        lintkit_rule_key("")  # pre-warm the one-time self-digest memo
+
+        start = time.perf_counter()
+        cold_findings, cold = run(tree, cache)
+        cold_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm_findings, warm = run(tree, cache)
+        warm_elapsed = time.perf_counter() - start
+
+        assert cold.parsed == cold.files and warm.parsed == 0
+        assert warm_findings == cold_findings
+        # "Measurably faster": generous bound to stay robust on loaded CI
+        # machines — in practice the warm run skips all parsing and rule
+        # execution and lands well under half the cold time.
+        assert warm_elapsed < cold_elapsed * 0.8, (
+            f"warm {warm_elapsed:.3f}s not faster than cold {cold_elapsed:.3f}s"
+        )

@@ -17,7 +17,15 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Packages held to ``mypy --strict`` (the typed core).
-STRICT_PACKAGES = ["repro.utils", "repro.energy", "repro.lintkit", "repro.service"]
+STRICT_PACKAGES = [
+    "repro.utils",
+    "repro.energy",
+    "repro.lintkit",
+    "repro.service",
+    "repro.network",
+    "repro.mac",
+    "repro.simulation",
+]
 
 mypy_available = shutil.which("mypy") is not None or (
     subprocess.run(
