@@ -5,7 +5,8 @@
 #
 # Runs, in order:
 #   1. repro.lintkit (always available — stdlib + numpy; per-file rules
-#      RP101-RP107/RP204/RP205 and project-graph rules RP201-RP203) over
+#      RP101-RP107/RP204/RP205, project-graph rules RP201-RP203/RP206/RP302
+#      and the RP301/RP303/RP304 dimensional-analysis rules) over
 #      src, tests, benchmarks and scripts, against the committed baseline
 #   2. ruff check    (skipped with a notice when ruff is not installed)
 #   3. mypy --strict on the typed core (skipped when mypy is not installed)

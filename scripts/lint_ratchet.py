@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fail when the committed lint baseline grows relative to a base revision.
+
+The baseline (``lint-baseline.json``) is a migration tool, not a parking
+lot: it may shrink as old findings are fixed, but a change that *adds*
+fingerprints is smuggling a new accepted violation past the lint gate.
+CI runs this in the ``lint-ratchet`` job, comparing the pull request's
+baseline against the base branch's copy:
+
+    python scripts/lint_ratchet.py base-baseline.json lint-baseline.json
+
+Exit codes: 0 = no growth (shrinking is fine and is reported), 1 = the
+head baseline contains fingerprints absent from the base, 2 = usage or
+malformed input.  A missing *base* file is treated as an empty baseline
+(the ratchet then requires the head baseline to be empty too), so the
+check is well-defined on branches that predate the baseline file.
+"""
+
+import json
+import sys
+from typing import FrozenSet
+
+_FORMAT = "repro.lintkit-baseline"
+
+
+class RatchetError(Exception):
+    """Unusable input — maps to exit code 2."""
+
+
+def load_fingerprints(path: str, *, missing_ok: bool) -> FrozenSet[str]:
+    """Read the fingerprint set from a baseline file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        if missing_ok:
+            return frozenset()
+        raise RatchetError(f"{path} does not exist")
+    except json.JSONDecodeError as exc:
+        raise RatchetError(f"{path} is not valid JSON: {exc}")
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise RatchetError(f"{path} is not a {_FORMAT} file")
+    fingerprints = data.get("fingerprints", [])
+    if not isinstance(fingerprints, list) or not all(
+        isinstance(item, str) for item in fingerprints
+    ):
+        raise RatchetError(f"{path} has a malformed fingerprint list")
+    return frozenset(fingerprints)
+
+
+def main(argv: "list[str]") -> int:
+    if len(argv) != 3:
+        print(
+            "usage: lint_ratchet.py BASE_BASELINE HEAD_BASELINE", file=sys.stderr
+        )
+        return 2
+    try:
+        base = load_fingerprints(argv[1], missing_ok=True)
+        head = load_fingerprints(argv[2], missing_ok=False)
+    except RatchetError as exc:
+        print(f"lint-ratchet: {exc}", file=sys.stderr)
+        return 2
+    added = sorted(head - base)
+    removed = sorted(base - head)
+    if removed:
+        print(f"lint-ratchet: {len(removed)} baselined finding(s) fixed")
+    if added:
+        print(
+            f"lint-ratchet: baseline grew by {len(added)} fingerprint(s); "
+            "fix the findings or suppress them inline with a justification "
+            "instead of baselining:",
+            file=sys.stderr,
+        )
+        for fingerprint in added:
+            print(f"  + {fingerprint}", file=sys.stderr)
+        return 1
+    print(
+        f"lint-ratchet: ok ({len(head)} baselined, no growth vs base "
+        f"{len(base)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.channel.rayleigh import rayleigh_mimo_channel
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.units import db_to_linear, linear_to_db
+from repro.utils.units import DB, db_to_linear, linear_to_db
 from repro.utils.validation import check_positive, check_positive_int, check_probability
 
 __all__ = ["capacity_samples", "ergodic_capacity", "outage_capacity", "capacity_slope"]
@@ -53,7 +53,7 @@ def capacity_samples(
 def ergodic_capacity(
     mt: int,
     mr: int,
-    snr_db: float,
+    snr_db: DB,
     n_channels: int = 10_000,
     rng: RngLike = None,
 ) -> float:
@@ -65,7 +65,7 @@ def ergodic_capacity(
 def outage_capacity(
     mt: int,
     mr: int,
-    snr_db: float,
+    snr_db: DB,
     outage_probability: float = 0.1,
     n_channels: int = 20_000,
     rng: RngLike = None,
@@ -84,8 +84,8 @@ def outage_capacity(
 def capacity_slope(
     mt: int,
     mr: int,
-    snr_low_db: float = 20.0,
-    snr_high_db: float = 30.0,
+    snr_low_db: DB = 20.0,
+    snr_high_db: DB = 30.0,
     n_channels: int = 10_000,
     rng: RngLike = None,
 ) -> float:

@@ -14,6 +14,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.utils.units import DB, DBm
 from repro.utils.validation import check_finite
 
 __all__ = ["BudgetItem", "LinkBudget"]
@@ -24,7 +25,7 @@ class BudgetItem:
     """One line of a budget: a named dB contribution (losses negative)."""
 
     name: str
-    db: float
+    db: DB
 
     def __post_init__(self) -> None:
         check_finite(self.db, "db")
@@ -41,21 +42,21 @@ class LinkBudget:
         The floor the final level is compared against for :meth:`snr_db`.
     """
 
-    def __init__(self, tx_power_dbm: float, noise_power_dbm: float = -110.0):
+    def __init__(self, tx_power_dbm: DBm, noise_power_dbm: DBm = -110.0):
         self.tx_power_dbm = check_finite(tx_power_dbm, "tx_power_dbm")
         self.noise_power_dbm = check_finite(noise_power_dbm, "noise_power_dbm")
         self._items: List[BudgetItem] = []
 
     # ------------------------------------------------------------------ #
 
-    def add_gain(self, name: str, db: float) -> "LinkBudget":
+    def add_gain(self, name: str, db: DB) -> "LinkBudget":
         """Add a positive contribution (antenna gain, combining gain...)."""
         if db < 0.0:
             raise ValueError("gains must be non-negative; use add_loss")
         self._items.append(BudgetItem(name, float(db)))
         return self
 
-    def add_loss(self, name: str, db: float) -> "LinkBudget":
+    def add_loss(self, name: str, db: DB) -> "LinkBudget":
         """Add a loss (path loss, wall, margin...); ``db`` given positive."""
         if db < 0.0:
             raise ValueError("losses are specified as positive dB values")
@@ -67,16 +68,16 @@ class LinkBudget:
         return tuple(self._items)
 
     @property
-    def received_power_dbm(self) -> float:
+    def received_power_dbm(self) -> DBm:
         """Final level after every line item."""
         return self.tx_power_dbm + sum(item.db for item in self._items)
 
     @property
-    def snr_db(self) -> float:
+    def snr_db(self) -> DB:
         """Received level over the noise floor."""
         return self.received_power_dbm - self.noise_power_dbm
 
-    def margin_db(self, required_snr_db: float) -> float:
+    def margin_db(self, required_snr_db: DB) -> DB:
         """Headroom above (or deficit below) a required SNR."""
         return self.snr_db - float(required_snr_db)
 
@@ -88,8 +89,8 @@ class LinkBudget:
         channel,
         tx_position,
         rx_position,
-        tx_power_dbm: float,
-        fading_margin_db: float = 0.0,
+        tx_power_dbm: DBm,
+        fading_margin_db: DB = 0.0,
     ) -> "LinkBudget":
         """Build the itemized budget of one indoor-channel link.
 

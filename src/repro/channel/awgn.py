@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.units import db_to_linear
+from repro.utils.units import DB, db_to_linear
 
 __all__ = ["awgn", "noise_variance_per_symbol", "complex_gaussian"]
 
@@ -42,7 +42,7 @@ def awgn(signal: np.ndarray, noise_variance: float, rng: RngLike = None) -> np.n
     return sig + np.sqrt(noise_variance) * gen.standard_normal(sig.shape)
 
 
-def noise_variance_per_symbol(ebn0_db: float, bits_per_symbol: int) -> float:
+def noise_variance_per_symbol(ebn0_db: DB, bits_per_symbol: int) -> float:
     """Noise variance ``N0`` for unit *symbol* energy at a given Eb/N0 in dB.
 
     With ``E_s = 1`` and ``E_s = b * E_b``, ``N0 = 1 / (b * 10^(EbN0/10))``.

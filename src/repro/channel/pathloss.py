@@ -21,7 +21,18 @@ from typing import Union
 
 import numpy as np
 
-from repro.utils.units import db_to_linear, linear_to_db
+from repro.utils.units import (
+    DB,
+    DBLike,
+    LinearRatio,
+    LinearRatioLike,
+    Meters,
+    MetersArray,
+    MetersLike,
+    Watts,
+    db_to_linear,
+    linear_to_db,
+)
 from repro.utils.validation import check_finite
 
 __all__ = ["PowerLawPathLoss", "FreeSpacePathLoss", "LogDistancePathLoss"]
@@ -29,7 +40,7 @@ __all__ = ["PowerLawPathLoss", "FreeSpacePathLoss", "LogDistancePathLoss"]
 ArrayLike = Union[float, np.ndarray]
 
 
-def _check_distances(distance_m: ArrayLike) -> np.ndarray:
+def _check_distances(distance_m: MetersLike) -> MetersArray:
     arr = np.asarray(distance_m, dtype=float)
     if np.any(arr <= 0.0):
         raise ValueError("distances must be strictly positive")
@@ -45,20 +56,20 @@ class PowerLawPathLoss:
     linear link margin ``M_l``.
     """
 
-    g1: float = 10e-3
+    g1: Watts = 10e-3
     kappa: float = 3.5
-    margin: float = 1e4  # 40 dB
+    margin: LinearRatio = 1e4  # 40 dB
 
     def __post_init__(self) -> None:
         if self.g1 <= 0 or self.kappa <= 0 or self.margin <= 0:
             raise ValueError("g1, kappa and margin must all be positive")
 
-    def gain(self, distance_m: ArrayLike) -> ArrayLike:
+    def gain(self, distance_m: MetersLike) -> LinearRatioLike:
         """Linear loss factor at the given distance(s)."""
         d = _check_distances(distance_m)
         return self.g1 * d**self.kappa * self.margin
 
-    def attenuation_db(self, distance_m: ArrayLike) -> ArrayLike:
+    def attenuation_db(self, distance_m: MetersLike) -> DBLike:
         """Loss in dB at the given distance(s)."""
         return linear_to_db(self.gain(distance_m))
 
@@ -71,16 +82,16 @@ class FreeSpacePathLoss:
     ``G_t G_r`` product; ``margin`` and ``noise_figure`` are linear ratios.
     """
 
-    wavelength_m: float = 0.1199
-    antenna_gain: float = 10 ** 0.5  # 5 dBi
-    margin: float = 1e4  # 40 dB
-    noise_figure: float = 10.0  # 10 dB
+    wavelength_m: Meters = 0.1199
+    antenna_gain: LinearRatio = 10 ** 0.5  # 5 dBi
+    margin: LinearRatio = 1e4  # 40 dB
+    noise_figure: LinearRatio = 10.0  # 10 dB
 
     def __post_init__(self) -> None:
         if min(self.wavelength_m, self.antenna_gain, self.margin, self.noise_figure) <= 0:
             raise ValueError("all FreeSpacePathLoss parameters must be positive")
 
-    def gain(self, distance_m: ArrayLike) -> ArrayLike:
+    def gain(self, distance_m: MetersLike) -> LinearRatioLike:
         """Linear loss factor (formula (3)'s long-haul multiplier)."""
         d = _check_distances(distance_m)
         return (
@@ -90,11 +101,11 @@ class FreeSpacePathLoss:
             * self.noise_figure
         )
 
-    def attenuation_db(self, distance_m: ArrayLike) -> ArrayLike:
+    def attenuation_db(self, distance_m: MetersLike) -> DBLike:
         """Loss in dB at the given distance(s)."""
         return linear_to_db(self.gain(distance_m))
 
-    def invert_gain(self, gain: ArrayLike) -> ArrayLike:
+    def invert_gain(self, gain: LinearRatioLike) -> MetersLike:
         """Distance at which the model produces the given linear gain.
 
         Exact inverse of :meth:`gain`; used by the overlay distance analysis
@@ -116,9 +127,9 @@ class LogDistancePathLoss:
     matching the testbed's office/lab environment.
     """
 
-    reference_loss_db: float = 40.0
+    reference_loss_db: DB = 40.0
     exponent: float = 3.0
-    reference_distance_m: float = 1.0
+    reference_distance_m: Meters = 1.0
 
     def __post_init__(self) -> None:
         check_finite(self.reference_loss_db, "reference_loss_db")
@@ -127,7 +138,7 @@ class LogDistancePathLoss:
         if self.exponent <= 0:
             raise ValueError("exponent must be positive")
 
-    def attenuation_db(self, distance_m: ArrayLike) -> ArrayLike:
+    def attenuation_db(self, distance_m: MetersLike) -> DBLike:
         """Loss in dB: ``L0 + 10 n log10(d / d0)``."""
         d = _check_distances(distance_m)
         # NOTE: keep the 10*n grouping — n * linear_to_db(d/d0) changes the
@@ -136,6 +147,6 @@ class LogDistancePathLoss:
             d / self.reference_distance_m
         )
 
-    def gain(self, distance_m: ArrayLike) -> ArrayLike:
+    def gain(self, distance_m: MetersLike) -> LinearRatioLike:
         """Linear loss factor at the given distance(s)."""
         return np.asarray(db_to_linear(self.attenuation_db(distance_m)))

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.units import db_to_linear
+from repro.utils.units import DB, DBArray, LinearRatio, LinearRatioArray, db_to_linear
 
 __all__ = ["LogNormalShadowing"]
 
@@ -22,22 +22,22 @@ __all__ = ["LogNormalShadowing"]
 class LogNormalShadowing:
     """Zero-mean log-normal shadowing with ``sigma_db`` dB spread."""
 
-    sigma_db: float = 6.0
+    sigma_db: DB = 6.0
 
     def __post_init__(self) -> None:
         if self.sigma_db < 0.0:
             raise ValueError("sigma_db must be non-negative")
 
-    def sample_db(self, shape=(), rng: RngLike = None) -> np.ndarray:
+    def sample_db(self, shape=(), rng: RngLike = None) -> DBArray:
         """Shadowing realizations in dB (may be negative: constructive)."""
         gen = as_rng(rng)
         return self.sigma_db * gen.standard_normal(shape)
 
-    def sample_linear(self, shape=(), rng: RngLike = None) -> np.ndarray:
+    def sample_linear(self, shape=(), rng: RngLike = None) -> LinearRatioArray:
         """Shadowing realizations as linear power factors (``10^(X/10)``)."""
         return np.asarray(db_to_linear(self.sample_db(shape, rng)))
 
-    def mean_linear(self) -> float:
+    def mean_linear(self) -> LinearRatio:
         """Mean of the linear factor, ``exp((ln10/10 * sigma)^2 / 2)``.
 
         Log-normal variables have mean above the median; experiments that

@@ -36,6 +36,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.utils.units import (
+    DB,
+    Bits,
+    DBi,
+    DBmPerHz,
+    Hertz,
+    LinearRatio,
+    LinearRatioLike,
+    Meters,
+    MetersLike,
+    Milliwatts,
+    Seconds,
+    Watts,
+    WattsPerHz,
     db_to_linear,
     dbi_to_linear,
     dbm_per_hz_to_watts_per_hz,
@@ -61,31 +74,31 @@ class SystemConstants:
     """
 
     #: Transmitter circuit power [mW] (``P_ct``).
-    p_ct_mw: float = 48.64
+    p_ct_mw: Milliwatts = 48.64
     #: Receiver circuit power [mW] (``P_cr``).
-    p_cr_mw: float = 62.5
+    p_cr_mw: Milliwatts = 62.5
     #: Frequency synthesizer power [mW] (``P_syn``).
-    p_syn_mw: float = 50.0
+    p_syn_mw: Milliwatts = 50.0
     #: Local path-gain factor at 1 m [mW] (``G1`` in ``G_d = G1 d^kappa M_l``).
-    g1_mw: float = 10.0
+    g1_mw: Milliwatts = 10.0
     #: Local path-loss exponent (``kappa``).
     kappa: float = 3.5
     #: Link margin [dB] (``M_l``).
-    link_margin_db: float = 40.0
+    link_margin_db: DB = 40.0
     #: Receiver noise figure [dB] (``N_f``).
-    noise_figure_db: float = 10.0
+    noise_figure_db: DB = 10.0
     #: Synthesizer transient/settling time [s] (``T_tr``).
-    t_tr_s: float = 5e-6
+    t_tr_s: Seconds = 5e-6
     #: Thermal noise power spectral density [dBm/Hz] (``sigma^2``).
-    sigma2_dbm_hz: float = -174.0
+    sigma2_dbm_hz: DBmPerHz = -174.0
     #: Combined transmit/receive antenna gain [dBi] (``G_t G_r``).
-    antenna_gain_dbi: float = 5.0
+    antenna_gain_dbi: DBi = 5.0
     #: Carrier wavelength [m] (``lambda``); 0.1199 m is ~2.5 GHz.
-    wavelength_m: float = 0.1199
+    wavelength_m: Meters = 0.1199
     #: Receiver-referred single-sided noise PSD [dBm/Hz] (``N_0``).
-    n0_dbm_hz: float = -171.0
+    n0_dbm_hz: DBmPerHz = -171.0
     #: Power-amplifier drain efficiency (``eta`` in ``alpha = xi/eta - 1``).
-    drain_efficiency: float = 0.35
+    drain_efficiency: LinearRatio = 0.35
 
     def __post_init__(self) -> None:
         check_positive(self.p_ct_mw, "p_ct_mw")
@@ -107,52 +120,52 @@ class SystemConstants:
     # ------------------------------------------------------------------ #
 
     @property
-    def p_ct_w(self) -> float:
+    def p_ct_w(self) -> Watts:
         """Transmitter circuit power [W]."""
         return float(milliwatts_to_watts(self.p_ct_mw))
 
     @property
-    def p_cr_w(self) -> float:
+    def p_cr_w(self) -> Watts:
         """Receiver circuit power [W]."""
         return float(milliwatts_to_watts(self.p_cr_mw))
 
     @property
-    def p_syn_w(self) -> float:
+    def p_syn_w(self) -> Watts:
         """Synthesizer power [W]."""
         return float(milliwatts_to_watts(self.p_syn_mw))
 
     @property
-    def g1_w(self) -> float:
+    def g1_w(self) -> Watts:
         """Local path-gain factor at 1 m [W]."""
         return float(milliwatts_to_watts(self.g1_mw))
 
     @property
-    def link_margin_linear(self) -> float:
+    def link_margin_linear(self) -> LinearRatio:
         """Link margin ``M_l`` as a linear ratio."""
         return float(db_to_linear(self.link_margin_db))
 
     @property
-    def noise_figure_linear(self) -> float:
+    def noise_figure_linear(self) -> LinearRatio:
         """Noise figure ``N_f`` as a linear ratio."""
         return float(db_to_linear(self.noise_figure_db))
 
     @property
-    def sigma2_w_hz(self) -> float:
+    def sigma2_w_hz(self) -> WattsPerHz:
         """Thermal noise PSD ``sigma^2`` [W/Hz]."""
         return float(dbm_per_hz_to_watts_per_hz(self.sigma2_dbm_hz))
 
     @property
-    def n0_w_hz(self) -> float:
+    def n0_w_hz(self) -> WattsPerHz:
         """Receiver-referred noise PSD ``N_0`` [W/Hz]."""
         return float(dbm_per_hz_to_watts_per_hz(self.n0_dbm_hz))
 
     @property
-    def antenna_gain_linear(self) -> float:
+    def antenna_gain_linear(self) -> LinearRatio:
         """Combined antenna gain ``G_t G_r`` as a linear ratio."""
         return float(dbi_to_linear(self.antenna_gain_dbi))
 
     @property
-    def carrier_frequency_hz(self) -> float:
+    def carrier_frequency_hz(self) -> Hertz:
         """Carrier frequency implied by the wavelength [Hz]."""
         return SPEED_OF_LIGHT / self.wavelength_m
 
@@ -160,7 +173,7 @@ class SystemConstants:
     # Derived model quantities                                           #
     # ------------------------------------------------------------------ #
 
-    def local_gain(self, distance_m):
+    def local_gain(self, distance_m: MetersLike) -> LinearRatioLike:
         """Local-transmission path gain ``G_d = G1 * d^kappa * M_l`` (linear).
 
         ``distance_m`` is the intra-cluster hop length ``d``; the result
@@ -172,7 +185,7 @@ class SystemConstants:
             raise ValueError(f"distance_m must be positive, got {distance_m}")
         return self.g1_w * distance_m**self.kappa * self.link_margin_linear
 
-    def longhaul_gain(self, distance_m):
+    def longhaul_gain(self, distance_m: MetersLike) -> LinearRatioLike:
         """Long-haul path gain ``(4 pi D)^2 / (G_t G_r lambda^2) * M_l * N_f``.
 
         This is the multiplicative factor of ``e_bar_b`` in formula (3);
@@ -192,7 +205,7 @@ class SystemConstants:
             * self.noise_figure_linear
         )
 
-    def peak_to_average_alpha(self, b: int) -> float:
+    def peak_to_average_alpha(self, b: Bits) -> LinearRatio:
         """PA inefficiency ``alpha = 3(sqrt(2^b)-1) / (0.35 (sqrt(2^b)+1))``.
 
         The paper's expression folds the M-QAM peak-to-average ratio

@@ -24,7 +24,7 @@ paper's tabulation; see DESIGN.md section 6).
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 from scipy import optimize
@@ -36,7 +36,14 @@ from repro.modulation.theory import (
     rayleigh_diversity_avg_qfunc,
 )
 from repro.utils.rng import RngLike
-from repro.utils.units import dbm_to_watts
+from repro.utils.units import (
+    Joules,
+    JoulesArray,
+    JoulesLike,
+    WattsPerHz,
+    WattsPerHzLike,
+    dbm_per_hz_to_watts_per_hz,
+)
 from repro.utils.validation import check_positive, check_positive_int, check_probability
 
 ArrayLike = Union[float, np.ndarray]
@@ -44,7 +51,7 @@ ArrayLike = Union[float, np.ndarray]
 __all__ = ["average_ber", "solve_ebar", "solve_ebar_batch", "average_ber_monte_carlo"]
 
 #: Default receiver-referred noise PSD N_0 = -171 dBm/Hz in W/Hz.
-DEFAULT_N0 = float(dbm_to_watts(-171.0))
+DEFAULT_N0: WattsPerHz = float(dbm_per_hz_to_watts_per_hz(-171.0))
 
 
 #: Valid ``e_bar_b`` normalization conventions (see :func:`average_ber`).
@@ -52,11 +59,11 @@ CONVENTIONS = ("paper", "diversity_only")
 
 
 def average_ber(
-    ebar: ArrayLike,
+    ebar: JoulesLike,
     b: int,
     mt: int,
     mr: int,
-    n0: float = DEFAULT_N0,
+    n0: WattsPerHz = DEFAULT_N0,
     convention: str = "paper",
 ) -> ArrayLike:
     """Average BER over the Rayleigh MIMO channel at received energy ``ebar``.
@@ -104,10 +111,10 @@ def solve_ebar(
     b: int,
     mt: int,
     mr: int,
-    n0: float = DEFAULT_N0,
+    n0: WattsPerHz = DEFAULT_N0,
     xtol: float = 1e-12,
     convention: str = "paper",
-) -> float:
+) -> Joules:
     """Invert :func:`average_ber`: the ``e_bar_b`` achieving target BER ``p``.
 
     Raises
@@ -182,10 +189,10 @@ def solve_ebar_batch(
     b: ArrayLike,
     mt: ArrayLike,
     mr: ArrayLike,
-    n0: ArrayLike = DEFAULT_N0,
+    n0: WattsPerHzLike = DEFAULT_N0,
     xtol: float = 1e-12,
     convention: str = "paper",
-) -> np.ndarray:
+) -> JoulesArray:
     """Vectorized :func:`solve_ebar`: all grid points converge simultaneously.
 
     Broadcasts ``p``, ``b``, ``mt``, ``mr`` and ``n0`` against each other and
@@ -286,11 +293,11 @@ def solve_ebar_batch(
 
 
 def average_ber_monte_carlo(
-    ebar: float,
+    ebar: Joules,
     b: int,
     mt: int,
     mr: int,
-    n0: float = DEFAULT_N0,
+    n0: WattsPerHz = DEFAULT_N0,
     n_channels: int = 200_000,
     rng: RngLike = None,
 ) -> float:

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.constants import PAPER_CONSTANTS, SystemConstants
+from repro.utils.units import Hertz, Joules, JoulesArray, Meters, MetersArray
 from repro.energy.ebar import solve_ebar
 from repro.utils.validation import (
     check_non_negative,
@@ -44,15 +45,15 @@ DEFAULT_PACKET_BITS = 10_000
 class EnergyBreakdown:
     """Per-bit energy split into power-amplifier and circuit components [J]."""
 
-    pa: float
-    circuit: float
+    pa: Joules
+    circuit: Joules
 
     def __post_init__(self) -> None:
         check_non_negative(self.pa, "pa")
         check_non_negative(self.circuit, "circuit")
 
     @property
-    def total(self) -> float:
+    def total(self) -> Joules:
         """``pa + circuit`` — the quantity the formulas denote ``e^{...}``."""
         return self.pa + self.circuit
 
@@ -108,7 +109,7 @@ class EnergyModel:
     # e_bar_b passthrough                                                #
     # ------------------------------------------------------------------ #
 
-    def ebar(self, p: float, b: int, mt: int, mr: int) -> float:
+    def ebar(self, p: float, b: int, mt: int, mr: int) -> Joules:
         """Required received energy per bit over the ``mt x mr`` link [J]."""
         cache = self._ebar_cache
         if cache is None:
@@ -129,8 +130,8 @@ class EnergyModel:
         self,
         p: float,
         b: int,
-        d: float,
-        bandwidth: float,
+        d: Meters,
+        bandwidth: Hertz,
     ) -> EnergyBreakdown:
         """``e^{Lt}`` — per-bit energy to transmit over a ``d``-meter local hop.
 
@@ -166,7 +167,7 @@ class EnergyModel:
     # Formula (2): local reception                                       #
     # ------------------------------------------------------------------ #
 
-    def local_rx(self, b: int, bandwidth: float) -> EnergyBreakdown:
+    def local_rx(self, b: int, bandwidth: Hertz) -> EnergyBreakdown:
         """``e^{Lr} = P_cr/(bB) + P_syn T_tr / n`` — circuit-only reception."""
         b = check_positive_int(b, "b")
         bandwidth = check_positive(bandwidth, "bandwidth")
@@ -184,8 +185,8 @@ class EnergyModel:
         b: int,
         mt: int,
         mr: int,
-        distance: float,
-        bandwidth: float,
+        distance: Meters,
+        bandwidth: Hertz,
     ) -> EnergyBreakdown:
         """``e^{MIMOt}(mt, mr)`` — per *participating node* long-haul tx energy.
 
@@ -211,9 +212,9 @@ class EnergyModel:
         b: int,
         mt: int,
         mr: int,
-        distances: np.ndarray,
-        bandwidth: float,
-    ) -> np.ndarray:
+        distances: MetersArray,
+        bandwidth: Hertz,
+    ) -> JoulesArray:
         """PA component of :meth:`mimo_tx` over an array of link distances.
 
         Elementwise identical to ``mimo_tx(...).pa`` at each distance (the
@@ -239,7 +240,7 @@ class EnergyModel:
     # Formula (4): long-haul reception                                   #
     # ------------------------------------------------------------------ #
 
-    def mimo_rx(self, b: int, bandwidth: float) -> EnergyBreakdown:
+    def mimo_rx(self, b: int, bandwidth: Hertz) -> EnergyBreakdown:
         """``e^{MIMOr} = (P_cr + P_syn)/(bB)`` — circuit-only reception."""
         b = check_positive_int(b, "b")
         bandwidth = check_positive(bandwidth, "bandwidth")
@@ -253,14 +254,14 @@ class EnergyModel:
 
     def max_mimo_distance(
         self,
-        energy_budget: float,
+        energy_budget: Joules,
         p: float,
         b: int,
         mt: int,
         mr: int,
-        bandwidth: float,
-        extra_circuit: float = 0.0,
-    ) -> float:
+        bandwidth: Hertz,
+        extra_circuit: Joules = 0.0,
+    ) -> Meters:
         """Largest link length such that ``e^{MIMOt} + extra_circuit <= budget``.
 
         The long-haul PA term is exactly quadratic in ``D``

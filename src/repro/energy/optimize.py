@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.energy.model import EnergyModel
+from repro.utils.units import Hertz, Joules, Meters
 from repro.utils.validation import check_finite, check_positive_int
 
 __all__ = [
@@ -78,8 +79,8 @@ def minimize_mimo_tx_energy(
     p: float,
     mt: int,
     mr: int,
-    distance: float,
-    bandwidth: float,
+    distance: Meters,
+    bandwidth: Hertz,
     b_range: Iterable[int] = DEFAULT_B_RANGE,
 ) -> OptimizationResult:
     """``min_b e^{MIMOt}(mt, mr)`` at fixed distance; returns (b, energy [J/bit])."""
@@ -91,11 +92,11 @@ def minimize_mimo_tx_energy(
 
 def maximize_mimo_distance(
     model: EnergyModel,
-    energy_budget: float,
+    energy_budget: Joules,
     p: float,
     mt: int,
     mr: int,
-    bandwidth: float,
+    bandwidth: Hertz,
     b_range: Iterable[int] = DEFAULT_B_RANGE,
     extra_circuit: Union[float, Callable[[int], float]] = 0.0,
 ) -> OptimizationResult:

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.energy.ebar import CONVENTIONS, DEFAULT_N0, solve_ebar_batch
 from repro.utils.fsio import atomic_write_bytes
+from repro.utils.units import WattsPerHz
 from repro.utils.validation import check_positive
 
 ArrayLike = Union[float, np.ndarray]
@@ -125,7 +126,7 @@ class EbarTable:
         b_values: Sequence[int] = DEFAULT_B_GRID,
         mt_values: Sequence[int] = DEFAULT_M_GRID,
         mr_values: Sequence[int] = DEFAULT_M_GRID,
-        n0: float = DEFAULT_N0,
+        n0: WattsPerHz = DEFAULT_N0,
         convention: str = "paper",
         use_cache: bool = True,
         cache_dir: Union[str, pathlib.Path, None] = None,

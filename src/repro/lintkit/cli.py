@@ -32,8 +32,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lintkit",
         description="Repo-specific AST lint: unit-safety, RNG discipline, "
-        "validation coverage (RP101-RP107) plus project-wide dataflow rules "
-        "over the call graph (RP201-RP205).",
+        "validation coverage (RP101-RP107), project-wide dataflow rules "
+        "over the call graph (RP201-RP206), and flow-sensitive physical-"
+        "units dimensional analysis (RP301-RP304; --select RP3).",
     )
     parser.add_argument(
         "paths",

@@ -44,6 +44,7 @@ from typing import (
 from repro.lintkit.cache import AnalysisCache, lintkit_rule_key
 from repro.lintkit.findings import Finding
 from repro.lintkit.graph import ModuleSummary, ProjectGraph, summarize_module
+from repro.lintkit.unitcheck import infer_module
 from repro.utils.sysinfo import available_cpu_count
 from repro.utils.validation import check_non_negative_int
 
@@ -158,10 +159,41 @@ def register_project(rule_cls: Type[ProjectRule]) -> Type[ProjectRule]:
     return rule_cls
 
 
+def _expand_ids(
+    ids: Iterable[str], registries: Sequence[Dict[str, Any]]
+) -> List[str]:
+    """Expand prefix selections (``RP3`` -> every registered RP3xx id).
+
+    Exact ids pass through; an id matching no registry exactly expands to
+    every registered id it prefixes (across the given registries).  Ids
+    matching nothing at all pass through unchanged so the caller's
+    unknown-id error reports them.
+    """
+    expanded: List[str] = []
+    for rule_id in ids:
+        if any(rule_id in registry for registry in registries):
+            expanded.append(rule_id)
+            continue
+        matches = sorted(
+            known
+            for registry in registries
+            for known in registry
+            if known.startswith(rule_id)
+        )
+        if matches:
+            expanded.extend(matches)
+        else:
+            expanded.append(rule_id)
+    return expanded
+
+
 def all_project_rules(
     select: Optional[Iterable[str]] = None,
 ) -> List[ProjectRule]:
     """Instantiate registered project rules, optionally restricted.
+
+    Prefix ids expand (``RP2`` selects every registered RP2xx project
+    rule); see :func:`split_select` for mixed-tier selections.
 
     Raises
     ------
@@ -171,7 +203,7 @@ def all_project_rules(
     if select is None:
         ids: List[str] = sorted(_PROJECT_REGISTRY)
     else:
-        ids = list(select)
+        ids = _expand_ids(select, [_PROJECT_REGISTRY])
         unknown = [rule_id for rule_id in ids if rule_id not in _PROJECT_REGISTRY]
         if unknown:
             raise KeyError(
@@ -188,7 +220,9 @@ def split_select(
 
     ``None`` passes through as ``(None, None)`` — "all of both".  With an
     explicit selection, either half may come back as an *empty list*,
-    meaning "run none of that tier".
+    meaning "run none of that tier".  Prefix ids expand against both
+    registries first, so ``--select RP3`` runs the whole RP3xx family
+    (per-file RP301/RP303/RP304 plus the project-tier RP302).
 
     Raises
     ------
@@ -200,7 +234,7 @@ def split_select(
     file_ids: List[str] = []
     project_ids: List[str] = []
     unknown: List[str] = []
-    for rule_id in select:
+    for rule_id in _expand_ids(select, [_REGISTRY, _PROJECT_REGISTRY]):
         if rule_id in _REGISTRY:
             file_ids.append(rule_id)
         elif rule_id in _PROJECT_REGISTRY:
@@ -218,6 +252,9 @@ def split_select(
 def all_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
     """Instantiate registered rules, optionally restricted to ``select`` ids.
 
+    Prefix ids expand against the per-file registry (``RP1`` selects all
+    RP1xx rules).
+
     Raises
     ------
     KeyError
@@ -226,7 +263,7 @@ def all_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
     if select is None:
         ids: List[str] = sorted(_REGISTRY)
     else:
-        ids = list(select)
+        ids = _expand_ids(select, [_REGISTRY])
         unknown = [rule_id for rule_id in ids if rule_id not in _REGISTRY]
         if unknown:
             raise KeyError(
@@ -411,7 +448,12 @@ def _analyze_source(
                 continue
             findings.append(finding)
     summary = summarize_module(
-        tree, path, is_test, suppressions=suppressed_map, root=root
+        tree,
+        path,
+        is_test,
+        suppressions=suppressed_map,
+        root=root,
+        unit_facts=infer_module(tree),
     )
     return {
         "findings": [finding.to_dict() for finding in sorted(findings)],

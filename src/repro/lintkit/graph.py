@@ -44,7 +44,7 @@ Call sites carry execution-context flags the rules interpret differently:
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     Any,
@@ -60,6 +60,7 @@ from typing import (
     Tuple,
 )
 
+from repro.lintkit.unitcheck import ModuleUnitFacts
 from repro.utils.validation import check_non_negative_int
 
 __all__ = [
@@ -146,7 +147,12 @@ def module_name_for_path(path: str, root: Optional[str] = None) -> str:
 
 @dataclass(frozen=True)
 class CallSite:
-    """One call (or submitted/deferred callable reference) in a function."""
+    """One call (or submitted/deferred callable reference) in a function.
+
+    ``arg_units``/``kwarg_units`` carry the units the RP3xx checker
+    inferred for the call's arguments (``""`` = unknown); they are empty
+    unless at least one argument had a known unit.
+    """
 
     callee: str
     line: int
@@ -157,6 +163,8 @@ class CallSite:
     deferred: bool = False
     keywords: Tuple[str, ...] = ()
     first_arg_none: bool = False
+    arg_units: Tuple[str, ...] = ()
+    kwarg_units: Tuple[Tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
         check_non_negative_int(self.line, "line")
@@ -173,6 +181,8 @@ class CallSite:
             "deferred": self.deferred,
             "keywords": list(self.keywords),
             "first_arg_none": self.first_arg_none,
+            "arg_units": list(self.arg_units),
+            "kwarg_units": [list(pair) for pair in self.kwarg_units],
         }
 
     @staticmethod
@@ -187,12 +197,23 @@ class CallSite:
             deferred=bool(data["deferred"]),
             keywords=tuple(str(k) for k in data["keywords"]),
             first_arg_none=bool(data["first_arg_none"]),
+            arg_units=tuple(str(u) for u in data.get("arg_units", [])),
+            kwarg_units=tuple(
+                (str(pair[0]), str(pair[1]))
+                for pair in data.get("kwarg_units", [])
+            ),
         )
 
 
 @dataclass(frozen=True)
 class FunctionInfo:
-    """One function, method or nested function and its call sites."""
+    """One function, method or nested function and its call sites.
+
+    ``params``/``param_units``/``return_unit`` are the RP3xx unit facts
+    declared by the function's ``Annotated`` signature (``""`` = none);
+    ``attr_reads``/``attr_writes`` record every ``self.<attr>`` access
+    with its line, for the RP206 await-interleaving race check.
+    """
 
     qualname: str
     name: str
@@ -201,6 +222,11 @@ class FunctionInfo:
     is_async: bool
     cls: Optional[str]
     calls: Tuple[CallSite, ...]
+    params: Tuple[str, ...] = ()
+    param_units: Tuple[str, ...] = ()
+    return_unit: str = ""
+    attr_reads: Tuple[Tuple[str, int], ...] = ()
+    attr_writes: Tuple[Tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
         check_non_negative_int(self.line, "line")
@@ -215,6 +241,11 @@ class FunctionInfo:
             "is_async": self.is_async,
             "cls": self.cls,
             "calls": [site.to_dict() for site in self.calls],
+            "params": list(self.params),
+            "param_units": list(self.param_units),
+            "return_unit": self.return_unit,
+            "attr_reads": [list(pair) for pair in self.attr_reads],
+            "attr_writes": [list(pair) for pair in self.attr_writes],
         }
 
     @staticmethod
@@ -229,6 +260,17 @@ class FunctionInfo:
             cls=str(cls) if cls is not None else None,
             calls=tuple(
                 CallSite.from_dict(site) for site in data["calls"]
+            ),
+            params=tuple(str(p) for p in data.get("params", [])),
+            param_units=tuple(str(u) for u in data.get("param_units", [])),
+            return_unit=str(data.get("return_unit", "")),
+            attr_reads=tuple(
+                (str(pair[0]), int(pair[1]))
+                for pair in data.get("attr_reads", [])
+            ),
+            attr_writes=tuple(
+                (str(pair[0]), int(pair[1]))
+                for pair in data.get("attr_writes", [])
             ),
         )
 
@@ -461,12 +503,79 @@ def _self_attr_types(cls: ast.ClassDef) -> Tuple[Tuple[str, str], ...]:
     return tuple(sorted(types.items()))
 
 
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _self_attr_accesses(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, int], ...]]:
+    """Every ``self.<attr>`` (read, write) in a body, with line numbers.
+
+    Nested defs are excluded (they are summarized separately); an augmented
+    assignment counts as both a read and a write — that is exactly the
+    read-modify-write shape RP206 looks for.
+    """
+    reads: List[Tuple[str, int]] = []
+    writes: List[Tuple[str, int]] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(node, ast.AugAssign) and _is_self_attr(node.target):
+            target = node.target
+            assert isinstance(target, ast.Attribute)
+            reads.append((target.attr, int(target.lineno)))
+            writes.append((target.attr, int(target.lineno)))
+            visit(node.value)
+            return
+        if _is_self_attr(node):
+            assert isinstance(node, ast.Attribute)
+            if isinstance(node.ctx, ast.Load):
+                reads.append((node.attr, int(node.lineno)))
+            else:
+                writes.append((node.attr, int(node.lineno)))
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in fn.body:
+        visit(stmt)
+    return tuple(reads), tuple(writes)
+
+
+def _attach_unit_facts(
+    site: CallSite, call_units: Mapping[Tuple[int, int, str], Any]
+) -> CallSite:
+    fact = call_units.get((site.line, site.col, site.callee))
+    if fact is None:
+        return site
+    return replace(
+        site, arg_units=tuple(fact.arg_units), kwarg_units=tuple(fact.kwarg_units)
+    )
+
+
 def _summarize_functions(
-    body: Sequence[ast.stmt], prefix: str, cls: Optional[str]
+    body: Sequence[ast.stmt],
+    prefix: str,
+    cls: Optional[str],
+    call_units: Mapping[Tuple[int, int, str], Any],
+    fn_units: Mapping[str, Any],
 ) -> Iterator[FunctionInfo]:
     for node in body:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             qualname = f"{prefix}{node.name}" if prefix else node.name
+            calls = _CallCollector().collect(node)
+            if call_units:
+                calls = tuple(
+                    _attach_unit_facts(site, call_units) for site in calls
+                )
+            units = fn_units.get(qualname)
+            reads, writes = _self_attr_accesses(node)
             yield FunctionInfo(
                 qualname=qualname,
                 name=node.name,
@@ -474,15 +583,22 @@ def _summarize_functions(
                 col=int(node.col_offset) + 1,
                 is_async=isinstance(node, ast.AsyncFunctionDef),
                 cls=cls,
-                calls=_CallCollector().collect(node),
+                calls=calls,
+                params=tuple(units.params) if units is not None else (),
+                param_units=tuple(units.param_units) if units is not None else (),
+                return_unit=units.return_unit if units is not None else "",
+                attr_reads=reads,
+                attr_writes=writes,
             )
             # Nested defs: resolvable as ``<outer>.<locals>.<inner>``.
             yield from _summarize_functions(
-                node.body, f"{qualname}.<locals>.", cls
+                node.body, f"{qualname}.<locals>.", cls, call_units, fn_units
             )
         elif isinstance(node, ast.ClassDef):
             class_prefix = f"{prefix}{node.name}." if prefix else f"{node.name}."
-            yield from _summarize_functions(node.body, class_prefix, node.name)
+            yield from _summarize_functions(
+                node.body, class_prefix, node.name, call_units, fn_units
+            )
 
 
 def summarize_module(
@@ -491,9 +607,22 @@ def summarize_module(
     is_test: bool,
     suppressions: Optional[Mapping[int, FrozenSet[str]]] = None,
     root: Optional[str] = None,
+    unit_facts: Optional[ModuleUnitFacts] = None,
 ) -> ModuleSummary:
-    """Distil one parsed module into a :class:`ModuleSummary`."""
+    """Distil one parsed module into a :class:`ModuleSummary`.
+
+    ``unit_facts`` (from :func:`repro.lintkit.unitcheck.infer_module`)
+    folds the RP3xx unit signatures and call-argument units into the
+    summary, keyed back to call sites by ``(line, col, callee)``.
+    """
     module = module_name_for_path(path, root=root)
+    call_units: Dict[Tuple[int, int, str], Any] = {}
+    fn_units: Dict[str, Any] = {}
+    if unit_facts is not None:
+        call_units = {
+            (fact.line, fact.col, fact.callee): fact for fact in unit_facts.calls
+        }
+        fn_units = {sig.qualname: sig for sig in unit_facts.functions}
     classes = tuple(
         ClassInfo(
             name=node.name,
@@ -515,7 +644,9 @@ def summarize_module(
         module=module,
         is_test=is_test,
         imports=tuple(_import_bindings(tree, module)),
-        functions=tuple(_summarize_functions(tree.body, "", None)),
+        functions=tuple(
+            _summarize_functions(tree.body, "", None, call_units, fn_units)
+        ),
         classes=classes,
         suppressions=suppression_items,
     )

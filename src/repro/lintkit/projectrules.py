@@ -12,9 +12,11 @@ RP203     determinism taint: wall clock, ``os.urandom`` or unseeded RNG
           reachable from a cached ``/v1/*`` handler
 RP204     non-2xx response built without ``schemas.error_payload``
 RP205     resource acquired without a context manager or close evidence
+RP206     ``self.<attr>`` read-modify-write spanning an ``await`` in a
+          ``repro.service`` coroutine (task-interleaving race)
 ========  ==============================================================
 
-RP201–RP203 are graph rules (:class:`ProjectRule`): they run once per
+RP201–RP203 and RP206 are graph rules (:class:`ProjectRule`): they run once per
 analysis over the whole summary set.  RP204/RP205 are per-file rules in
 the same family — they need no cross-module context, which keeps them
 eligible for the incremental per-file cache.
@@ -39,7 +41,13 @@ from repro.lintkit.engine import (
     register_project,
 )
 from repro.lintkit.findings import Finding
-from repro.lintkit.graph import CallSite, FuncKey, ProjectGraph, dotted_name
+from repro.lintkit.graph import (
+    CallSite,
+    FuncKey,
+    FunctionInfo,
+    ProjectGraph,
+    dotted_name,
+)
 from repro.lintkit.rules import _NONDETERMINISTIC_CALLS
 
 __all__ = [
@@ -48,6 +56,7 @@ __all__ = [
     "DeterminismTaintRule",
     "ErrorPayloadRule",
     "ResourceHygieneRule",
+    "AwaitInterleavingRule",
 ]
 
 
@@ -590,3 +599,76 @@ class ResourceHygieneRule(Rule):
                 ):
                     return True
         return False
+
+
+# --------------------------------------------------------------------- #
+# RP206 — read-modify-write of shared state across an await             #
+# --------------------------------------------------------------------- #
+
+
+@register_project
+class AwaitInterleavingRule(ProjectRule):
+    """RP206: ``self.x`` read, then ``await``, then ``self.x`` written.
+
+    asyncio is single-threaded but not atomic: every ``await`` is a
+    scheduling point where another task may run the same handler and
+    mutate the same object.  A counter bumped as ``read -> await ->
+    write`` loses increments under concurrency even though the code has
+    no threads — the classic check-then-act race, in coroutine clothing.
+    The fix is to re-read after the await, mutate before it, or guard
+    the critical section with an ``asyncio.Lock``.
+    """
+
+    rule_id = "RP206"
+    summary = "self attribute read-modify-write spans an await point"
+
+    def check(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for module, fn in graph.functions():
+            if not _is_service_module(module) or not fn.is_async:
+                continue
+            if fn.cls is None or not fn.attr_writes:
+                continue
+            summary = graph.summary(module)
+            if summary is None or summary.is_test:
+                continue
+            await_lines = sorted(
+                site.line for site in fn.calls if site.awaited
+            )
+            if not await_lines:
+                continue
+            yield from self._hazards(summary.path, fn, await_lines)
+
+    def _hazards(
+        self, path: str, fn: "FunctionInfo", await_lines: List[int]
+    ) -> Iterator[Finding]:
+        reads: Dict[str, List[int]] = {}
+        for attr, line in fn.attr_reads:
+            reads.setdefault(attr, []).append(line)
+        reported: Set[str] = set()
+        for attr, write_line in sorted(fn.attr_writes, key=lambda p: p[1]):
+            if attr in reported or attr not in reads:
+                continue
+            for read_line in sorted(reads[attr]):
+                if read_line > write_line:
+                    break
+                awaits_between = [
+                    line
+                    for line in await_lines
+                    if read_line <= line <= write_line
+                ]
+                if awaits_between:
+                    reported.add(attr)
+                    yield Finding(
+                        path=path,
+                        line=write_line,
+                        col=1,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"self.{attr} is read on line {read_line} and "
+                            f"written on line {write_line} with an await on "
+                            f"line {awaits_between[0]} in between; another "
+                            f"task can interleave in async def {fn.name} — "
+                            "re-read after the await or hold an asyncio.Lock"
+                        ),
+                    )
+                    break

@@ -23,6 +23,7 @@ from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.lintkit.engine import ModuleContext, Rule, register
 from repro.lintkit.findings import Finding
+from repro.lintkit.unittypes import ANNOTATION_UNITS
 
 __all__ = [
     "InlineDbConversionRule",
@@ -319,7 +320,9 @@ class NondeterminismRule(Rule):
 # RP104 — unvalidated public numeric parameters                         #
 # --------------------------------------------------------------------- #
 
-_NUMERIC_ANNOTATIONS = frozenset({"int", "float"})
+# Unit aliases (``Watts``, ``DBLike``, ...) annotate plain floats/arrays,
+# so fields carrying them still owe RP104 its range validation.
+_NUMERIC_ANNOTATIONS = frozenset({"int", "float"}) | frozenset(ANNOTATION_UNITS)
 
 
 def _is_numeric_annotation(annotation: Optional[ast.AST]) -> bool:

@@ -1,0 +1,327 @@
+"""The physical-unit lattice behind the RP3xx dimensional-analysis tier.
+
+The paper's energy model mixes decibel-domain bookkeeping (link margin in
+dB, noise PSD in dBm/Hz, antenna gain in dBi) with SI-unit computation
+(watts, joules, meters, hertz).  This module gives the unit checker a tiny
+abstract domain to reason about that mixture:
+
+* a :class:`Unit` is an abstract value — one of a fixed vocabulary of
+  dB-domain and linear-domain units, plus the top element :data:`UNKNOWN`;
+* :func:`join` merges units at control-flow joins (equal units survive,
+  anything else degrades to :data:`UNKNOWN`);
+* :func:`add_units`, :func:`mul_units` and :func:`div_units` are the
+  abstract transfer functions for arithmetic.  Each returns an
+  :class:`OpResult` carrying the result unit *and* an optional error string
+  for combinations that are dimensionally meaningless (dB + watts).
+
+The design principle is asymmetric: the lattice must *never* invent a unit
+it cannot defend (every unclear case maps to :data:`UNKNOWN`, which absorbs
+through every operation and can never trigger a finding), but within the
+known vocabulary it is opinionated — adding a dB-domain value to a
+linear-domain one is an error, multiplying two dB-domain values is an
+error, and a handful of physically meaningful products (W x s = J,
+W/Hz x Hz = W) are tracked exactly.
+
+Also defined here, because they are part of the same unit vocabulary:
+
+* :data:`SUFFIX_UNITS` — the repo's ``_w/_db/_dbm/_s/_m/_hz`` naming
+  convention, used by the checker as a *weak prior* for otherwise
+  un-annotated names (:func:`suffix_unit`);
+* :data:`ANNOTATION_UNITS` — the ``typing.Annotated`` alias names exported
+  by :mod:`repro.utils.units` (``DB``, ``Watts``, ``JoulesLike``, ...)
+  mapped to their unit names (:func:`annotation_unit_name`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Unit",
+    "OpResult",
+    "UNKNOWN",
+    "UNITS",
+    "DB_DOMAIN",
+    "LINEAR_DOMAIN",
+    "SUFFIX_UNITS",
+    "ANNOTATION_UNITS",
+    "unit_named",
+    "suffix_unit",
+    "annotation_unit_name",
+    "join",
+    "add_units",
+    "mul_units",
+    "div_units",
+]
+
+#: Domain tag for decibel-style (logarithmic) units.
+DB_DOMAIN = "db"
+#: Domain tag for linear / SI units (a pure ratio counts as linear).
+LINEAR_DOMAIN = "linear"
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One abstract unit: a name and the domain it computes in.
+
+    ``Unit("", "")`` is the top element :data:`UNKNOWN` — the unit of any
+    value the checker cannot pin down.  It absorbs through every operation
+    and never participates in a finding.
+    """
+
+    name: str
+    domain: str
+
+    @property
+    def is_unknown(self) -> bool:
+        """True for the absorbing top element."""
+        return not self.name
+
+    def __str__(self) -> str:
+        return self.name or "unknown"
+
+
+#: The absorbing top element.
+UNKNOWN = Unit("", "")
+
+#: The fixed unit vocabulary, by name.
+UNITS: Dict[str, Unit] = {
+    unit.name: unit
+    for unit in (
+        Unit("db", DB_DOMAIN),
+        Unit("dbm", DB_DOMAIN),
+        Unit("dbi", DB_DOMAIN),
+        Unit("dbm_per_hz", DB_DOMAIN),
+        Unit("ratio", LINEAR_DOMAIN),
+        Unit("watts", LINEAR_DOMAIN),
+        Unit("milliwatts", LINEAR_DOMAIN),
+        Unit("watts_per_hz", LINEAR_DOMAIN),
+        Unit("joules", LINEAR_DOMAIN),
+        Unit("seconds", LINEAR_DOMAIN),
+        Unit("meters", LINEAR_DOMAIN),
+        Unit("hertz", LINEAR_DOMAIN),
+        Unit("bits", LINEAR_DOMAIN),
+    )
+}
+
+#: dB-domain units that are *relative* offsets (a gain/margin, not a level);
+#: adding one to an absolute dB-domain level keeps the level's unit.
+_RELATIVE_DB = frozenset({"db", "dbi"})
+
+#: Physically meaningful products the lattice tracks exactly
+#: (symmetric: ``a*b`` and ``b*a`` both resolve).
+_PRODUCTS: Dict[Tuple[str, str], str] = {
+    ("watts", "seconds"): "joules",
+    ("watts_per_hz", "hertz"): "watts",
+    ("joules", "hertz"): "watts",
+}
+
+#: Physically meaningful quotients (ordered: numerator, denominator).
+#: ``joules / bits`` stays joules by repo convention: per-bit energies
+#: (``e_bar_b``) are carried in J throughout the energy model.
+_QUOTIENTS: Dict[Tuple[str, str], str] = {
+    ("joules", "seconds"): "watts",
+    ("joules", "watts"): "seconds",
+    ("watts", "hertz"): "watts_per_hz",
+    ("watts", "watts_per_hz"): "hertz",
+    ("joules", "bits"): "joules",
+}
+
+#: Name-suffix convention -> unit name, checked longest-suffix-first so
+#: ``_dbm_hz`` wins over ``_hz`` and ``_dbm`` over ``_m``.
+SUFFIX_UNITS: Tuple[Tuple[str, str], ...] = tuple(
+    sorted(
+        {
+            "_db": "db",
+            "_dbm": "dbm",
+            "_dbi": "dbi",
+            "_dbm_hz": "dbm_per_hz",
+            "_dbm_per_hz": "dbm_per_hz",
+            "_w": "watts",
+            "_watts": "watts",
+            "_mw": "milliwatts",
+            "_w_hz": "watts_per_hz",
+            "_w_per_hz": "watts_per_hz",
+            "_j": "joules",
+            "_joules": "joules",
+            "_s": "seconds",
+            "_sec": "seconds",
+            "_secs": "seconds",
+            "_seconds": "seconds",
+            "_m": "meters",
+            "_meters": "meters",
+            "_hz": "hertz",
+            "_bit": "bits",
+            "_bits": "bits",
+            "_linear": "ratio",
+            "_lin": "ratio",
+            "_ratio": "ratio",
+        }.items(),
+        key=lambda item: len(item[0]),
+        reverse=True,
+    )
+)
+
+#: ``typing.Annotated`` alias name -> unit name.  Each base alias has a
+#: scalar form (``DB``), an ``ArrayLike`` form (``DBLike``) and an
+#: ``np.ndarray`` form (``DBArray``); all three carry the same unit.
+_ALIAS_BASES: Dict[str, str] = {
+    "DB": "db",
+    "DBm": "dbm",
+    "DBi": "dbi",
+    "DBmPerHz": "dbm_per_hz",
+    "LinearRatio": "ratio",
+    "Watts": "watts",
+    "Milliwatts": "milliwatts",
+    "WattsPerHz": "watts_per_hz",
+    "Joules": "joules",
+    "Seconds": "seconds",
+    "Meters": "meters",
+    "Hertz": "hertz",
+    "Bits": "bits",
+}
+
+ANNOTATION_UNITS: Dict[str, str] = {
+    variant: unit_name
+    for alias, unit_name in _ALIAS_BASES.items()
+    for variant in (alias, f"{alias}Like", f"{alias}Array")
+}
+
+
+def unit_named(name: str) -> Unit:
+    """The unit called ``name``; unknown names map to :data:`UNKNOWN`."""
+    return UNITS.get(name, UNKNOWN)
+
+
+def suffix_unit(identifier: str) -> Unit:
+    """Weak-prior unit implied by an identifier's suffix (else UNKNOWN)."""
+    for suffix, name in SUFFIX_UNITS:
+        if identifier.endswith(suffix) and len(identifier) > len(suffix):
+            return UNITS[name]
+    return UNKNOWN
+
+
+def annotation_unit_name(alias: str) -> str:
+    """Unit name carried by an ``Annotated`` alias name (else ``""``)."""
+    return ANNOTATION_UNITS.get(alias, "")
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Result of one abstract arithmetic step: a unit, maybe an error."""
+
+    unit: Unit
+    error: Optional[str] = None
+
+
+def join(a: Unit, b: Unit) -> Unit:
+    """Control-flow merge: equal units survive, anything else is UNKNOWN."""
+    if a == b:
+        return a
+    return UNKNOWN
+
+
+def _mixed(a: Unit, b: Unit, op: str) -> OpResult:
+    db_side = a if a.domain == DB_DOMAIN else b
+    lin_side = b if db_side is a else a
+    return OpResult(
+        UNKNOWN,
+        f"mixed-domain arithmetic: {db_side} ({op}) {lin_side} combines a "
+        f"dB-domain value with a linear-domain one; convert with "
+        f"repro.utils.units first",
+    )
+
+
+def add_units(a: Unit, b: Unit, is_sub: bool = False) -> OpResult:
+    """Abstract ``a + b`` (or ``a - b``).
+
+    * UNKNOWN absorbs silently.
+    * dB-domain with linear-domain is the canonical RP301 error.
+    * within the dB domain: a relative offset (dB, dBi) added to any
+      dB-domain value keeps that value's unit; the *difference* of two
+      equal absolute levels (dBm - dBm) is a relative dB; equal units
+      otherwise keep their unit.
+    * within the linear domain only equal units survive; anything else
+      degrades to UNKNOWN without complaint (the lattice does not try to
+      prove SI consistency of sums it cannot see the provenance of).
+    """
+    if a.is_unknown or b.is_unknown:
+        return OpResult(UNKNOWN)
+    if a.domain != b.domain:
+        return _mixed(a, b, "-" if is_sub else "+")
+    if a.domain == DB_DOMAIN:
+        if a == b:
+            if is_sub and a.name not in _RELATIVE_DB:
+                # dBm - dBm (or dBm/Hz - dBm/Hz) is a relative ratio in dB.
+                return OpResult(UNITS["db"])
+            return OpResult(a)
+        if b.name in _RELATIVE_DB:
+            return OpResult(a)
+        if a.name in _RELATIVE_DB and not is_sub:
+            return OpResult(b)
+        return OpResult(UNKNOWN)
+    if a == b:
+        return OpResult(a)
+    return OpResult(UNKNOWN)
+
+
+def mul_units(a: Unit, b: Unit) -> OpResult:
+    """Abstract ``a * b``.
+
+    dB-domain values cannot be multiplied by anything with a known unit
+    (scaling by an untracked literal stays silent because literals are
+    UNKNOWN).  In the linear domain a pure ratio is transparent and the
+    :data:`_PRODUCTS` table resolves the tracked physical products; every
+    other combination degrades to UNKNOWN.
+    """
+    if a.is_unknown or b.is_unknown:
+        return OpResult(UNKNOWN)
+    if a.domain == DB_DOMAIN or b.domain == DB_DOMAIN:
+        if a.domain == b.domain:
+            return OpResult(
+                UNKNOWN,
+                f"dB-domain arithmetic: {a} * {b} multiplies two decibel "
+                f"values; dB-domain gains combine by addition",
+            )
+        return _mixed(a, b, "*")
+    if a.name == "ratio":
+        return OpResult(b)
+    if b.name == "ratio":
+        return OpResult(a)
+    product = _PRODUCTS.get((a.name, b.name)) or _PRODUCTS.get((b.name, a.name))
+    if product is not None:
+        return OpResult(UNITS[product])
+    return OpResult(UNKNOWN)
+
+
+def div_units(a: Unit, b: Unit) -> OpResult:
+    """Abstract ``a / b`` (true or floor division).
+
+    Mirrors :func:`mul_units`: dB-domain operands with any known partner
+    are an error, a ratio denominator is transparent, equal linear units
+    cancel to a ratio, and :data:`_QUOTIENTS` resolves the tracked
+    physical quotients.
+    """
+    if a.is_unknown or b.is_unknown:
+        return OpResult(UNKNOWN)
+    if a.domain == DB_DOMAIN or b.domain == DB_DOMAIN:
+        if a.name in _RELATIVE_DB and b.name in _RELATIVE_DB:
+            # A quotient of two relative spans (slope per 3 dB, gain per
+            # dBi) is a legitimate dimensionless ratio.
+            return OpResult(UNITS["ratio"])
+        if a.domain == b.domain:
+            return OpResult(
+                UNKNOWN,
+                f"dB-domain arithmetic: {a} / {b} divides decibel values; "
+                f"dB-domain gains combine by subtraction",
+            )
+        return _mixed(a, b, "/")
+    if b.name == "ratio":
+        return OpResult(a)
+    if a == b:
+        return OpResult(UNITS["ratio"])
+    quotient = _QUOTIENTS.get((a.name, b.name))
+    if quotient is not None:
+        return OpResult(UNITS[quotient])
+    return OpResult(UNKNOWN)

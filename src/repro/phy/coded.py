@@ -19,7 +19,7 @@ from repro.coding.convolutional import ConvolutionalCode
 from repro.coding.interleave import BlockInterleaver
 from repro.modulation.psk import BPSKModem
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.units import db_to_linear
+from repro.utils.units import DB, db_to_linear
 from repro.utils.validation import check_finite, check_non_negative_int
 
 __all__ = ["CodedLinkResult", "simulate_coded_link"]
@@ -48,7 +48,7 @@ class CodedLinkResult:
 
 def simulate_coded_link(
     n_info_bits: int,
-    snr_db: float,
+    snr_db: DB,
     code: Optional[ConvolutionalCode] = None,
     interleaver: Optional[BlockInterleaver] = None,
     fading: str = "rayleigh",

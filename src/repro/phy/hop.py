@@ -33,7 +33,7 @@ from repro.channel.rayleigh import rayleigh_mimo_channel, rician_mimo_channel
 from repro.modulation.base import Modem
 from repro.stbc.ostbc import ostbc_for
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.units import db_to_linear
+from repro.utils.units import DB, db_to_linear
 from repro.utils.validation import check_non_negative_int
 
 __all__ = ["HopSimulationResult", "simulate_hop"]
@@ -69,8 +69,8 @@ def _intra_siso(symbols, snr_db, rician_k, gen):
 def simulate_hop(
     n_bits: int,
     modem: Modem,
-    intra_snr_db: float,
-    longhaul_snr_db: float,
+    intra_snr_db: DB,
+    longhaul_snr_db: DB,
     mt: int,
     mr: int,
     intra_rician_k: float = 8.0,

@@ -27,7 +27,7 @@ from repro.channel.rayleigh import rayleigh_mimo_channel, rician_mimo_channel
 from repro.modulation.base import Modem
 from repro.stbc.ostbc import ostbc_for
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.units import db_to_linear
+from repro.utils.units import DB, db_to_linear
 from repro.utils.validation import check_non_negative_int
 
 __all__ = ["LinkResult", "simulate_link", "simulate_packet_link", "transmit_bits"]
@@ -79,7 +79,7 @@ def _draw_channel(
 def transmit_bits(
     bits: np.ndarray,
     modem: Modem,
-    snr_db: float,
+    snr_db: DB,
     mt: int = 1,
     mr: int = 1,
     fading: str = "rayleigh",
@@ -145,7 +145,7 @@ def transmit_bits(
 def simulate_link(
     n_bits: int,
     modem: Modem,
-    snr_db: float,
+    snr_db: DB,
     mt: int = 1,
     mr: int = 1,
     fading: str = "rayleigh",
@@ -168,7 +168,7 @@ def simulate_packet_link(
     n_packets: int,
     packet_bits: int,
     modem: Modem,
-    snr_db: float,
+    snr_db: DB,
     mt: int = 1,
     mr: int = 1,
     fading: str = "rayleigh",

@@ -28,7 +28,7 @@ from repro.stbc.combining import (
     selection_combine,
 )
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.units import db_to_linear
+from repro.utils.units import DB, db_to_linear
 from repro.utils.validation import check_non_negative_int
 
 __all__ = ["RelayChainResult", "simulate_relay_chain"]
@@ -60,7 +60,7 @@ class RelayChainResult:
 
 def _siso_receive(
     symbols: np.ndarray,
-    snr_db: float,
+    snr_db: DB,
     fading: str,
     rician_k: float,
     blocks_per_fade: int,

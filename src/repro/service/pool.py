@@ -151,7 +151,9 @@ class WorkerPool:
         try:
             return await self._run(fn, *args)
         finally:
-            self._inflight -= 1
+            # Safe interleaving: the slot is reserved (+= 1) before any
+            # await, and += / -= run atomically between scheduling points.
+            self._inflight -= 1  # lint: ignore[RP206]
             if self._metrics is not None:
                 self._metrics.pool_exit()
 

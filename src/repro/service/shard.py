@@ -722,7 +722,9 @@ class ShardSupervisor:
         if self._admin_server is not None:
             self._admin_server.close()
             await self._admin_server.wait_closed()
-            self._admin_server = None
+            # Single-shot teardown: _shutdown runs once after the signal
+            # handler flips _draining, so no concurrent task re-reads it.
+            self._admin_server = None  # lint: ignore[RP206]
         for shard in self._shards.values():
             if shard.alive:
                 shard.proc.terminate()

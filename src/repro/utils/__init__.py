@@ -16,6 +16,7 @@ from repro.utils.sysinfo import (
     default_worker_count,
 )
 from repro.utils.units import (
+    UnitSpec,
     amplitude_ratio_to_db,
     db_to_amplitude_ratio,
     db_to_linear,
@@ -57,6 +58,7 @@ __all__ = [
     "milliwatts_to_watts",
     "amplitude_ratio_to_db",
     "db_to_amplitude_ratio",
+    "UnitSpec",
     "check_positive",
     "check_positive_int",
     "check_probability",

@@ -448,3 +448,85 @@ class TestRP205:
             select=["RP201", "RP205"],
         )
         assert sorted(rule_ids(findings)) == ["RP201", "RP205"]
+
+
+# --------------------------------------------------------------------- #
+# RP206 — read-modify-write of shared state across an await             #
+# --------------------------------------------------------------------- #
+
+RACY_COUNTER = (
+    "class Handler:\n"
+    "    async def bump(self):\n"
+    "        count = self._count\n"
+    "        await self.flush()\n"
+    "        self._count = count + 1\n"
+)
+
+
+class TestRP206:
+    def test_fires_on_read_await_write(self, tmp_path):
+        findings = project_lint(tmp_path, {HANDLER: RACY_COUNTER}, select=["RP206"])
+        assert rule_ids(findings) == ["RP206"]
+        message = findings[0].message
+        assert "_count" in message and "await" in message
+
+    def test_fires_on_augmented_assignment_spanning_await(self, tmp_path):
+        source = (
+            "class Handler:\n"
+            "    async def serve(self):\n"
+            "        if self._inflight > 10:\n"
+            "            return None\n"
+            "        await self.work()\n"
+            "        self._inflight += 1\n"
+        )
+        findings = project_lint(tmp_path, {HANDLER: source}, select=["RP206"])
+        assert rule_ids(findings) == ["RP206"]
+
+    def test_silent_when_write_precedes_await(self, tmp_path):
+        # Reserve-then-await is the safe shape (the fix RP206 suggests).
+        source = (
+            "class Handler:\n"
+            "    async def serve(self):\n"
+            "        self._inflight = self._inflight + 1\n"
+            "        await self.work()\n"
+            "        return self._inflight\n"
+        )
+        findings = project_lint(tmp_path, {HANDLER: source}, select=["RP206"])
+        assert findings == []
+
+    def test_silent_without_await_between(self, tmp_path):
+        source = (
+            "class Handler:\n"
+            "    async def serve(self):\n"
+            "        count = self._count\n"
+            "        self._count = count + 1\n"
+            "        await self.flush()\n"
+        )
+        findings = project_lint(tmp_path, {HANDLER: source}, select=["RP206"])
+        assert findings == []
+
+    def test_silent_outside_service(self, tmp_path):
+        findings = project_lint(
+            tmp_path,
+            {"src/repro/network/peer.py": RACY_COUNTER},
+            select=["RP206"],
+        )
+        assert findings == []
+
+    def test_silent_in_sync_methods(self, tmp_path):
+        source = (
+            "class Handler:\n"
+            "    def bump(self):\n"
+            "        count = self._count\n"
+            "        self._count = count + 1\n"
+        )
+        findings = project_lint(tmp_path, {HANDLER: source}, select=["RP206"])
+        assert findings == []
+
+    def test_suppressed_on_write_line(self, tmp_path):
+        source = RACY_COUNTER.replace(
+            "self._count = count + 1",
+            "self._count = count + 1  # lint: ignore[RP206]",
+        )
+        findings = project_lint(tmp_path, {HANDLER: source}, select=["RP206"])
+        assert findings == []

@@ -1,0 +1,249 @@
+"""Unit-lattice algebra and converter round-trip properties.
+
+Two halves, both feeding the RP3xx dimensional-analysis tier:
+
+* property-based round trips for every converter pair in
+  :mod:`repro.utils.units` — the transfer functions the checker trusts
+  (``CONVERTERS``) must actually be inverses/aliases of each other;
+* algebraic laws of the abstract domain in
+  :mod:`repro.lintkit.unittypes` — join is commutative and idempotent,
+  UNKNOWN absorbs through every operation (the no-false-positive
+  guarantee), and the arithmetic tables match the physics.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lintkit import unittypes as ut
+from repro.utils.units import (
+    amplitude_ratio_to_db,
+    db_to_amplitude_ratio,
+    db_to_linear,
+    dbi_to_linear,
+    dbm_per_hz_to_watts_per_hz,
+    dbm_to_watts,
+    linear_to_db,
+    milliwatts_to_watts,
+    watts_to_dbm,
+)
+
+DB_VALUES = st.floats(min_value=-200.0, max_value=200.0)
+POSITIVE = st.floats(min_value=1e-12, max_value=1e12)
+
+
+class TestConverterRoundTrips:
+    @given(DB_VALUES)
+    def test_db_linear_db(self, x):
+        assert linear_to_db(db_to_linear(x)) == pytest.approx(x, abs=1e-9)
+
+    @given(POSITIVE)
+    def test_linear_db_linear(self, r):
+        assert db_to_linear(linear_to_db(r)) == pytest.approx(r, rel=1e-9)
+
+    @given(DB_VALUES)
+    def test_dbm_watts_dbm(self, x):
+        assert watts_to_dbm(dbm_to_watts(x)) == pytest.approx(x, abs=1e-9)
+
+    @given(POSITIVE)
+    def test_watts_dbm_watts(self, w):
+        assert dbm_to_watts(watts_to_dbm(w)) == pytest.approx(w, rel=1e-9)
+
+    @given(DB_VALUES)
+    def test_amplitude_db_amplitude(self, x):
+        assert amplitude_ratio_to_db(db_to_amplitude_ratio(x)) == pytest.approx(
+            x, abs=1e-9
+        )
+
+    @given(POSITIVE)
+    def test_db_amplitude_db(self, r):
+        assert db_to_amplitude_ratio(amplitude_ratio_to_db(r)) == pytest.approx(
+            r, rel=1e-9
+        )
+
+    @given(DB_VALUES)
+    def test_dbi_round_trips_through_linear_to_db(self, x):
+        # dBi has no dedicated inverse; it is dB relative to isotropic, so
+        # linear_to_db must undo it exactly.
+        assert linear_to_db(dbi_to_linear(x)) == pytest.approx(x, abs=1e-9)
+
+    @given(DB_VALUES)
+    def test_psd_converter_matches_dbm_to_watts(self, x):
+        # Same numeric transform, different unit bookkeeping.
+        assert dbm_per_hz_to_watts_per_hz(x) == dbm_to_watts(x)
+
+    @given(POSITIVE)
+    def test_milliwatts_to_watts_round_trip(self, mw):
+        assert float(milliwatts_to_watts(mw)) * 1e3 == pytest.approx(mw, rel=1e-12)
+
+    @given(POSITIVE)
+    def test_power_vs_amplitude_factor_two(self, r):
+        # 20 log10(r) == 2 * 10 log10(r): amplitude dB is twice power dB.
+        assert amplitude_ratio_to_db(r) == pytest.approx(
+            2.0 * linear_to_db(r), rel=1e-12, abs=1e-9
+        )
+
+
+KNOWN_UNITS = sorted(ut.UNITS)
+unit_strategy = st.sampled_from([ut.UNITS[name] for name in KNOWN_UNITS])
+unit_or_unknown = st.one_of(unit_strategy, st.just(ut.UNKNOWN))
+
+
+class TestJoin:
+    @given(unit_or_unknown)
+    def test_idempotent(self, a):
+        assert ut.join(a, a) == a
+
+    @given(unit_or_unknown, unit_or_unknown)
+    def test_commutative(self, a, b):
+        assert ut.join(a, b) == ut.join(b, a)
+
+    @given(unit_or_unknown)
+    def test_unknown_is_top(self, a):
+        assert ut.join(a, ut.UNKNOWN).is_unknown
+
+    @given(unit_or_unknown, unit_or_unknown)
+    def test_join_never_invents(self, a, b):
+        joined = ut.join(a, b)
+        assert joined in (a, b) or joined.is_unknown
+
+
+class TestAbsorption:
+    """UNKNOWN must pass through every operation without an error."""
+
+    @given(unit_or_unknown)
+    def test_add(self, a):
+        for op in (ut.add_units(a, ut.UNKNOWN), ut.add_units(ut.UNKNOWN, a)):
+            assert op.unit.is_unknown and op.error is None
+
+    @given(unit_or_unknown)
+    def test_mul(self, a):
+        for op in (ut.mul_units(a, ut.UNKNOWN), ut.mul_units(ut.UNKNOWN, a)):
+            assert op.unit.is_unknown and op.error is None
+
+    @given(unit_or_unknown)
+    def test_div(self, a):
+        for op in (ut.div_units(a, ut.UNKNOWN), ut.div_units(ut.UNKNOWN, a)):
+            assert op.unit.is_unknown and op.error is None
+
+
+DB_UNITS = [u for u in ut.UNITS.values() if u.domain == ut.DB_DOMAIN]
+LINEAR_UNITS = [u for u in ut.UNITS.values() if u.domain == ut.LINEAR_DOMAIN]
+
+
+class TestArithmeticTables:
+    @given(st.sampled_from(DB_UNITS), st.sampled_from(LINEAR_UNITS))
+    def test_cross_domain_addition_is_error(self, db_unit, lin_unit):
+        assert ut.add_units(db_unit, lin_unit).error is not None
+        assert ut.add_units(lin_unit, db_unit, is_sub=True).error is not None
+
+    @given(st.sampled_from(DB_UNITS), st.sampled_from(LINEAR_UNITS))
+    def test_cross_domain_product_is_error(self, db_unit, lin_unit):
+        assert ut.mul_units(db_unit, lin_unit).error is not None
+        assert ut.div_units(lin_unit, db_unit).error is not None
+
+    @given(st.sampled_from(DB_UNITS), st.sampled_from(DB_UNITS))
+    def test_db_product_is_error(self, a, b):
+        assert ut.mul_units(a, b).error is not None
+
+    def test_relative_db_offsets_absolute_levels(self):
+        dbm, db = ut.UNITS["dbm"], ut.UNITS["db"]
+        assert ut.add_units(dbm, db).unit == dbm
+        assert ut.add_units(db, dbm).unit == dbm
+        assert ut.add_units(dbm, db, is_sub=True).unit == dbm
+
+    def test_absolute_difference_is_relative_db(self):
+        dbm = ut.UNITS["dbm"]
+        assert ut.add_units(dbm, dbm, is_sub=True).unit == ut.UNITS["db"]
+
+    def test_relative_quotient_is_ratio(self):
+        db = ut.UNITS["db"]
+        op = ut.div_units(db, db)
+        assert op.error is None and op.unit == ut.UNITS["ratio"]
+
+    def test_physical_products(self):
+        w, s, j = ut.UNITS["watts"], ut.UNITS["seconds"], ut.UNITS["joules"]
+        whz, hz = ut.UNITS["watts_per_hz"], ut.UNITS["hertz"]
+        assert ut.mul_units(w, s).unit == j
+        assert ut.mul_units(s, w).unit == j  # symmetric
+        assert ut.mul_units(whz, hz).unit == w
+        assert ut.div_units(j, s).unit == w
+        assert ut.div_units(j, w).unit == s
+        assert ut.div_units(w, hz).unit == whz
+
+    def test_equal_linear_units_cancel(self):
+        w = ut.UNITS["watts"]
+        op = ut.div_units(w, w)
+        assert op.unit == ut.UNITS["ratio"] and op.error is None
+
+    @given(st.sampled_from(LINEAR_UNITS))
+    def test_ratio_is_transparent(self, a):
+        ratio = ut.UNITS["ratio"]
+        assert ut.mul_units(a, ratio).unit == a
+        assert ut.mul_units(ratio, a).unit == a
+        assert ut.div_units(a, ratio).unit == a
+
+    def test_per_bit_energy_stays_joules(self):
+        # Repo convention: e_bar_b is carried in J throughout.
+        assert ut.div_units(ut.UNITS["joules"], ut.UNITS["bits"]).unit == ut.UNITS[
+            "joules"
+        ]
+
+
+class TestVocabulary:
+    @pytest.mark.parametrize(
+        "identifier, expected",
+        [
+            ("snr_db", "db"),
+            ("power_dbm", "dbm"),
+            ("gain_dbi", "dbi"),
+            ("n0_dbm_hz", "dbm_per_hz"),
+            ("noise_w", "watts"),
+            ("p_ct_mw", "milliwatts"),
+            ("sigma2_w_hz", "watts_per_hz"),
+            ("energy_j", "joules"),
+            ("t_tr_s", "seconds"),
+            ("distance_m", "meters"),
+            ("bandwidth_hz", "hertz"),
+            ("packet_bits", "bits"),
+            ("margin_linear", "ratio"),
+        ],
+    )
+    def test_suffix_convention(self, identifier, expected):
+        assert ut.suffix_unit(identifier).name == expected
+
+    def test_bare_suffix_is_not_a_match(self):
+        # "_db" alone (or "_m") carries no stem to name; treat as unknown.
+        assert ut.suffix_unit("_db").is_unknown
+
+    def test_unsuffixed_is_unknown(self):
+        assert ut.suffix_unit("value").is_unknown
+
+    def test_longest_suffix_wins(self):
+        # _dbm must not be parsed as the _m (meters) suffix.
+        assert ut.suffix_unit("x_dbm").name == "dbm"
+        assert ut.suffix_unit("x_dbm_hz").name == "dbm_per_hz"
+
+    def test_every_alias_has_all_three_variants(self):
+        for base in ("DB", "DBm", "Watts", "Joules", "Meters", "Bits"):
+            for variant in (base, base + "Like", base + "Array"):
+                name = ut.annotation_unit_name(variant)
+                assert name in ut.UNITS, variant
+
+    def test_unknown_alias_is_empty(self):
+        assert ut.annotation_unit_name("Float64") == ""
+
+    def test_alias_units_agree_with_runtime_specs(self):
+        # The lattice's alias table must match the Annotated metadata the
+        # aliases actually carry at runtime.
+        import typing
+
+        from repro.utils import units as u
+
+        for alias, unit_name in ut.ANNOTATION_UNITS.items():
+            obj = getattr(u, alias, None)
+            if obj is None:
+                continue  # not every Array variant is exported
+            spec = typing.get_args(obj)[1]
+            assert isinstance(spec, u.UnitSpec)
+            assert spec.name == unit_name
