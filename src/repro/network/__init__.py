@@ -22,7 +22,11 @@ from repro.network.cluster import Cluster
 from repro.network.clustering import d_cluster, validate_clustering
 from repro.network.comimonet import CoMIMONet, CooperativeLink, LinkKind
 from repro.network.graph import Graph, build_communication_graph
-from repro.network.mobility import RandomWaypointMobility, simulate_recluster_interval
+from repro.network.mobility import (
+    RandomWaypointMobility,
+    WaypointState,
+    simulate_recluster_interval,
+)
 from repro.network.node import SUNode
 from repro.network.protocol import SessionResult, SessionSimulator
 
@@ -39,5 +43,6 @@ __all__ = [
     "SessionSimulator",
     "SessionResult",
     "RandomWaypointMobility",
+    "WaypointState",
     "simulate_recluster_interval",
 ]

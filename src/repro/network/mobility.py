@@ -20,7 +20,31 @@ from repro.network.clustering import d_cluster, validate_clustering
 from repro.utils.rng import RngLike, as_rng
 from repro.utils.validation import check_positive, check_positive_int
 
-__all__ = ["RandomWaypointMobility", "simulate_recluster_interval"]
+__all__ = ["RandomWaypointMobility", "WaypointState", "simulate_recluster_interval"]
+
+
+@dataclass
+class WaypointState:
+    """Mutable per-node walk state for incremental random-waypoint motion.
+
+    Produced by :meth:`RandomWaypointMobility.start` and advanced one
+    tick at a time by :meth:`RandomWaypointMobility.step` — the
+    streaming counterpart of :meth:`RandomWaypointMobility.walk` for
+    callers (the `repro.scenario` runtime) that interleave mobility with
+    other events instead of materialising whole trajectories.  Given the
+    same RNG stream, ``start`` + repeated ``step`` reproduce ``walk``
+    bit-identically.
+    """
+
+    positions: np.ndarray
+    waypoints: np.ndarray
+    speeds: np.ndarray
+    pause_left: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of nodes in the walk."""
+        return int(self.positions.shape[0])
 
 
 @dataclass
@@ -56,6 +80,74 @@ class RandomWaypointMobility:
         gen = as_rng(rng)
         return gen.uniform((0.0, 0.0), self.arena, size=(n, 2))
 
+    def start(self, positions: np.ndarray, rng: RngLike = None) -> WaypointState:
+        """Begin an incremental walk from ``positions``.
+
+        Draws the first waypoint and speed for every node (the same
+        draws, in the same order, as the head of :meth:`walk`).
+        """
+        gen = as_rng(rng)
+        pos = np.array(positions, dtype=float)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ValueError("positions must have shape (n, 2)")
+        n = pos.shape[0]
+        return WaypointState(
+            positions=pos,
+            waypoints=gen.uniform((0.0, 0.0), self.arena, size=(n, 2)),
+            speeds=gen.uniform(*self.speed_range, size=n),
+            pause_left=np.zeros(n),
+        )
+
+    def step(self, state: WaypointState, step_s: float, rng: RngLike = None) -> np.ndarray:
+        """Advance an incremental walk by one tick of ``step_s`` seconds.
+
+        Mutates ``state`` in place and returns ``state.positions``.
+        Waypoint arrivals re-draw a destination and speed from ``rng`` in
+        node order, exactly as :meth:`walk` does within a step.
+        """
+        check_positive(step_s, "step_s")
+        gen = as_rng(rng)
+        pos = state.positions
+        waypoints = state.waypoints
+        speeds = state.speeds
+        moving = state.pause_left < step_s
+        state.pause_left = np.maximum(state.pause_left - step_s, 0.0)
+        pause_left = state.pause_left
+        for i in np.where(moving)[0]:
+            budget = step_s
+            while budget > 1e-12:
+                to_target = waypoints[i] - pos[i]
+                dist = float(np.linalg.norm(to_target))
+                travel = speeds[i] * budget
+                if travel < dist:
+                    pos[i] += to_target * (travel / dist)
+                    break
+                # arrive, pause, re-draw
+                pos[i] = waypoints[i]
+                budget -= dist / speeds[i] if speeds[i] > 0 else budget
+                waypoints[i] = gen.uniform((0.0, 0.0), self.arena)
+                speeds[i] = gen.uniform(*self.speed_range)
+                if self.pause_s > 0.0:
+                    pause_left[i] = self.pause_s
+                    break
+        return pos
+
+    def admit(self, state: WaypointState, rng: RngLike = None) -> int:
+        """Add a newly joined node to an incremental walk.
+
+        Draws its starting position, first waypoint and speed; returns
+        the new node's row index in ``state.positions``.
+        """
+        gen = as_rng(rng)
+        position = gen.uniform((0.0, 0.0), self.arena)
+        waypoint = gen.uniform((0.0, 0.0), self.arena)
+        speed = gen.uniform(*self.speed_range)
+        state.positions = np.vstack([state.positions, position[None, :]])
+        state.waypoints = np.vstack([state.waypoints, waypoint[None, :]])
+        state.speeds = np.append(state.speeds, speed)
+        state.pause_left = np.append(state.pause_left, 0.0)
+        return state.n - 1
+
     def walk(
         self,
         positions: np.ndarray,
@@ -66,45 +158,19 @@ class RandomWaypointMobility:
         """Trajectories sampled every ``step_s`` for ``duration_s``.
 
         Returns an array of shape ``(n_steps + 1, n, 2)`` including the
-        initial positions.
+        initial positions.  Implemented as :meth:`start` + ``n_steps``
+        :meth:`step` calls, so batch and incremental walks share one
+        RNG draw order.
         """
         check_positive(duration_s, "duration_s")
         check_positive(step_s, "step_s")
         gen = as_rng(rng)
-        pos = np.array(positions, dtype=float)
-        if pos.ndim != 2 or pos.shape[1] != 2:
-            raise ValueError("positions must have shape (n, 2)")
-        n = pos.shape[0]
+        state = self.start(positions, gen)
         n_steps = int(np.ceil(duration_s / step_s))
-
-        waypoints = gen.uniform((0.0, 0.0), self.arena, size=(n, 2))
-        speeds = gen.uniform(*self.speed_range, size=n)
-        pause_left = np.zeros(n)
-
-        out = np.empty((n_steps + 1, n, 2))
-        out[0] = pos
+        out = np.empty((n_steps + 1, state.n, 2))
+        out[0] = state.positions
         for step in range(1, n_steps + 1):
-            remaining = np.full(n, step_s)
-            moving = pause_left < remaining
-            pause_left = np.maximum(pause_left - step_s, 0.0)
-            for i in np.where(moving)[0]:
-                budget = step_s
-                while budget > 1e-12:
-                    to_target = waypoints[i] - pos[i]
-                    dist = float(np.linalg.norm(to_target))
-                    travel = speeds[i] * budget
-                    if travel < dist:
-                        pos[i] += to_target * (travel / dist)
-                        break
-                    # arrive, pause, re-draw
-                    pos[i] = waypoints[i]
-                    budget -= dist / speeds[i] if speeds[i] > 0 else budget
-                    waypoints[i] = gen.uniform((0.0, 0.0), self.arena)
-                    speeds[i] = gen.uniform(*self.speed_range)
-                    if self.pause_s > 0.0:
-                        pause_left[i] = self.pause_s
-                        break
-            out[step] = pos
+            out[step] = self.step(state, step_s, gen)
         return out
 
 

@@ -89,6 +89,17 @@ class SUNode:
             raise RuntimeError(f"node {self.node_id} battery exhausted")
         self._consumed_j += energy_j
 
+    def move_to(self, position: Tuple[float, float]) -> None:
+        """Update the node's coordinates [m] (a mobility tick).
+
+        Battery state is untouched; previously returned position views
+        keep the old coordinates.
+        """
+        pos = np.asarray(position, dtype=float)
+        if pos.shape != (2,):
+            raise ValueError(f"position must be a 2-vector, got {pos.shape}")
+        self._position = pos
+
     def distance_to(self, other: "SUNode") -> float:
         """Euclidean distance to another node [m]."""
         return float(np.linalg.norm(self._position - other._position))

@@ -1,0 +1,30 @@
+"""City-scale CRN scenario subsystem.
+
+Turns the network/MAC/DES substrate into a servable workload: a
+declarative, seed-deterministic scenario model (`repro.scenario.spec`),
+and a runtime (`repro.scenario.runtime`) that wires RandomWaypoint
+mobility, per-transmission battery drain, node churn and CoMIMONet
+cluster reconfiguration into a high-throughput event kernel, emitting
+periodic metric snapshots.  `/v1/simulate` (`repro.service`) streams
+those snapshots as NDJSON.  See `docs/simulation.md`.
+"""
+
+from repro.scenario.runtime import ScenarioRuntime, canonical_row, rows_digest
+from repro.scenario.spec import (
+    ChurnSpec,
+    ScenarioSpec,
+    TrafficClass,
+    scenario_from_mapping,
+    scenario_to_mapping,
+)
+
+__all__ = [
+    "ChurnSpec",
+    "ScenarioRuntime",
+    "ScenarioSpec",
+    "TrafficClass",
+    "canonical_row",
+    "rows_digest",
+    "scenario_from_mapping",
+    "scenario_to_mapping",
+]

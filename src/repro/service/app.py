@@ -29,7 +29,17 @@ import json
 import logging
 from collections import OrderedDict
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    AsyncIterator,
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -45,6 +55,7 @@ from repro.service.errors import (
     ServiceError,
 )
 from repro.service.faults import FaultInjector
+from repro.service.httpio import NDJSON_CONTENT_TYPE
 from repro.service.metrics import Metrics
 from repro.service.pool import WorkerPool
 from repro.service.rescache import ResultCache, canonical_digest
@@ -60,9 +71,14 @@ from repro.service.schemas import (
     parse_overlay_request,
     parse_underlay_request,
 )
+from repro.service.simulate import (
+    SimulationRunner,
+    parse_simulate_request,
+    simulate_rows,
+)
 from repro.utils.rng import as_rng, spawn_seed_sequences
 
-__all__ = ["PlanningService", "ENDPOINTS"]
+__all__ = ["PlanningService", "RowStream", "ENDPOINTS", "STREAMABLE_ENDPOINTS"]
 
 logger = logging.getLogger("repro.service")
 
@@ -74,7 +90,14 @@ ENDPOINTS: Dict[str, str] = {
     "/v1/overlay/feasible": "POST",
     "/v1/underlay/energy": "POST",
     "/v1/interweave/pattern": "POST",
+    "/v1/simulate": "POST",
 }
+
+#: Endpoints that stream NDJSON rows when the client sends
+#: ``Accept: application/x-ndjson``; buffered JSON otherwise.
+STREAMABLE_ENDPOINTS = frozenset(
+    {"/v1/simulate", "/v1/overlay/feasible", "/v1/underlay/energy"}
+)
 
 #: Bounded size of the ``e_bar_b`` response cache (FIFO eviction).
 EBAR_CACHE_SIZE = 4096
@@ -118,6 +141,40 @@ def _response_is_pure(path: str, data: object) -> bool:
     return bool(env.get("n_scatterers", 6) == 0)
 
 
+class RowStream:
+    """A committed 200 NDJSON response: rows plus teardown bookkeeping.
+
+    Returned by :meth:`PlanningService.handle_stream` once a streaming
+    request has fully validated — from here on the transport writes the
+    chunked head and relays rows.  :meth:`close` is idempotent and must
+    run exactly once when the transport is done with the stream (clean
+    end, client disconnect, or write failure): it closes the underlying
+    async generator (killing a simulation child mid-flight if needed) and
+    releases any concurrency slot via ``on_close``.
+    """
+
+    def __init__(
+        self,
+        rows: AsyncIterator[Row],
+        on_close: Optional[Callable[[], None]] = None,
+        content_type: str = NDJSON_CONTENT_TYPE,
+    ) -> None:
+        self.rows = rows
+        self.content_type = content_type
+        self._on_close = on_close
+        self._closed = False
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        aclose = getattr(self.rows, "aclose", None)
+        if aclose is not None:
+            await aclose()
+        if self._on_close is not None:
+            self._on_close()
+
+
 class PlanningService:
     """Everything between the HTTP layer and the repro library."""
 
@@ -134,6 +191,7 @@ class PlanningService:
             max_restarts=config.max_pool_restarts,
             faults=self.faults,
         )
+        self.sims = SimulationRunner(config.max_sims, self.metrics)
         self._draining = False
         self._result_cache: Optional[ResultCache] = None
         if config.result_cache:
@@ -334,9 +392,197 @@ class PlanningService:
             return await self._handle_underlay(
                 parse_underlay_request(data, self.config.max_sweep_points)
             )
+        if path == "/v1/simulate":
+            return await self._handle_simulate_buffered(data)
         return await self._handle_interweave(
             parse_interweave_request(data, self.config.max_sweep_points)
         )
+
+    # ------------------------------------------------------------------ #
+    # Streaming (NDJSON) request path                                     #
+    # ------------------------------------------------------------------ #
+
+    def wants_stream(self, method: str, path: str, headers: Dict[str, str]) -> bool:
+        """Whether this request opts into the NDJSON streaming path."""
+        if method != "POST" or path not in STREAMABLE_ENDPOINTS:
+            return False
+        return NDJSON_CONTENT_TYPE in headers.get("accept", "").lower()
+
+    async def handle_stream(
+        self, method: str, path: str, body: bytes
+    ) -> Union[Tuple[int, Payload], RowStream]:
+        """Open one streaming request.  Never raises.
+
+        Returns a :class:`RowStream` once the request has validated and
+        its first unit of work is admitted — everything that can fail
+        with a clean HTTP status (parse errors, 429 backpressure, 404)
+        fails *here* and comes back as an ordinary ``(status, payload)``
+        for a buffered error response.  After a RowStream is returned the
+        transport is committed to a 200; mid-stream failures surface as a
+        terminal ``{"row": "error"}`` line followed by connection close
+        without the final chunk.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self.metrics.record_request(path)
+        try:
+            stream = await self._open_stream(path, body)
+        except ServiceError as exc:
+            status, payload = exc.status, error_payload(
+                exc.status, exc.reason, str(exc)
+            )
+        except (ValueError, TypeError) as exc:
+            status, payload = 400, error_payload(400, "bad request", str(exc))
+        except KeyError as exc:
+            detail = exc.args[0] if exc.args else str(exc)
+            status, payload = 404, error_payload(404, "not found", str(detail))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive 500 path
+            logger.exception("internal error opening stream %s", path)
+            status, payload = 500, error_payload(500, "internal error", str(exc))
+        else:
+            self.metrics.stream_opened()
+            # Latency of a streamed response = time to commit (headers
+            # ready), not time to drain the whole stream.
+            self.metrics.record_response(200, (loop.time() - started) * 1000.0)
+            return stream
+        self.metrics.record_response(status, (loop.time() - started) * 1000.0)
+        return status, payload
+
+    async def _open_stream(self, path: str, body: bytes) -> RowStream:
+        data = self._parse_json(body)
+        if path == "/v1/simulate":
+            spec = parse_simulate_request(data, self.config.max_sim_nodes)
+            self.sims.acquire()
+            rows = self.sims.stream(spec, self.config.request_timeout_s)
+            return RowStream(self._count_rows(rows), on_close=self.sims.release)
+
+        # Sweep endpoints: serve straight from the persistent result cache
+        # when the identical body was answered before, else compute in
+        # pool-sized segments and flush each one as it lands.
+        cache = self._result_cache
+        digest: Optional[str] = None
+        if cache is not None:
+            digest = canonical_digest(path, data)
+            cached = cache.get(digest)
+            if cached is not None:
+                self.metrics.result_cache_hit()
+                return RowStream(self._count_rows(self._stream_cached(cached)))
+            self.metrics.result_cache_miss()
+        if path == "/v1/overlay/feasible":
+            overlay = parse_overlay_request(data, self.config.max_sweep_points)
+            segments = self._segment_axis(overlay.d1)
+            run = self._overlay_segment_runner(overlay)
+        else:
+            underlay = parse_underlay_request(data, self.config.max_sweep_points)
+            segments = self._segment_axis(underlay.distances)
+            run = self._underlay_segment_runner(underlay)
+
+        # The first segment is admitted *before* committing to a 200, so
+        # backpressure (429) and axis errors still get clean JSON replies.
+        first = await run(segments[0])
+        rows = self._stream_sweep(first, segments[1:], run, digest)
+        return RowStream(self._count_rows(rows))
+
+    def _segment_axis(
+        self, axis: Tuple[float, ...]
+    ) -> List[Tuple[float, ...]]:
+        size = self.config.stream_segment_points
+        return [axis[i : i + size] for i in range(0, len(axis), size)]
+
+    def _overlay_segment_runner(
+        self, request: OverlayRequest
+    ) -> Callable[[Tuple[float, ...]], Awaitable[List[Row]]]:
+        def run(axis: Tuple[float, ...]) -> Awaitable[List[Row]]:
+            return self.pool.submit(
+                work.overlay_rows, replace(request, d1=axis, scalar=False)
+            )
+
+        return run
+
+    def _underlay_segment_runner(
+        self, request: UnderlayRequest
+    ) -> Callable[[Tuple[float, ...]], Awaitable[List[Row]]]:
+        def run(axis: Tuple[float, ...]) -> Awaitable[List[Row]]:
+            return self.pool.submit(
+                work.underlay_rows, replace(request, distances=axis, scalar=False)
+            )
+
+        return run
+
+    async def _stream_cached(self, cached: Payload) -> AsyncIterator[Row]:
+        """Replay a cached sweep payload as the identical NDJSON stream."""
+        rows = cached.get("rows")
+        assert isinstance(rows, list)
+        for row in rows:
+            yield row
+        yield {"done": True, "count": len(rows)}
+
+    async def _stream_sweep(
+        self,
+        first: List[Row],
+        remaining: List[Tuple[float, ...]],
+        run: Callable[[Tuple[float, ...]], Awaitable[List[Row]]],
+        digest: Optional[str],
+    ) -> AsyncIterator[Row]:
+        """Relay sweep segments; cache the assembled payload on success.
+
+        Each segment runs under the per-request deadline (the streaming
+        analogue of the buffered path's whole-request deadline); a
+        deadline hit or mid-stream backpressure becomes a terminal error
+        row.  The full-response cache entry is written only after every
+        segment succeeded, and matches the buffered endpoint's payload
+        byte for byte — so streamed and buffered requests share hits.
+        """
+        all_rows: List[Row] = list(first)
+        for row in first:
+            yield row
+        timeout_s = self.config.request_timeout_s
+        for segment in remaining:
+            try:
+                if timeout_s is None:
+                    rows = await run(segment)
+                else:
+                    rows = await asyncio.wait_for(run(segment), timeout_s)
+            except asyncio.TimeoutError:
+                self.metrics.deadline_timeout()
+                yield {
+                    "row": "error",
+                    "error": "stream failed",
+                    "detail": f"sweep segment exceeded the {timeout_s:g} s deadline",
+                }
+                return
+            except ServiceError as exc:
+                yield {"row": "error", "error": exc.reason, "detail": str(exc)}
+                return
+            except (ValueError, KeyError) as exc:
+                yield {"row": "error", "error": "bad request", "detail": str(exc)}
+                return
+            all_rows.extend(rows)
+            for row in rows:
+                yield row
+        cache = self._result_cache
+        if cache is not None and digest is not None:
+            cache.put(digest, {"rows": all_rows, "count": len(all_rows)})
+        yield {"done": True, "count": len(all_rows)}
+
+    async def _count_rows(self, rows: AsyncIterator[Row]) -> AsyncIterator[Row]:
+        """Metrics wrapper: count every streamed row as it passes through."""
+        async for row in rows:
+            self.metrics.stream_row()
+            yield row
+
+    async def _handle_simulate_buffered(self, data: object) -> Payload:
+        """`/v1/simulate` without streaming: the whole run, pool-backed.
+
+        The rows are produced by the same pure function of the spec the
+        child process runs, so buffered and streamed responses carry
+        identical snapshots, summary and digest for the same body.
+        """
+        spec = parse_simulate_request(data, self.config.max_sim_nodes)
+        rows = await self.pool.submit(simulate_rows, spec)
+        return {"rows": rows[:-1], "summary": rows[-1], "count": len(rows) - 1}
 
     @staticmethod
     def _parse_json(body: bytes) -> object:

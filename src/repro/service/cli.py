@@ -8,6 +8,8 @@ Usage::
                   [--request-timeout-ms MS] [--max-pool-restarts N]
                   [--max-shard-restarts N] [--retry-after-s S]
                   [--drain-timeout-s S] [--admin-port P]
+                  [--max-sims N] [--max-sim-nodes N]
+                  [--stream-segment-points N]
                   [--no-result-cache] [--result-cache-dir DIR]
                   [--no-request-log] [--quiet]
 
@@ -175,6 +177,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="this server's slot in a shard fleet (set by the supervisor)",
     )
     parser.add_argument(
+        "--max-sims",
+        type=int,
+        default=2,
+        help="concurrently streaming /v1/simulate runs before requests get 429",
+    )
+    parser.add_argument(
+        "--max-sim-nodes",
+        type=int,
+        default=5000,
+        help="per-request cap on a scenario's starting node count",
+    )
+    parser.add_argument(
+        "--stream-segment-points",
+        type=int,
+        default=512,
+        help="axis points per pool task when streaming sweep rows as NDJSON",
+    )
+    parser.add_argument(
         "--result-cache",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -220,6 +240,9 @@ def build_config(args: argparse.Namespace) -> ServiceConfig:
         shard_index=args.shard_index,
         result_cache=args.result_cache,
         result_cache_dir=args.result_cache_dir,
+        max_sims=args.max_sims,
+        max_sim_nodes=args.max_sim_nodes,
+        stream_segment_points=args.stream_segment_points,
     )
 
 

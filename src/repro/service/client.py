@@ -4,6 +4,9 @@ One thin, dependency-free wrapper per endpoint; non-2xx responses raise
 :class:`ServiceClientError` carrying the HTTP status and the server's JSON
 error payload.  The client is deliberately synchronous — it is what a
 simulation script, a bench worker thread or a CI smoke test calls.
+Streaming endpoints (``/v1/simulate`` and the sweep endpoints under
+``Accept: application/x-ndjson``) are exposed as generators yielding one
+row dict per NDJSON line (see :meth:`ServiceClient.request_stream`).
 
 Transport failures (connection refused/reset, DNS errors, timeouts, a
 response truncated mid-body) never leak raw ``urllib``/``socket``
@@ -28,8 +31,9 @@ import json
 import socket
 import urllib.error
 import urllib.request
-from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
 
+from repro.service.httpio import NDJSON_CONTENT_TYPE
 from repro.service.retry import CircuitBreaker, RetryPolicy, default_sleeper
 from repro.utils.validation import (
     check_in_range,
@@ -212,6 +216,113 @@ class ServiceClient:
         return decoded if isinstance(decoded, dict) else {}
 
     # ------------------------------------------------------------------ #
+    # NDJSON streaming transport                                         #
+    # ------------------------------------------------------------------ #
+
+    def request_stream(
+        self, method: str, path: str, body: Optional[Payload] = None
+    ) -> Iterator[Payload]:
+        """One streaming request: yields each NDJSON row as a dict.
+
+        Sends ``Accept: application/x-ndjson`` and iterates the chunked
+        response line by line.  Pre-commit failures (400/404/429/...)
+        raise :class:`ServiceClientError` exactly like :meth:`request`.
+        Mid-stream server failures arrive as a terminal
+        ``{"row": "error", ...}`` line — yielded like any other row, after
+        which the stream ends (the server intentionally omits the final
+        chunk there, which this client recognises and swallows).  A
+        truncation *without* a preceding error row raises
+        :class:`ServiceClientError` with status 599.
+
+        Streaming requests bypass the retry policy and circuit breaker:
+        a generator cannot safely replay a half-consumed stream.
+        """
+        data = None
+        headers = {"Accept": NDJSON_CONTENT_TYPE}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self._url(path), data=data, headers=headers, method=method
+        )
+        try:
+            response = urllib.request.urlopen(req, timeout=self.timeout_s)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            payload = self._safe_decode(raw)
+            detail = str(payload.get("detail", raw.decode("utf-8", "replace")))
+            raise ServiceClientError(
+                exc.code,
+                detail,
+                payload,
+                retry_after_s=_parse_retry_after(exc.headers.get("Retry-After")),
+            ) from None
+        except (
+            urllib.error.URLError,
+            socket.timeout,
+            TimeoutError,
+            ConnectionError,
+            http.client.HTTPException,
+        ) as exc:
+            raise ServiceClientError(
+                TRANSPORT_FAILURE_STATUS,
+                f"transport failure contacting {self.host}:{self.port}: "
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
+        return self._iter_ndjson(response)
+
+    def _iter_ndjson(
+        self, response: http.client.HTTPResponse
+    ) -> Iterator[Payload]:
+        saw_error = False
+        rows = 0
+        try:
+            with response:
+                for raw in response:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    try:
+                        row = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise ServiceClientError(
+                            TRANSPORT_FAILURE_STATUS,
+                            f"undecodable NDJSON line: {line[:200]!r}",
+                        ) from exc
+                    if not isinstance(row, dict):
+                        raise ServiceClientError(
+                            TRANSPORT_FAILURE_STATUS,
+                            f"NDJSON line is not an object: {line[:200]!r}",
+                        )
+                    if row.get("row") == "error":
+                        saw_error = True
+                    rows += 1
+                    yield row
+        except (
+            http.client.HTTPException,
+            ConnectionError,
+            socket.timeout,
+            TimeoutError,
+        ) as exc:
+            if saw_error:
+                # The missing terminal chunk after an error row is the
+                # protocol's failure signal, not a transport fault.
+                return
+            raise ServiceClientError(
+                TRANSPORT_FAILURE_STATUS,
+                f"stream truncated: {type(exc).__name__}: {exc}",
+            ) from exc
+        if rows == 0:
+            # http.client reads "chunked headers, then close" as a clean
+            # empty body, but every stream this service emits carries at
+            # least one line (the summary or ``done`` row) — zero rows can
+            # only mean the connection died before the first chunk.
+            raise ServiceClientError(
+                TRANSPORT_FAILURE_STATUS,
+                "stream truncated: connection closed before the first row",
+            )
+
+    # ------------------------------------------------------------------ #
     # Endpoints                                                          #
     # ------------------------------------------------------------------ #
 
@@ -256,14 +367,26 @@ class ServiceClient:
 
         ``d1`` may be a scalar (coalesced) or a sequence (pooled sweep).
         """
-        body: Payload = {"d1": d1, "m": m, "bandwidth": bandwidth}
-        if p_direct is not None:
-            body["p_direct"] = p_direct
-        if p_relay is not None:
-            body["p_relay"] = p_relay
-        if convention is not None:
-            body["convention"] = convention
+        body = _overlay_body(d1, m, bandwidth, p_direct, p_relay, convention)
         return self.request("POST", "/v1/overlay/feasible", body)
+
+    def overlay_feasible_stream(
+        self,
+        d1: Sequence[float],
+        m: int,
+        bandwidth: float,
+        p_direct: Optional[float] = None,
+        p_relay: Optional[float] = None,
+        convention: Optional[str] = None,
+    ) -> Iterator[Payload]:
+        """Streaming ``POST /v1/overlay/feasible``: one row dict per point.
+
+        Rows arrive as each server-side segment completes; the stream
+        ends with a ``{"done": true, "count": N}`` line.  Row values are
+        identical to the buffered :meth:`overlay_feasible` response.
+        """
+        body = _overlay_body(d1, m, bandwidth, p_direct, p_relay, convention)
+        return self.request_stream("POST", "/v1/overlay/feasible", body)
 
     def underlay_energy(
         self,
@@ -280,17 +403,47 @@ class ServiceClient:
         ``distance`` may be a scalar (coalesced) or a sequence (pooled
         sweep).
         """
-        body: Payload = {
-            "p": p,
-            "mt": mt,
-            "mr": mr,
-            "d": d,
-            "distance": distance,
-            "bandwidth": bandwidth,
-        }
-        if convention is not None:
-            body["convention"] = convention
+        body = _underlay_body(p, mt, mr, d, distance, bandwidth, convention)
         return self.request("POST", "/v1/underlay/energy", body)
+
+    def underlay_energy_stream(
+        self,
+        p: float,
+        mt: int,
+        mr: int,
+        d: float,
+        distance: Sequence[float],
+        bandwidth: float,
+        convention: Optional[str] = None,
+    ) -> Iterator[Payload]:
+        """Streaming ``POST /v1/underlay/energy``: one row dict per point.
+
+        Rows arrive as each server-side segment completes; the stream
+        ends with a ``{"done": true, "count": N}`` line.  Row values are
+        identical to the buffered :meth:`underlay_energy` response.
+        """
+        body = _underlay_body(p, mt, mr, d, distance, bandwidth, convention)
+        return self.request_stream("POST", "/v1/underlay/energy", body)
+
+    def simulate(self, scenario: Payload) -> Payload:
+        """Buffered ``POST /v1/simulate`` — the whole scenario at once.
+
+        ``scenario`` is a :func:`repro.scenario.scenario_from_mapping`
+        style mapping; the response carries every snapshot under
+        ``rows`` plus the terminal ``summary`` row (with the replay
+        digest) and ``count``.
+        """
+        return self.request("POST", "/v1/simulate", scenario)
+
+    def simulate_stream(self, scenario: Payload) -> Iterator[Payload]:
+        """Streaming ``POST /v1/simulate``: snapshots as they happen.
+
+        Yields each periodic snapshot row while the scenario runs in a
+        dedicated server-side process, ending with the ``summary`` row
+        whose ``digest`` commits to every preceding snapshot — two
+        same-seed streams are byte-identical on the wire.
+        """
+        return self.request_stream("POST", "/v1/simulate", scenario)
 
     def interweave_pattern(
         self,
@@ -327,6 +480,46 @@ class ServiceClient:
         if environment is not None:
             body["environment"] = environment
         return self.request("POST", "/v1/interweave/pattern", body)
+
+
+def _overlay_body(
+    d1: Axis,
+    m: int,
+    bandwidth: float,
+    p_direct: Optional[float],
+    p_relay: Optional[float],
+    convention: Optional[str],
+) -> Payload:
+    body: Payload = {"d1": d1, "m": m, "bandwidth": bandwidth}
+    if p_direct is not None:
+        body["p_direct"] = p_direct
+    if p_relay is not None:
+        body["p_relay"] = p_relay
+    if convention is not None:
+        body["convention"] = convention
+    return body
+
+
+def _underlay_body(
+    p: float,
+    mt: int,
+    mr: int,
+    d: float,
+    distance: Axis,
+    bandwidth: float,
+    convention: Optional[str],
+) -> Payload:
+    body: Payload = {
+        "p": p,
+        "mt": mt,
+        "mr": mr,
+        "d": d,
+        "distance": distance,
+        "bandwidth": bandwidth,
+    }
+    if convention is not None:
+        body["convention"] = convention
+    return body
 
 
 def _parse_retry_after(value: Optional[str]) -> Optional[float]:

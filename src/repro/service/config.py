@@ -97,6 +97,18 @@ class ServiceConfig:
     result_cache_dir:
         Override the result-cache directory (default: the shared
         ``repro-comimo`` cache root).
+    max_sims:
+        Concurrently *streaming* ``/v1/simulate`` runs (each is its own
+        child process); excess requests are rejected with HTTP 429.
+        Buffered simulate requests ride the worker pool instead and are
+        bounded by ``queue_limit``.
+    max_sim_nodes:
+        Per-request cap on a scenario's admission-time ``n_nodes``.
+    stream_segment_points:
+        Axis-segment size for NDJSON sweep streaming: a streamed
+        overlay/underlay sweep is computed in pool tasks of at most this
+        many points, with each segment's rows flushed to the client as
+        soon as it lands.
     """
 
     host: str = "127.0.0.1"
@@ -119,6 +131,9 @@ class ServiceConfig:
     shard_index: Optional[int] = None
     result_cache: bool = False
     result_cache_dir: Optional[str] = None
+    max_sims: int = 2
+    max_sim_nodes: int = 5000
+    stream_segment_points: int = 512
 
     def __post_init__(self) -> None:
         check_in_range(self.port, "port", 0, 65535)
@@ -145,6 +160,9 @@ class ServiceConfig:
             check_in_range(self.admin_port, "admin_port", 0, 65535)
         if self.shard_index is not None:
             check_non_negative_int(self.shard_index, "shard_index")
+        check_positive_int(self.max_sims, "max_sims")
+        check_positive_int(self.max_sim_nodes, "max_sim_nodes")
+        check_positive_int(self.stream_segment_points, "stream_segment_points")
 
     @property
     def coalesce_window_s(self) -> float:

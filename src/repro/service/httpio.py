@@ -1,8 +1,11 @@
 """Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
 
 Just enough of the protocol for a JSON planning API: request line +
-headers + ``Content-Length`` body in, status line + JSON body out, with
-``keep-alive`` connection reuse.  No chunked encoding, no TLS — this is an
+headers + ``Content-Length`` body in; out, either a buffered JSON body
+(``render_response``) or a chunked transfer-encoded NDJSON stream
+(``render_stream_head`` + ``encode_chunk`` per line + ``LAST_CHUNK``) for
+the streaming endpoints.  ``keep-alive`` connection reuse on buffered
+responses; streamed responses always close.  No TLS — this is an
 in-cluster planning service, not a general web server.
 """
 
@@ -18,10 +21,21 @@ __all__ = [
     "RequestHead",
     "read_request",
     "render_response",
+    "render_stream_head",
+    "encode_chunk",
+    "encode_ndjson_line",
+    "LAST_CHUNK",
+    "NDJSON_CONTENT_TYPE",
     "REASONS",
     "MAX_HEADER_BYTES",
     "MAX_BODY_BYTES",
 ]
+
+#: Media type that opts a request into row-by-row NDJSON streaming.
+NDJSON_CONTENT_TYPE = "application/x-ndjson"
+
+#: Terminal frame of a chunked response (zero-length chunk, no trailers).
+LAST_CHUNK = b"0\r\n\r\n"
 
 #: Reason phrases for every status the service emits.
 REASONS: Dict[int, str] = {
@@ -155,3 +169,44 @@ def render_response(
         lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
     head = "\r\n".join(lines) + "\r\n\r\n"
     return head.encode("latin-1") + body
+
+
+def render_stream_head(
+    status: int = 200,
+    content_type: str = NDJSON_CONTENT_TYPE,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Response head for a chunked stream (no body yet).
+
+    Streamed responses carry no ``Content-Length`` — the body is framed
+    with ``Transfer-Encoding: chunked`` and the connection closes after
+    :data:`LAST_CHUNK`, so a truncated stream is always detectable (the
+    peer sees EOF without the terminal chunk).
+    """
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Transfer-Encoding: chunked",
+        "Connection: close",
+    ]
+    if extra_headers:
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """Frame one non-empty chunk (hex length, CRLF, payload, CRLF)."""
+    if not data:
+        raise ValueError("chunks must be non-empty; end streams with LAST_CHUNK")
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+def encode_ndjson_line(payload: Dict[str, object]) -> bytes:
+    """One NDJSON line — canonical (sorted-key) JSON plus the newline.
+
+    Sorted keys make streamed bytes a pure function of the row dicts, so
+    same-seed replays of a streaming endpoint are byte-identical on the
+    wire, not just value-equal after parsing.
+    """
+    return json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"

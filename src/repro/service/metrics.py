@@ -179,6 +179,9 @@ class Metrics:
         self._pool_task_retries = 0
         self._degraded_requests = 0
         self._deadline_timeouts = 0
+        # NDJSON streaming
+        self._streams_opened = 0
+        self._stream_rows = 0
 
     # ------------------------------------------------------------------ #
     # Request lifecycle                                                  #
@@ -257,6 +260,14 @@ class Metrics:
         """A request exceeded the per-request deadline and was answered 504."""
         self._deadline_timeouts += 1
 
+    def stream_opened(self) -> None:
+        """An NDJSON streaming response committed (headers sent)."""
+        self._streams_opened += 1
+
+    def stream_row(self) -> None:
+        """One NDJSON row was handed to the transport layer."""
+        self._stream_rows += 1
+
     @property
     def pool_depth(self) -> int:
         """Current sweep-pool queue depth (running + queued tasks)."""
@@ -304,6 +315,10 @@ class Metrics:
                 "restarts": self._pool_restarts,
                 "task_retries": self._pool_task_retries,
                 "degraded_requests": self._degraded_requests,
+            },
+            "streams": {
+                "opened": self._streams_opened,
+                "rows": self._stream_rows,
             },
             "deadline_timeouts": self._deadline_timeouts,
         }

@@ -20,10 +20,17 @@ import socket
 import sys
 from typing import Callable, Dict, Optional, Set
 
-from repro.service.app import PlanningService
+from repro.service.app import PlanningService, RowStream
 from repro.service.config import ServiceConfig
 from repro.service.errors import ServiceError
-from repro.service.httpio import read_request, render_response
+from repro.service.httpio import (
+    LAST_CHUNK,
+    encode_chunk,
+    encode_ndjson_line,
+    read_request,
+    render_response,
+    render_stream_head,
+)
 from repro.service.schemas import error_payload
 
 __all__ = ["ServiceServer", "serve"]
@@ -163,6 +170,28 @@ class ServiceServer:
             if request is None:
                 return
             head, body = request
+            if self.service.wants_stream(head.method, head.path, head.headers):
+                self._enter()
+                try:
+                    result = await self.service.handle_stream(
+                        head.method, head.path, body
+                    )
+                    if isinstance(result, RowStream):
+                        await self._relay_stream(result, writer)
+                        return
+                    status, payload = result
+                    writer.write(
+                        render_response(
+                            status,
+                            payload,
+                            keep_alive=False,
+                            extra_headers=self._extra_headers(status),
+                        )
+                    )
+                    await writer.drain()
+                    return
+                finally:
+                    self._exit()
             self._enter()
             try:
                 status, payload = await self.service.handle(
@@ -187,6 +216,31 @@ class ServiceServer:
             await writer.drain()
             if not keep_alive:
                 return
+
+    async def _relay_stream(
+        self, stream: RowStream, writer: asyncio.StreamWriter
+    ) -> None:
+        """Ship one committed NDJSON stream as a chunked 200 response.
+
+        Every row is flushed as its own chunk the moment it arrives.  A
+        terminal ``{"row": "error"}`` line ends the stream *without* the
+        final zero-length chunk, so clients can always distinguish a
+        truncated stream from a complete one; streams that finish cleanly
+        get :data:`LAST_CHUNK`.  The connection closes either way.
+        """
+        writer.write(render_stream_head(200, stream.content_type))
+        try:
+            failed = False
+            async for row in stream.rows:
+                writer.write(encode_chunk(encode_ndjson_line(row)))
+                await writer.drain()
+                if row.get("row") == "error":
+                    failed = True
+            if not failed:
+                writer.write(LAST_CHUNK)
+                await writer.drain()
+        finally:
+            await stream.close()
 
     def _extra_headers(self, status: int) -> Optional[Dict[str, str]]:
         """Backpressure responses carry an explicit retry hint."""

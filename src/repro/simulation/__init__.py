@@ -1,5 +1,23 @@
-"""Discrete-event simulation kernel used by the MAC layer."""
+"""Discrete-event simulation kernels.
 
-from repro.simulation.events import EventScheduler
+`EventScheduler` is the original handle-based scheduler used by the MAC
+layer; `HeapKernel`/`CalendarKernel` are the high-throughput integer-id
+kernels behind the `repro.scenario` runtime (see `docs/simulation.md`).
+"""
 
-__all__ = ["EventScheduler"]
+from repro.simulation.events import EventHandle, EventScheduler
+from repro.simulation.kernel import (
+    CalendarKernel,
+    HeapKernel,
+    SimKernel,
+    make_kernel,
+)
+
+__all__ = [
+    "CalendarKernel",
+    "EventHandle",
+    "EventScheduler",
+    "HeapKernel",
+    "SimKernel",
+    "make_kernel",
+]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 __all__ = ["EventScheduler", "EventHandle"]
 
@@ -66,6 +66,26 @@ class EventScheduler:
         if time < self._now:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
         return self.schedule(time - self._now, callback)
+
+    def schedule_many(
+        self, delays: Sequence[float], callback: Callable[[], None]
+    ) -> List[EventHandle]:
+        """Batch-insert one event per delay; returns the handles in order.
+
+        API parity with the `repro.simulation.kernel` schedulers — for
+        throughput-critical bulk insertion prefer those (their batch path
+        skips handle allocation entirely).
+        """
+        if len(delays) > 0 and min(delays) < 0.0:
+            raise ValueError("delays must be non-negative")
+        now = self._now
+        queue = self._queue
+        push = heapq.heappush
+        counter = self._counter
+        handles = [EventHandle() for _ in delays]
+        for d, handle in zip(delays, handles):
+            push(queue, (now + d, next(counter), handle, callback))
+        return handles
 
     def step(self) -> bool:
         """Execute the next non-cancelled event; returns False when empty."""

@@ -102,6 +102,73 @@ class TestStats:
             CsmaCaSimulator(n_stations=0)
 
 
+class TestDeterminism:
+    def test_same_seed_same_stats(self):
+        a = CsmaCaSimulator(n_stations=12, rng=42).run(2_000_000)
+        b = CsmaCaSimulator(n_stations=12, rng=42).run(2_000_000)
+        assert (a.attempts, a.delivered, a.collisions, a.dropped) == (
+            b.attempts,
+            b.delivered,
+            b.collisions,
+            b.dropped,
+        )
+        assert a.mean_access_delay_us == b.mean_access_delay_us
+        assert a.channel_utilization == b.channel_utilization
+
+    def test_different_seed_different_stats(self):
+        a = CsmaCaSimulator(n_stations=12, rng=42).run(2_000_000)
+        b = CsmaCaSimulator(n_stations=12, rng=43).run(2_000_000)
+        assert (a.delivered, a.collisions) != (b.delivered, b.collisions)
+
+    def test_unsaturated_deterministic(self):
+        runs = [
+            CsmaCaSimulator(
+                n_stations=5, saturated=False, arrival_rate_fps=30.0, rng=9
+            ).run(2_000_000)
+            for _ in range(2)
+        ]
+        assert runs[0].delivered == runs[1].delivered
+        assert runs[0].attempts == runs[1].attempts
+
+
+class TestCityScaleContention:
+    """Regression pins for the ≥100-station regime the scenario runtime uses."""
+
+    def test_hundred_stations_still_deliver(self):
+        stats = CsmaCaSimulator(n_stations=100, rng=10).run(2_000_000)
+        assert stats.delivered > 0
+        assert stats.attempts == stats.delivered + stats.collisions
+        # Collapse point: contention is severe but the channel still works.
+        assert 0.5 < stats.collision_probability < 1.0
+
+    def test_contention_monotone_through_city_scale(self):
+        probs = []
+        for n in (50, 100, 200):
+            stats = CsmaCaSimulator(n_stations=n, rng=11).run(1_000_000)
+            probs.append(stats.collision_probability)
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_throughput_degrades_gracefully(self):
+        """Aggregate throughput at 100 stations stays within the airtime
+        bound and above a pinned floor (guards accidental collapse)."""
+        cfg = CsmaConfig()
+        stats = CsmaCaSimulator(n_stations=100, config=cfg, rng=12).run(2_000_000)
+        per_frame = cfg.frame_us + cfg.sifs_us + cfg.ack_us + cfg.difs_us
+        upper = 1e6 / per_frame
+        throughput = stats.throughput_frames_per_s()
+        assert throughput <= upper * 1.01
+        assert throughput > 0.05 * upper
+
+    def test_wide_cw_rescues_city_scale(self):
+        tight = CsmaCaSimulator(
+            n_stations=120, config=CsmaConfig(cw_min=8), rng=13
+        ).run(1_000_000)
+        wide = CsmaCaSimulator(
+            n_stations=120, config=CsmaConfig(cw_min=256), rng=13
+        ).run(1_000_000)
+        assert wide.collision_probability < tight.collision_probability
+
+
 class TestRtsCts:
     def test_overhead_properties(self):
         plain = CsmaConfig()

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.network.mobility import RandomWaypointMobility, simulate_recluster_interval
+from repro.utils.rng import as_rng
 
 
 class TestRandomWaypoint:
@@ -62,6 +63,72 @@ class TestRandomWaypoint:
         model = RandomWaypointMobility()
         with pytest.raises(ValueError):
             model.walk(np.zeros((3, 3)), 10.0, 1.0)
+
+
+class TestIncrementalWalk:
+    """start/step must reproduce walk bit-for-bit from one RNG stream."""
+
+    def test_step_matches_walk(self):
+        model = RandomWaypointMobility(arena=(80.0, 60.0), pause_s=3.0)
+        start = model.initial_positions(7, rng=10)
+        traj = model.walk(start.copy(), duration_s=40.0, step_s=1.0, rng=11)
+        gen = as_rng(11)
+        state = model.start(start.copy(), gen)
+        np.testing.assert_array_equal(state.positions, traj[0])
+        for k in range(1, traj.shape[0]):
+            model.step(state, 1.0, gen)
+            np.testing.assert_array_equal(state.positions, traj[k])
+
+    def test_seeded_steps_deterministic(self):
+        model = RandomWaypointMobility()
+        start = model.initial_positions(5, rng=12)
+        runs = []
+        for _ in range(2):
+            gen = as_rng(13)
+            state = model.start(start.copy(), gen)
+            for _ in range(25):
+                model.step(state, 0.5, gen)
+            runs.append(state.positions.copy())
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_admit_appends_node(self):
+        model = RandomWaypointMobility(arena=(40.0, 40.0))
+        gen = as_rng(14)
+        state = model.start(model.initial_positions(3, gen), gen)
+        index = model.admit(state, gen)
+        assert index == 3
+        assert state.n == 4
+        assert np.all(state.positions[3] >= 0.0)
+        assert np.all(state.positions[3] <= 40.0)
+        # the admitted node participates in subsequent steps
+        before = state.positions[3].copy()
+        for _ in range(10):
+            model.step(state, 1.0, gen)
+        assert np.linalg.norm(state.positions[3] - before) > 0.0
+
+    def test_admit_does_not_disturb_existing_nodes(self):
+        model = RandomWaypointMobility()
+        gen = as_rng(15)
+        state = model.start(model.initial_positions(4, gen), gen)
+        existing = state.positions[:4].copy()
+        model.admit(state, gen)
+        np.testing.assert_array_equal(state.positions[:4], existing)
+
+    def test_step_keeps_nodes_in_arena(self):
+        model = RandomWaypointMobility(arena=(25.0, 15.0), speed_range=(3.0, 6.0))
+        gen = as_rng(16)
+        state = model.start(model.initial_positions(10, gen), gen)
+        for _ in range(100):
+            pos = model.step(state, 1.0, gen)
+            assert np.all(pos[:, 0] >= -1e-9) and np.all(pos[:, 0] <= 25.0 + 1e-9)
+            assert np.all(pos[:, 1] >= -1e-9) and np.all(pos[:, 1] <= 15.0 + 1e-9)
+
+    def test_start_rejects_bad_shape(self):
+        model = RandomWaypointMobility()
+        with pytest.raises(ValueError):
+            model.start(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            model.step(model.start(np.zeros((2, 2))), step_s=0.0)
 
 
 class TestReclusterInterval:

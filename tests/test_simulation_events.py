@@ -69,6 +69,34 @@ class TestCancellation:
         assert sched.events_processed == 1
 
 
+class TestBatchInsertion:
+    def test_schedule_many_orders_with_singles(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule(2.0, lambda: log.append("single"))
+        sched.schedule_many([1.0, 3.0], lambda: log.append("batch"))
+        sched.run()
+        assert log == ["batch", "single", "batch"]
+
+    def test_schedule_many_handles_cancellable(self):
+        sched = EventScheduler()
+        log = []
+        handles = sched.schedule_many([1.0, 2.0, 3.0], lambda: log.append("x"))
+        assert len(handles) == 3
+        handles[1].cancel()
+        sched.run()
+        assert log == ["x", "x"]
+
+    def test_schedule_many_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule_many([1.0, -2.0], lambda: None)
+
+    def test_schedule_many_empty(self):
+        sched = EventScheduler()
+        assert sched.schedule_many([], lambda: None) == []
+        assert sched.pending == 0
+
+
 class TestHorizons:
     def test_run_until_stops_clock(self):
         sched = EventScheduler()

@@ -1,0 +1,264 @@
+"""Event-kernel tests: heap/calendar equivalence, cancellation, horizons."""
+
+import pytest
+
+from repro.simulation.kernel import CalendarKernel, HeapKernel, make_kernel
+from repro.simulation.workloads import (
+    run_hold_churn,
+    run_selfclock_churn,
+    verify_order_trace,
+)
+
+KERNELS = [HeapKernel, CalendarKernel]
+
+
+@pytest.fixture(params=KERNELS, ids=["heap", "calendar"])
+def kernel(request):
+    return request.param()
+
+
+class TestFactory:
+    def test_make_kernel(self):
+        assert isinstance(make_kernel("heap"), HeapKernel)
+        assert isinstance(make_kernel("calendar"), CalendarKernel)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel("splay")
+
+    def test_calendar_options(self):
+        make_kernel("calendar", bucket_width=0.25, n_buckets=64)
+        with pytest.raises(ValueError):
+            make_kernel("calendar", bucket_width=0.0)
+
+
+class TestOrdering:
+    def test_time_order(self, kernel):
+        log = []
+        kernel.schedule(3.0, lambda: log.append("c"))
+        kernel.schedule(1.0, lambda: log.append("a"))
+        kernel.schedule(2.0, lambda: log.append("b"))
+        kernel.run()
+        assert log == ["a", "b", "c"]
+        assert kernel.now == 3.0
+
+    def test_fifo_at_same_instant(self, kernel):
+        log = []
+        for tag in "xyz":
+            kernel.schedule(1.0, lambda t=tag: log.append(t))
+        kernel.run()
+        assert log == ["x", "y", "z"]
+
+    def test_nested_scheduling(self, kernel):
+        log = []
+
+        def first():
+            log.append(("first", kernel.now))
+            kernel.schedule(0.5, lambda: log.append(("second", kernel.now)))
+
+        kernel.schedule(1.0, first)
+        kernel.run()
+        assert log == [("first", 1.0), ("second", 1.5)]
+
+    def test_schedule_at_absolute(self, kernel):
+        kernel.schedule(1.0)
+        kernel.run()
+        log = []
+        kernel.schedule_at(5.0, lambda: log.append(kernel.now))
+        kernel.run()
+        assert log == [5.0]
+
+    def test_schedule_in_past_rejected(self, kernel):
+        kernel.schedule(1.0)
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.schedule_at(0.5)
+
+    def test_negative_delay_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.schedule(-1.0)
+        with pytest.raises(ValueError):
+            kernel.schedule_many([1.0, -0.5])
+
+
+class TestEquivalence:
+    """Both kernels dispatch in the identical (time, seq) total order."""
+
+    @pytest.mark.parametrize("hold,n_events", [(64, 2000), (500, 5000)])
+    def test_order_trace_identical(self, hold, n_events):
+        trace_heap = verify_order_trace(HeapKernel(), hold, n_events)
+        trace_cal = verify_order_trace(CalendarKernel(), hold, n_events)
+        assert trace_heap == trace_cal
+
+    def test_selfclock_counts_match(self):
+        a = run_selfclock_churn(HeapKernel(), hold=50, n_events=3000)
+        b = run_selfclock_churn(CalendarKernel(), hold=50, n_events=3000)
+        assert a == b == 3000
+
+    def test_hold_churn_conserves_events(self, kernel):
+        assert run_hold_churn(kernel, hold=256, n_events=4096) == 4096
+        # every inserted event is either dispatched or still pending
+        assert kernel.events_processed + kernel.pending == 4096 + 256
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, kernel):
+        log = []
+        eid = kernel.schedule(1.0, lambda: log.append("dead"))
+        kernel.schedule(2.0, lambda: log.append("alive"))
+        assert kernel.cancel(eid) is True
+        kernel.run()
+        assert log == ["alive"]
+        assert kernel.events_processed == 1
+
+    def test_cancel_unknown_id(self, kernel):
+        assert kernel.cancel(12345) is False
+
+    def test_cancel_after_fire(self, kernel):
+        eid = kernel.schedule(1.0)
+        kernel.run()
+        assert kernel.cancel(eid) is False
+
+    def test_double_cancel(self, kernel):
+        eid = kernel.schedule(1.0)
+        assert kernel.cancel(eid) is True
+        assert kernel.cancel(eid) is False
+
+    def test_batch_ids_not_cancellable(self, kernel):
+        ids = kernel.schedule_many([1.0, 2.0])
+        assert all(kernel.cancel(i) is False for i in ids)
+        assert kernel.run() == 2
+
+    def test_pending_excludes_cancelled(self, kernel):
+        eid = kernel.schedule(1.0)
+        kernel.schedule(2.0)
+        assert kernel.pending == 2
+        kernel.cancel(eid)
+        assert kernel.pending == 1
+
+    def test_cancel_from_callback(self, kernel):
+        log = []
+        victim = kernel.schedule(2.0, lambda: log.append("victim"))
+        kernel.schedule(1.0, lambda: kernel.cancel(victim))
+        kernel.schedule(3.0, lambda: log.append("after"))
+        kernel.run()
+        assert log == ["after"]
+
+
+class TestBatchInsertion:
+    def test_schedule_many_returns_id_range(self, kernel):
+        first = kernel.schedule(1.0)
+        ids = kernel.schedule_many([0.5, 1.5, 2.5])
+        assert list(ids) == [first + 1, first + 2, first + 3]
+        assert kernel.pending == 4
+
+    def test_empty_batch(self, kernel):
+        assert len(kernel.schedule_many([])) == 0
+        assert kernel.pending == 0
+
+    def test_batch_interleaves_with_singles(self, kernel):
+        log = []
+        kernel.schedule(2.0, lambda: log.append("single"))
+        kernel.schedule_many([1.0, 3.0], lambda: log.append("batch"))
+        kernel.run()
+        assert log == ["batch", "single", "batch"]
+
+
+class TestHorizons:
+    def test_run_until_stops_clock(self, kernel):
+        log = []
+        kernel.schedule(1.0, lambda: log.append(1))
+        kernel.schedule(10.0, lambda: log.append(10))
+        kernel.run(until=5.0)
+        assert log == [1]
+        assert kernel.now == 5.0
+        assert kernel.pending == 1
+        kernel.run()
+        assert log == [1, 10]
+        assert kernel.now == 10.0
+
+    def test_until_advances_clock_when_queue_empty(self, kernel):
+        kernel.run(until=7.0)
+        assert kernel.now == 7.0
+
+    def test_until_is_inclusive(self, kernel):
+        log = []
+        kernel.schedule(5.0, lambda: log.append(kernel.now))
+        kernel.run(until=5.0)
+        assert log == [5.0]
+
+    def test_repeated_until_grid(self, kernel):
+        """Snapshot-style run(until=k*dt) loops land exactly on the grid."""
+        fired = []
+        kernel.schedule_many([0.3, 1.7, 2.2, 4.9], lambda: fired.append(kernel.now))
+        for k in range(1, 6):
+            kernel.run(until=float(k))
+            assert kernel.now == float(k)
+        assert fired == [0.3, 1.7, 2.2, 4.9]
+
+    def test_max_events_budget(self, kernel):
+        log = []
+        for i in range(5):
+            kernel.schedule(float(i + 1), lambda i=i: log.append(i))
+        assert kernel.run(max_events=2) == 2
+        assert log == [0, 1]
+        assert kernel.pending == 3
+        kernel.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_budget_does_not_advance_to_until(self, kernel):
+        kernel.schedule(1.0)
+        kernel.schedule(2.0)
+        kernel.run(until=10.0, max_events=1)
+        assert kernel.now == 1.0
+
+    def test_step(self, kernel):
+        log = []
+        kernel.schedule(1.0, lambda: log.append("a"))
+        assert kernel.step() is True
+        assert kernel.step() is False
+        assert log == ["a"]
+
+
+class TestCalendarResize:
+    def test_growth_resize_preserves_order(self):
+        """A bulk insert inside a callback forces a mid-run resize."""
+        kernel = CalendarKernel(n_buckets=16)
+        log = []
+
+        def burst():
+            log.append(("burst", kernel.now))
+            kernel.schedule_many(
+                [0.001 * i for i in range(2000)], lambda: log.append(None)
+            )
+
+        kernel.schedule(1.0, burst)
+        kernel.schedule(0.5, lambda: log.append(("early", kernel.now)))
+        kernel.schedule(4.0, lambda: log.append(("late", kernel.now)))
+        kernel.run()
+        assert log[0] == ("early", 0.5)
+        assert log[1] == ("burst", 1.0)
+        assert log[-1] == ("late", 4.0)
+        assert kernel.events_processed == 2003
+
+    def test_sparse_population_advances(self):
+        """Events far beyond the initial bucket year are still reached."""
+        kernel = CalendarKernel(bucket_width=0.01, n_buckets=16)
+        log = []
+        kernel.schedule(5000.0, lambda: log.append(kernel.now))
+        kernel.run()
+        assert log == [5000.0]
+
+    def test_schedule_into_draining_slot(self):
+        """A callback scheduling due-now work is dispatched this lap."""
+        kernel = CalendarKernel(bucket_width=10.0)
+        log = []
+
+        def fire():
+            log.append(kernel.now)
+            if len(log) < 4:
+                kernel.schedule(0.25, fire)
+
+        kernel.schedule(1.0, fire)
+        kernel.run()
+        assert log == [1.0, 1.25, 1.5, 1.75]

@@ -25,6 +25,7 @@ STRICT_PACKAGES = [
     "repro.network",
     "repro.mac",
     "repro.simulation",
+    "repro.scenario",
 ]
 
 mypy_available = shutil.which("mypy") is not None or (
