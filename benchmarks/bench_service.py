@@ -17,13 +17,16 @@ Three variants run back to back:
   fresh directory; the identical workload runs twice (cold, then warm)
   and the report records both passes plus the observed hit rate.
 
-The workload is deliberately coalescing-friendly: scalar requests share
-group keys (same ``(mt, mr)`` ebar group, same overlay ``(m, bandwidth)``
-config, ...) while varying the per-item axis, so concurrent arrivals
-within the coalescing window merge into single batch-kernel calls.  The
-script fails (exit 1) if the observed mean coalesced-batch size is not
-greater than 1 — the whole point of the scheduler — or if the warm pass
-misses the result cache.
+The workload is the seeded ``bench`` preset of :mod:`repro.loadgen` —
+the same spec ``python -m repro.loadgen run --preset bench`` fires — so
+the benchmark and the chaos load generator share one traffic model.  It
+is deliberately coalescing-friendly: scalar requests share group keys
+(same ``(mt, mr)`` ebar group, same overlay ``(m, bandwidth)`` config,
+...) while varying the per-item axis, so concurrent arrivals within the
+coalescing window merge into single batch-kernel calls.  The script
+fails (exit 1) if the observed mean coalesced-batch size is not greater
+than 1 — the whole point of the scheduler — or if the warm pass misses
+the result cache.
 
 Usage (from the repo root)::
 
@@ -33,10 +36,8 @@ Usage (from the repo root)::
 
 import argparse
 import json
-import math
 import os
 import pathlib
-import random  # lint: ignore[RP103]  (seeded workload mix, not library results)
 import signal
 import subprocess
 import sys
@@ -46,83 +47,42 @@ from concurrent.futures import ThreadPoolExecutor
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+BENCH_RATE_PER_S = 128.0
+
 
 # --------------------------------------------------------------------- #
 # Workload construction                                                  #
 # --------------------------------------------------------------------- #
 
 
-def build_workload(n_requests, rng):
-    """Return a shuffled list of ``(endpoint, fn(client) -> payload)``.
+def build_workload(n_requests):
+    """Return a list of ``(endpoint_kind, fn(client) -> payload)`` calls.
 
-    Scalar calls dominate (they exercise the coalescer); a small tail of
-    sweep calls exercises the worker pool.
+    The mix comes from the seeded loadgen ``bench`` preset: scalar calls
+    dominate (they exercise the coalescer — every payload is drawn from a
+    shared-group grid) with a small tail of sweeps for the worker pool.
+    Arrival order is the plan's own time-sorted interleaving, so repeated
+    runs fire the identical sequence.
     """
-    from repro.energy.table import EbarTable
+    from repro.loadgen import bench_spec, build_plan
 
-    table = EbarTable(convention="paper")
-    calls = []
-
-    # ebar table lookups: few (mt, mr) groups x many distinct (p, b) points.
-    # Distinct points defeat the result cache, identical groups coalesce.
-    for mt, mr in ((1, 1), (2, 2), (2, 3), (4, 4)):
-        for p in table.p_values:
-            for b in table.b_values:
-                calls.append(
-                    ("/v1/ebar",
-                     lambda c, p=p, b=b, mt=mt, mr=mr: c.ebar(p, b, mt, mr))
-                )
-
-    # overlay scalar feasibility: one (m, bandwidth) group per m.
-    for m in (2, 3):
-        for i in range(120):
-            d1 = 10.0 + 0.625 * i
-            calls.append(
-                ("/v1/overlay/feasible",
-                 lambda c, d1=d1, m=m: c.overlay_feasible(d1, m, 10e3))
-            )
-
-    # underlay scalar energy: one shared (p, mt, mr, d, bandwidth) group.
-    for i in range(240):
-        dist = 30.0 + 0.5 * i
-        calls.append(
-            ("/v1/underlay/energy",
-             lambda c, dist=dist: c.underlay_energy(1e-3, 2, 2, 5.0, dist, 10e3))
-        )
-
-    # interweave scalar field probes: one shared pair/delta group.
-    for i in range(200):
-        angle = 2.0 * math.pi * i / 200.0
-        pt = (300.0 * math.cos(angle), 300.0 * math.sin(angle))
-        calls.append(
-            ("/v1/interweave/pattern",
-             lambda c, pt=pt: c.interweave_pattern(
-                 (0.0, 0.0), (15.0, 0.0), 30.0, pt, pr=(100.0, 0.0)))
-        )
-
-    # pooled sweeps: batched axes run in the worker pool.
-    for j in range(12):
-        d1s = [15.0 + 5.0 * j + 2.0 * k for k in range(16)]
-        calls.append(
-            ("/v1/overlay/feasible (sweep)",
-             lambda c, d1s=d1s: c.overlay_feasible(d1s, 2, 10e3))
-        )
-    for j in range(12):
-        dists = [35.0 + 5.0 * j + 3.0 * k for k in range(16)]
-        calls.append(
-            ("/v1/underlay/energy (sweep)",
-             lambda c, dists=dists: c.underlay_energy(
-                 1e-3, 2, 1, 5.0, dists, 10e3))
-        )
-
-    rng.shuffle(calls)
-    # Top up with round-robin repeats if the mix is short of the target
+    spec = bench_spec(
+        seed=2026,
+        duration_s=max(10.0, 1.2 * n_requests / BENCH_RATE_PER_S),
+        total_rate_per_s=BENCH_RATE_PER_S,
+    )
+    calls = [
+        (request.kind,
+         lambda c, r=request: c.request(r.method, r.path, r.body))
+        for request in build_plan(spec)
+    ]
+    # Top up with round-robin repeats if the plan is short of the target
     # (repeats are cache hits for ebar — still valid requests).
     i = 0
     while len(calls) < n_requests:
         calls.append(calls[i])
         i += 1
-    return calls[:n_requests] if n_requests >= 1000 else calls
+    return calls[:n_requests]
 
 
 # --------------------------------------------------------------------- #
@@ -154,27 +114,11 @@ def run_load(host, port, calls, n_threads):
     return samples, wall_s
 
 
-def percentile(sorted_values, q):
-    """Nearest-rank-with-interpolation percentile of a sorted list."""
-    if not sorted_values:
-        return 0.0
-    rank = q * (len(sorted_values) - 1)
-    low = int(rank)
-    high = min(low + 1, len(sorted_values) - 1)
-    frac = rank - low
-    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
-
-
 def summarize(latencies_ms):
-    ordered = sorted(latencies_ms)
-    return {
-        "count": len(ordered),
-        "mean_ms": sum(ordered) / len(ordered) if ordered else 0.0,
-        "p50_ms": percentile(ordered, 0.50),
-        "p95_ms": percentile(ordered, 0.95),
-        "p99_ms": percentile(ordered, 0.99),
-        "max_ms": ordered[-1] if ordered else 0.0,
-    }
+    """Latency percentiles, shared with the loadgen trace summaries."""
+    from repro.loadgen import summarize_latencies
+
+    return summarize_latencies(latencies_ms)
 
 
 # --------------------------------------------------------------------- #
@@ -315,8 +259,8 @@ def main(argv=None):
     shards = (max(2, cpu_count) if args.shards == "auto"
               else max(2, int(args.shards)))
 
-    # Fixed-seed stdlib Random: deterministic request mix for the bench.
-    calls = build_workload(args.requests, random.Random(2026))  # lint: ignore[RP103]
+    # Seeded loadgen plan: deterministic request mix for the bench.
+    calls = build_workload(args.requests)
     print(f"bench_service: {len(calls)} requests/variant, "
           f"{args.threads} threads, coalesce window {args.coalesce_ms} ms, "
           f"{cpu_count} cpus, sharded variant uses {shards} shards",

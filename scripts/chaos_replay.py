@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""CI chaos-replay gate: the seeded loadgen smoke plan vs the real binary.
+
+Boots ``python -m repro.service --shards 2 --chaos-admin`` with the smoke
+plan's server-side faults pre-armed through ``REPRO_SERVICE_FAULTS``
+(worker kill, mid-stream truncation, sim-child kill and stall, dropped
+connections), then runs the seeded smoke plan twice against it.  The
+shard-kill fault is delivered at its scheduled request index through the
+supervisor's ``POST /chaos/kill_shard`` admin endpoint.  The gate asserts:
+
+* **every request is accounted for** — the verdict passes: each request
+  ended 2xx-verified, as a clean structured 4xx/5xx carrying its retry
+  hint where required, or as client-detected truncation; a hang, silent
+  drop, malformed error body or zero-row close fails the run;
+* **replay is bit-identical** — the second run reproduces the identical
+  outcome digest;
+* the fleet drains cleanly (SIGTERM exits 0) after all of the above.
+
+Usage:  PYTHONPATH=src python scripts/chaos_replay.py [--trace-dir DIR]
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.loadgen import (  # noqa: E402
+    AdminFaultDriver,
+    PrearmedFaultDriver,
+    Trace,
+    build_plan,
+    env_fault_plan,
+    evaluate,
+    outcome_digest,
+    run_plan,
+    smoke_spec,
+)
+from repro.service.faults import FAULTS_ENV_VAR  # noqa: E402
+
+#: Keep the stall fault's terminal 504 (and its retry) well inside CI time.
+STALL_TIMEOUT_MS = 2000
+
+
+def boot_fleet(env_plan):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env[FAULTS_ENV_VAR] = json.dumps(env_plan)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--port", "0",
+            "--shards", "2",
+            "--workers", "1",
+            "--coalesce-ms", "1",
+            "--seed", "2026",
+            "--admin-port", "0",
+            "--chaos-admin",
+            "--sim-stall-timeout-ms", str(STALL_TIMEOUT_MS),
+            "--no-request-log",
+            "--quiet",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    announced = json.loads(proc.stdout.readline())
+    assert announced.get("event") == "listening", announced
+    return proc, announced["host"], announced["port"], announced["admin_port"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--trace-dir", default=str(REPO_ROOT),
+        help="where the two trace JSON artifacts land (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    pathlib.Path(args.trace_dir).mkdir(parents=True, exist_ok=True)
+
+    spec = smoke_spec(include_shard_kill=True)
+    plan = build_plan(spec)
+    env_plan = env_fault_plan(spec, plan)
+    print(
+        f"chaos_replay: {len(plan)} planned requests, "
+        f"{len(spec.faults)} fault events "
+        f"(env plan: {sorted(env_plan)})",
+        flush=True,
+    )
+
+    proc, host, port, admin_port = boot_fleet(env_plan)
+    failed = False
+    try:
+        driver = PrearmedFaultDriver(AdminFaultDriver(host, admin_port))
+        traces = []
+        for run in (1, 2):
+            trace = run_plan(spec, host, port, plan=plan, fault_driver=driver)
+            verdict = evaluate(trace.records)
+            digest = outcome_digest(trace.records)
+            retries = sum(r.retries for r in trace.records)
+            trace_path = (
+                pathlib.Path(args.trace_dir) / f"chaos_replay_run{run}.json"
+            )
+            trace.save(str(trace_path))
+            print(
+                f"chaos_replay[run {run}]: verdict "
+                f"{'PASS' if verdict.passed else 'FAIL'} "
+                f"{verdict.counts}, {retries} retries, digest {digest[:16]}…, "
+                f"trace {trace_path}",
+                flush=True,
+            )
+            if not verdict.passed:
+                for violation in verdict.violations:
+                    print(f"chaos_replay: violation: {violation}",
+                          file=sys.stderr)
+                failed = True
+            traces.append(trace)
+        digests = [outcome_digest(t.records) for t in traces]
+        if digests[0] != digests[1]:
+            print(
+                f"chaos_replay: replay diverged: {digests[0]} != {digests[1]}",
+                file=sys.stderr,
+            )
+            failed = True
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            exit_code = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+            exit_code = -9
+    if exit_code != 0:
+        print(f"chaos_replay: fleet exited {exit_code}", file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    print("chaos_replay: every request accounted for, replay bit-identical",
+          flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

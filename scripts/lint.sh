@@ -37,11 +37,12 @@ else
 fi
 
 echo
-echo "== mypy --strict (utils, energy, lintkit, service, network, mac, simulation, scenario) =="
+echo "== mypy --strict (utils, energy, lintkit, service, network, mac, simulation, scenario, loadgen) =="
 if command -v mypy >/dev/null 2>&1 || python -c "import mypy" >/dev/null 2>&1; then
     python -m mypy --strict \
         -p repro.utils -p repro.energy -p repro.lintkit -p repro.service \
-        -p repro.network -p repro.mac -p repro.simulation -p repro.scenario || status=1
+        -p repro.network -p repro.mac -p repro.simulation -p repro.scenario \
+        -p repro.loadgen || status=1
 else
     echo "mypy not installed; skipping (CI runs it)"
 fi

@@ -1,0 +1,6 @@
+"""``python -m repro.loadgen`` dispatches to :func:`repro.loadgen.cli.main`."""
+
+from repro.loadgen.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""Seed-deterministic arrival processes for the load generator.
+
+:func:`arrival_offsets_s` turns one :class:`~repro.loadgen.spec.ArrivalSpec`
+into the sorted send-time offsets of every request of that endpoint within a
+run.  All three processes reduce to a homogeneous Poisson stream at the
+process's *peak* rate, thinned down to the target intensity — the standard
+Lewis–Shedler construction, which keeps the draw count (and therefore the
+stream state) a pure function of the seed, never of wall-clock behavior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.loadgen.spec import ArrivalSpec
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["arrival_offsets_s"]
+
+
+def arrival_offsets_s(
+    arrival: ArrivalSpec,
+    duration_s: float,
+    seed: np.random.SeedSequence,
+) -> np.ndarray:
+    """Sorted send-time offsets (seconds) in ``[0, duration_s)``.
+
+    The same ``(arrival, duration_s, seed)`` triple always yields the same
+    offsets — the plan-level determinism contract rests on this.
+    """
+    check_positive(duration_s, "duration_s")
+    rng = as_rng(seed)
+    if arrival.process == "poisson":
+        times = _homogeneous(rng, arrival.rate_per_s, duration_s)
+        keep = np.ones(times.shape, dtype=bool)
+    elif arrival.process == "bursty":
+        peak = arrival.rate_per_s * arrival.burst_factor
+        times = _homogeneous(rng, peak, duration_s)
+        period = arrival.burst_on_s + arrival.burst_off_s
+        # Deterministic on/off square wave, starting on: keep candidates
+        # whose phase falls inside the on window (no thinning draw needed —
+        # acceptance is 0/1, so the uniform stream stays untouched).
+        keep = np.mod(times, period) < arrival.burst_on_s
+    else:  # ramp
+        peak = arrival.rate_per_s * arrival.ramp_factor
+        times = _homogeneous(rng, peak, duration_s)
+        accept = rng.uniform(0.0, 1.0, size=times.shape)
+        # Instantaneous intensity grows linearly from rate to rate*ramp.
+        fraction = times / duration_s
+        intensity = arrival.rate_per_s * (
+            1.0 + (arrival.ramp_factor - 1.0) * fraction
+        )
+        keep = accept < intensity / peak
+    return times[keep]
+
+
+def _homogeneous(
+    rng: np.random.Generator, rate_per_s: float, duration_s: float
+) -> np.ndarray:
+    """Event times of a homogeneous Poisson process on ``[0, duration_s)``.
+
+    Draws exponential inter-arrival gaps in fixed-size batches until the
+    horizon is passed; the batch size depends only on the expected count,
+    so the number of generator draws is deterministic given the seed.
+    """
+    batch = max(8, int(np.ceil(rate_per_s * duration_s * 1.5)) + 8)
+    gaps = [rng.exponential(1.0 / rate_per_s, size=batch)]
+    while float(np.sum(gaps[-1])) + float(
+        sum(np.sum(g) for g in gaps[:-1])
+    ) < duration_s:
+        gaps.append(rng.exponential(1.0 / rate_per_s, size=batch))
+    times = np.cumsum(np.concatenate(gaps))
+    return times[times < duration_s]

@@ -1,0 +1,484 @@
+"""The asyncio open-loop runner: fire a plan, record every request's fate.
+
+The runner walks a built plan on a (scalable) wall clock: it sleeps to each
+request's send offset, delivers any fault events scheduled at that index
+through a :class:`FaultDriver`, then dispatches the request on a bounded
+thread pool — open-loop, so slow responses never throttle the offered load.
+Each request runs the client policy's retry loop (deterministically seeded
+jitter per request index) and is reduced to one raw-fact
+:class:`~repro.loadgen.trace.RequestRecord`; the collected records plus the
+serialised spec form the returned :class:`~repro.loadgen.trace.Trace`.
+
+Fault delivery is pluggable:
+
+* :class:`InjectorFaultDriver` arms an in-process
+  :class:`~repro.service.faults.FaultInjector` (the test harness's driver —
+  every action supported);
+* :class:`AdminFaultDriver` POSTs ``/chaos/kill_shard`` to a sharded
+  supervisor's chaos admin listener (``--chaos-admin``);
+* :class:`PrearmedFaultDriver` is the CLI's driver against a real binary:
+  ``kill_shard`` goes through an :class:`AdminFaultDriver`, every other
+  action is a runtime no-op because it was armed at server boot from
+  :func:`repro.loadgen.plan.env_fault_plan`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.loadgen.plan import PlannedRequest, build_plan
+from repro.loadgen.spec import FaultEvent, TrafficSpec, traffic_to_mapping
+from repro.loadgen.trace import RequestRecord, Trace
+from repro.service.client import (
+    ServiceClient,
+    ServiceClientError,
+    TRANSPORT_FAILURE_STATUS,
+)
+from repro.service.faults import FaultInjector
+from repro.service.retry import RetryPolicy, default_clock, default_sleeper
+from repro.utils.rng import keyed_seed_sequence
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "AdminFaultDriver",
+    "FaultDriver",
+    "InjectorFaultDriver",
+    "PrearmedFaultDriver",
+    "run_plan",
+]
+
+Payload = Dict[str, object]
+
+
+class FaultDriver:
+    """Delivers scheduled :class:`FaultEvent`\\ s into a running system."""
+
+    def supports(self, action: str) -> bool:
+        """True iff this driver can deliver ``action`` faults."""
+        raise NotImplementedError
+
+    def fire(self, event: FaultEvent) -> None:
+        """Deliver one scheduled fault event."""
+        raise NotImplementedError
+
+
+class InjectorFaultDriver(FaultDriver):
+    """Arm an in-process :class:`FaultInjector` (test-harness driver)."""
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+
+    def supports(self, action: str) -> bool:
+        """Every catalogued action maps onto an injector arm."""
+        return True
+
+    def fire(self, event: FaultEvent) -> None:
+        """Arm the injector for ``event`` (count, rows, path scope)."""
+        paths = None if event.path is None else (event.path,)
+        if event.action == "kill_worker":
+            self.injector.arm_kill_worker(event.count)
+        elif event.action == "kill_shard":
+            self.injector.arm_kill_shard(event.count)
+        elif event.action == "delay":
+            self.injector.arm_delay(
+                event.delay_ms / 1000.0, times=event.count, paths=paths
+            )
+        elif event.action == "abort":
+            self.injector.arm_abort(event.count, paths=paths)
+        elif event.action == "truncate_stream":
+            self.injector.arm_truncate_stream(
+                event.count, after_rows=event.after_rows, paths=paths
+            )
+        elif event.action == "drop_client":
+            self.injector.arm_drop_client(event.count, paths=paths)
+        elif event.action == "kill_sim_child":
+            self.injector.arm_kill_sim_child(
+                event.count, after_rows=event.after_rows
+            )
+        else:  # stall_sim — the spec layer validated the action name
+            self.injector.arm_stall_sim(
+                event.count, after_rows=event.after_rows
+            )
+
+
+class AdminFaultDriver(FaultDriver):
+    """Kill live shards through the supervisor's chaos admin endpoint."""
+
+    def __init__(self, host: str, admin_port: int, timeout_s: float = 10.0) -> None:
+        check_positive_int(admin_port, "admin_port", maximum=65535)
+        check_positive(timeout_s, "timeout_s")
+        self._client = ServiceClient(host, admin_port, timeout_s=timeout_s)
+
+    def supports(self, action: str) -> bool:
+        """Only ``kill_shard`` is deliverable over the admin endpoint."""
+        return action == "kill_shard"
+
+    def fire(self, event: FaultEvent) -> None:
+        """POST ``/chaos/kill_shard`` once per armed count."""
+        for _ in range(event.count):
+            self._client.request("POST", "/chaos/kill_shard")
+
+
+class PrearmedFaultDriver(FaultDriver):
+    """The CLI's driver against a real service binary.
+
+    Server-side actions were armed at boot via ``REPRO_SERVICE_FAULTS``
+    (see :func:`repro.loadgen.plan.env_fault_plan`), so firing them here is
+    a no-op; ``kill_shard`` is delegated to an :class:`AdminFaultDriver`
+    when one is available.
+    """
+
+    def __init__(self, admin: Optional[AdminFaultDriver] = None) -> None:
+        self._admin = admin
+
+    def supports(self, action: str) -> bool:
+        """Everything pre-armed at boot; ``kill_shard`` needs the admin."""
+        if action == "kill_shard":
+            return self._admin is not None
+        return True
+
+    def fire(self, event: FaultEvent) -> None:
+        """Delegate ``kill_shard`` to the admin; the rest are pre-armed."""
+        if event.action == "kill_shard":
+            assert self._admin is not None  # supports() gated the plan
+            self._admin.fire(event)
+
+
+# --------------------------------------------------------------------- #
+# Per-request execution                                                 #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _Attempt:
+    """Raw facts of one attempt (the final one lands in the record)."""
+
+    status: int
+    ok_verified: bool
+    structured_error: bool
+    retry_hint: bool
+    truncated: bool
+    timed_out: bool
+    rows: int
+    detail: str
+    retry_after_s: Optional[float]
+
+
+def _verify_buffered(kind: str, payload: Payload) -> bool:
+    """Endpoint-specific 2xx payload verification."""
+    if kind == "healthz":
+        return payload.get("status") in ("ok", "degraded", "draining")
+    if kind == "metrics":
+        return "requests_total" in payload
+    if kind == "ebar":
+        value = payload.get("e_bar")
+        return isinstance(value, float) and value > 0.0
+    if kind in ("overlay", "overlay_sweep", "underlay", "underlay_sweep"):
+        rows = payload.get("rows")
+        return (
+            isinstance(rows, list)
+            and len(rows) > 0
+            and payload.get("count") == len(rows)
+        )
+    if kind == "interweave":
+        amplitudes = payload.get("amplitudes")
+        return (
+            isinstance(amplitudes, list)
+            and payload.get("count") == len(amplitudes)
+        )
+    # buffered simulate
+    rows = payload.get("rows")
+    summary = payload.get("summary")
+    return (
+        isinstance(rows, list)
+        and isinstance(summary, dict)
+        and "digest" in summary
+        and payload.get("count") == len(rows)
+    )
+
+
+def _verify_stream_end(kind: str, rows: List[Payload]) -> bool:
+    """A streamed response's terminal row proves clean completion."""
+    last = rows[-1] if rows else None
+    if not isinstance(last, dict):
+        return False
+    if kind == "simulate_stream":
+        return last.get("row") == "summary" and "digest" in last
+    return last.get("done") is True and last.get("count") == len(rows) - 1
+
+
+def _structured(exc: ServiceClientError) -> bool:
+    """The error body carried the service's canonical shape."""
+    payload = exc.payload
+    return (
+        isinstance(payload, dict)
+        and payload.get("status") == exc.status
+        and isinstance(payload.get("error"), str)
+        and "detail" in payload
+    )
+
+
+def _timed_out(exc: ServiceClientError) -> bool:
+    message = exc.message.lower()
+    return exc.is_transport_failure and (
+        "timed out" in message or "timeout" in message
+    )
+
+
+def _failure_attempt(
+    exc: ServiceClientError, rows: int, *, row_error: bool = False
+) -> _Attempt:
+    timed_out = _timed_out(exc)
+    if row_error:
+        # A terminal error row: structured iff the row carried the full
+        # error shape (status/error/detail), hinted iff it embedded
+        # retry_after_s — mirroring the buffered error-payload contract.
+        payload = exc.payload
+        structured = (
+            isinstance(payload, dict)
+            and isinstance(payload.get("status"), int)
+            and isinstance(payload.get("error"), str)
+            and "detail" in payload
+        )
+        retry_hint = isinstance(payload, dict) and "retry_after_s" in payload
+    else:
+        structured = _structured(exc)
+        retry_hint = exc.retry_after_s is not None or (
+            isinstance(exc.payload, dict) and "retry_after_s" in exc.payload
+        )
+    return _Attempt(
+        status=exc.status,
+        ok_verified=False,
+        structured_error=structured,
+        retry_hint=retry_hint,
+        truncated=exc.status == TRANSPORT_FAILURE_STATUS and not timed_out,
+        timed_out=timed_out,
+        rows=rows,
+        detail=exc.message,
+        retry_after_s=exc.retry_after_s,
+    )
+
+
+class _RequestWorker:
+    """Executes one planned request end to end (runs on the thread pool)."""
+
+    def __init__(
+        self,
+        spec: TrafficSpec,
+        host: str,
+        port: int,
+        sleep: Callable[[float], None],
+        clock: Callable[[], float],
+    ) -> None:
+        self._spec = spec
+        self._host = host
+        self._port = port
+        self._sleep = sleep
+        self._clock = clock
+
+    def __call__(self, request: PlannedRequest) -> RequestRecord:
+        policy = self._spec.client
+        client = ServiceClient(
+            self._host, self._port, timeout_s=policy.timeout_s
+        )
+        # Deterministic jitter: the retry schedule of request k depends only
+        # on (seed, k), so replayed runs back off identically.
+        retry = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay_s=policy.base_delay_s,
+            multiplier=policy.multiplier,
+            max_delay_s=policy.max_delay_s,
+            rng=keyed_seed_sequence(self._spec.seed, request.index),
+        )
+        started = self._clock()
+        attempt = 0
+        while True:
+            facts = self._attempt(client, request)
+            can_retry = (
+                attempt + 1 < policy.max_attempts
+                and facts.status in policy.retry_on
+            )
+            if not can_retry:
+                break
+            self._sleep(retry.backoff_s(attempt, facts.retry_after_s))
+            attempt += 1
+        latency_ms = 1e3 * (self._clock() - started)
+        return RequestRecord(
+            index=request.index,
+            kind=request.kind,
+            method=request.method,
+            path=request.path,
+            stream=request.stream,
+            payload_digest=request.payload_digest,
+            status=facts.status,
+            ok_verified=facts.ok_verified,
+            structured_error=facts.structured_error,
+            retry_hint=facts.retry_hint,
+            truncated=facts.truncated,
+            timed_out=facts.timed_out,
+            rows=facts.rows,
+            retries=attempt,
+            latency_ms=round(latency_ms, 3),
+            detail=facts.detail,
+        )
+
+    def _attempt(
+        self, client: ServiceClient, request: PlannedRequest
+    ) -> _Attempt:
+        if request.stream:
+            return self._attempt_stream(client, request)
+        return self._attempt_buffered(client, request)
+
+    def _attempt_buffered(
+        self, client: ServiceClient, request: PlannedRequest
+    ) -> _Attempt:
+        try:
+            payload = client.request(request.method, request.path, request.body)
+        except ServiceClientError as exc:
+            return _failure_attempt(exc, rows=0)
+        verified = _verify_buffered(request.kind, payload)
+        count = payload.get("count")
+        return _Attempt(
+            status=200,
+            ok_verified=verified,
+            structured_error=False,
+            retry_hint=False,
+            truncated=False,
+            timed_out=False,
+            rows=count if isinstance(count, int) else 1,
+            detail="" if verified else "payload verification failed",
+            retry_after_s=None,
+        )
+
+    def _attempt_stream(
+        self, client: ServiceClient, request: PlannedRequest
+    ) -> _Attempt:
+        rows: List[Payload] = []
+        try:
+            for row in client.request_stream(
+                request.method, request.path, request.body
+            ):
+                rows.append(row)
+        except ServiceClientError as exc:
+            return _failure_attempt(exc, rows=len(rows))
+        last = rows[-1] if rows else None
+        if isinstance(last, dict) and last.get("row") == "error":
+            status = last.get("status")
+            retry_after = last.get("retry_after_s")
+            exc = ServiceClientError(
+                status
+                if isinstance(status, int) and not isinstance(status, bool)
+                else 500,
+                str(last.get("detail", last.get("error", "stream failed"))),
+                last,
+                retry_after_s=float(retry_after)
+                if isinstance(retry_after, (int, float))
+                and not isinstance(retry_after, bool)
+                else None,
+            )
+            return _failure_attempt(exc, rows=len(rows) - 1, row_error=True)
+        verified = _verify_stream_end(request.kind, rows)
+        return _Attempt(
+            status=200,
+            ok_verified=verified,
+            structured_error=False,
+            retry_hint=False,
+            truncated=False,
+            timed_out=False,
+            rows=len(rows),
+            detail="" if verified else "stream ended without its terminal row",
+            retry_after_s=None,
+        )
+
+
+# --------------------------------------------------------------------- #
+# The open loop                                                         #
+# --------------------------------------------------------------------- #
+
+
+def run_plan(
+    spec: TrafficSpec,
+    host: str,
+    port: int,
+    plan: Optional[List[PlannedRequest]] = None,
+    fault_driver: Optional[FaultDriver] = None,
+    sleep: Optional[Callable[[float], None]] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> Trace:
+    """Execute ``spec`` against a listening service; return the full trace.
+
+    ``plan`` defaults to :func:`build_plan(spec) <repro.loadgen.plan.build_plan>`
+    (pass one in to reuse it); ``fault_driver`` must support every action in
+    ``spec.faults`` (validated up front — a plan with undeliverable faults
+    fails fast instead of silently running fault-free).  ``sleep``/``clock``
+    are injectable for tests.
+    """
+    requests = build_plan(spec) if plan is None else plan
+    if spec.faults:
+        if fault_driver is None:
+            raise ValueError(
+                "spec schedules fault events but no fault driver was given"
+            )
+        unsupported = sorted(
+            {e.action for e in spec.faults if not fault_driver.supports(e.action)}
+        )
+        if unsupported:
+            raise ValueError(
+                f"fault driver cannot deliver: {', '.join(unsupported)}"
+            )
+    events_at: Dict[int, List[FaultEvent]] = {}
+    if requests:
+        last_index = requests[-1].index
+        for event in spec.faults:
+            # Clamp to the plan: an event scheduled past the end fires
+            # before the final request instead of never.
+            events_at.setdefault(min(event.at_request, last_index), []).append(
+                event
+            )
+    sleeper = sleep if sleep is not None else default_sleeper
+    ticker = clock if clock is not None else default_clock
+    worker = _RequestWorker(spec, host, port, sleeper, ticker)
+    executor = ThreadPoolExecutor(max_workers=spec.max_concurrency)
+    try:
+        records = asyncio.run(
+            _drive(spec, requests, events_at, fault_driver, worker, executor, ticker)
+        )
+    finally:
+        executor.shutdown(wait=True)
+    records.sort(key=lambda record: record.index)
+    return Trace(
+        spec=traffic_to_mapping(spec),
+        records=records,
+        meta={"n_requests": len(records), "host": host, "port": port},
+    )
+
+
+async def _drive(
+    spec: TrafficSpec,
+    requests: List[PlannedRequest],
+    events_at: Dict[int, List[FaultEvent]],
+    fault_driver: Optional[FaultDriver],
+    worker: _RequestWorker,
+    executor: ThreadPoolExecutor,
+    clock: Callable[[], float],
+) -> List[RequestRecord]:
+    loop = asyncio.get_running_loop()
+    started = clock()
+    pending = []
+    for request in requests:
+        target_s = started + request.t_send_s * spec.time_scale
+        delay_s = target_s - clock()
+        if delay_s > 0.0:
+            await asyncio.sleep(delay_s)
+        for event in events_at.get(request.index, ()):
+            assert fault_driver is not None  # validated in run_plan
+            # Fault delivery may block (an admin HTTP call) — run it off
+            # the loop, but *await* it: the fault lands before this
+            # request dispatches, pinning chaos to the plan index.
+            await loop.run_in_executor(None, fault_driver.fire, event)
+        pending.append(loop.run_in_executor(executor, worker, request))
+    results: List[RequestRecord] = list(await asyncio.gather(*pending))
+    return results

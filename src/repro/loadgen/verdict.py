@@ -1,0 +1,106 @@
+"""The every-request-accounted-for invariant, machine-checked.
+
+Every request of a run must end in exactly one of three *accounted*
+outcomes:
+
+``ok``
+    A 2xx response that also passed endpoint-specific payload verification
+    (a streamed request's terminal summary/done row included).
+``rejected``
+    A clean structured 4xx/5xx — the service's canonical error shape, with
+    a retry hint wherever the protocol requires one (429/503 backpressure).
+    This covers terminal mid-stream error rows: a killed simulate child
+    surfacing as a structured 500 row is an accounted failure.
+``truncated``
+    A client-*detected* truncation: the connection died mid-response and
+    the client noticed (synthetic status 599, not a timeout).
+
+Anything else is a ``violation`` and fails the run: a hang (the client
+deadline expiring — the service never answered), a 2xx whose payload fails
+verification (silent corruption), a malformed error body, or backpressure
+without its retry hint.  :func:`evaluate` folds a trace's records into a
+:class:`Verdict`; :func:`classify` is the per-record pure function, so the
+same trace always re-judges identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.loadgen.trace import RequestRecord
+from repro.utils.validation import check_non_negative_int
+
+__all__ = ["OUTCOMES", "Verdict", "classify", "evaluate"]
+
+#: The outcome taxonomy, in display order.
+OUTCOMES: Tuple[str, ...] = ("ok", "rejected", "truncated", "violation")
+
+
+def classify(record: RequestRecord) -> Tuple[str, str]:
+    """``(outcome, reason)`` for one record; ``reason`` is empty unless
+    the outcome is a violation."""
+    status = record.status
+    if 200 <= status < 300:
+        if record.ok_verified:
+            return "ok", ""
+        return "violation", "2xx response failed payload verification"
+    if status == 599:
+        if record.timed_out:
+            return "violation", "hang: no response within the client deadline"
+        return "truncated", ""
+    if 400 <= status < 599:
+        if not record.structured_error:
+            return "violation", "malformed error body"
+        if status in (429, 503) and not record.retry_hint:
+            return "violation", "backpressure response missing its retry hint"
+        return "rejected", ""
+    return "violation", f"unexpected status {status}"
+
+
+@dataclass
+class Verdict:
+    """The run-level judgement: per-outcome counts plus every violation."""
+
+    passed: bool
+    total: int
+    counts: Dict[str, int]
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.total, "total")
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """Plain-JSON form (the CLI's report shape)."""
+        return {
+            "passed": self.passed,
+            "total": self.total,
+            "counts": dict(self.counts),
+            "violations": list(self.violations),
+        }
+
+
+def evaluate(records: Sequence[RequestRecord]) -> Verdict:
+    """Judge a full run: passes iff zero requests are unaccounted for."""
+    counts = {outcome: 0 for outcome in OUTCOMES}
+    violations: List[Dict[str, Any]] = []
+    for record in records:
+        outcome, reason = classify(record)
+        counts[outcome] += 1
+        if outcome == "violation":
+            violations.append(
+                {
+                    "index": record.index,
+                    "kind": record.kind,
+                    "path": record.path,
+                    "status": record.status,
+                    "reason": reason,
+                    "detail": record.detail,
+                }
+            )
+    return Verdict(
+        passed=not violations,
+        total=len(records),
+        counts=counts,
+        violations=violations,
+    )

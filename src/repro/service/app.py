@@ -191,7 +191,7 @@ class PlanningService:
             max_restarts=config.max_pool_restarts,
             faults=self.faults,
         )
-        self.sims = SimulationRunner(config.max_sims, self.metrics)
+        self.sims = SimulationRunner(config.max_sims, self.metrics, self.faults)
         self._draining = False
         self._result_cache: Optional[ResultCache] = None
         if config.result_cache:
@@ -282,11 +282,11 @@ class PlanningService:
             status, payload = await self._dispatch_with_deadline(method, path, body)
         except DeadlineExceededError as exc:
             self.metrics.deadline_timeout()
-            status, payload = exc.status, error_payload(
+            status, payload = exc.status, self._error_body(
                 exc.status, exc.reason, str(exc)
             )
         except ServiceError as exc:
-            status, payload = exc.status, error_payload(
+            status, payload = exc.status, self._error_body(
                 exc.status, exc.reason, str(exc)
             )
         except (ValueError, TypeError) as exc:
@@ -428,7 +428,7 @@ class PlanningService:
         try:
             stream = await self._open_stream(path, body)
         except ServiceError as exc:
-            status, payload = exc.status, error_payload(
+            status, payload = exc.status, self._error_body(
                 exc.status, exc.reason, str(exc)
             )
         except (ValueError, TypeError) as exc:
@@ -455,7 +455,7 @@ class PlanningService:
         if path == "/v1/simulate":
             spec = parse_simulate_request(data, self.config.max_sim_nodes)
             self.sims.acquire()
-            rows = self.sims.stream(spec, self.config.request_timeout_s)
+            rows = self.sims.stream(spec, self.config.sim_stall_timeout_s)
             return RowStream(self._count_rows(rows), on_close=self.sims.release)
 
         # Sweep endpoints: serve straight from the persistent result cache
@@ -547,17 +547,17 @@ class PlanningService:
                     rows = await asyncio.wait_for(run(segment), timeout_s)
             except asyncio.TimeoutError:
                 self.metrics.deadline_timeout()
-                yield {
-                    "row": "error",
-                    "error": "stream failed",
-                    "detail": f"sweep segment exceeded the {timeout_s:g} s deadline",
-                }
+                yield self._error_row(
+                    504,
+                    "stream failed",
+                    f"sweep segment exceeded the {timeout_s:g} s deadline",
+                )
                 return
             except ServiceError as exc:
-                yield {"row": "error", "error": exc.reason, "detail": str(exc)}
+                yield self._error_row(exc.status, exc.reason, str(exc))
                 return
             except (ValueError, KeyError) as exc:
-                yield {"row": "error", "error": "bad request", "detail": str(exc)}
+                yield self._error_row(400, "bad request", str(exc))
                 return
             all_rows.extend(rows)
             for row in rows:
@@ -583,6 +583,33 @@ class PlanningService:
         spec = parse_simulate_request(data, self.config.max_sim_nodes)
         rows = await self.pool.submit(simulate_rows, spec)
         return {"rows": rows[:-1], "summary": rows[-1], "count": len(rows) - 1}
+
+    def _error_body(self, status: int, reason: str, detail: str) -> Payload:
+        """A structured error payload, with the retry hint mirrored in-body.
+
+        429/503 responses carry ``Retry-After`` as a header (see the
+        transport's ``_extra_headers``); mirroring ``retry_after_s`` into
+        the JSON body too means a client that only sees the payload — a
+        mid-stream consumer, a logged error — still gets the backoff hint.
+        """
+        retry_after_s = (
+            self.config.retry_after_s if status in (429, 503) else None
+        )
+        return error_payload(status, reason, detail, retry_after_s=retry_after_s)
+
+    def _error_row(self, status: int, error: str, detail: str) -> Row:
+        """A terminal mid-stream error line carrying its own status code.
+
+        Streamed requests are committed to HTTP 200 before the failure
+        happens, so the status that *would* have been sent rides inside
+        the row — with the same in-body ``retry_after_s`` hint as a
+        buffered 429/503 — and clients can map stream failures exactly
+        like buffered ones.
+        """
+        row: Row = {"row": "error", "error": error, "detail": detail, "status": status}
+        if status in (429, 503):
+            row["retry_after_s"] = self.config.retry_after_s
+        return row
 
     @staticmethod
     def _parse_json(body: bytes) -> object:

@@ -9,7 +9,8 @@ Usage::
                   [--max-shard-restarts N] [--retry-after-s S]
                   [--drain-timeout-s S] [--admin-port P]
                   [--max-sims N] [--max-sim-nodes N]
-                  [--stream-segment-points N]
+                  [--stream-segment-points N] [--sim-stall-timeout-ms MS]
+                  [--chaos-admin]
                   [--no-result-cache] [--result-cache-dir DIR]
                   [--no-request-log] [--quiet]
 
@@ -195,6 +196,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="axis points per pool task when streaming sweep rows as NDJSON",
     )
     parser.add_argument(
+        "--sim-stall-timeout-ms",
+        type=float,
+        default=10000.0,
+        help="per-row stall deadline for streamed /v1/simulate; a child "
+        "producing no row for this long is killed and the stream ends "
+        "with a terminal error row (0 disables)",
+    )
+    parser.add_argument(
+        "--chaos-admin",
+        action="store_true",
+        help="allow POST /chaos/kill_shard on the shard supervisor's "
+        "loopback admin listener (load-generator fault plans; off by default)",
+    )
+    parser.add_argument(
         "--result-cache",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -243,6 +258,10 @@ def build_config(args: argparse.Namespace) -> ServiceConfig:
         max_sims=args.max_sims,
         max_sim_nodes=args.max_sim_nodes,
         stream_segment_points=args.stream_segment_points,
+        sim_stall_timeout_ms=(
+            None if args.sim_stall_timeout_ms == 0 else args.sim_stall_timeout_ms
+        ),
+        chaos_admin=args.chaos_admin,
     )
 
 

@@ -31,7 +31,16 @@ import json
 import socket
 import urllib.error
 import urllib.request
-from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.service.httpio import NDJSON_CONTENT_TYPE
 from repro.service.retry import CircuitBreaker, RetryPolicy, default_sleeper
@@ -46,6 +55,7 @@ __all__ = [
     "ServiceClientError",
     "CircuitOpenError",
     "TRANSPORT_FAILURE_STATUS",
+    "STREAM_FAILURE_STATUS",
     "RETRYABLE_STATUSES",
 ]
 
@@ -55,6 +65,9 @@ Axis = Union[float, Sequence[float]]
 
 #: Synthetic status for failures below HTTP (refused, reset, timeout, ...).
 TRANSPORT_FAILURE_STATUS = 599
+
+#: Fallback status for a terminal mid-stream error row carrying none.
+STREAM_FAILURE_STATUS = 500
 
 #: Statuses worth retrying: transport failures plus explicit backpressure.
 RETRYABLE_STATUSES = frozenset({429, 503, TRANSPORT_FAILURE_STATUS})
@@ -234,9 +247,18 @@ class ServiceClient:
         truncation *without* a preceding error row raises
         :class:`ServiceClientError` with status 599.
 
-        Streaming requests bypass the retry policy and circuit breaker:
-        a generator cannot safely replay a half-consumed stream.
+        Streaming requests bypass the *retry policy* — a generator cannot
+        safely replay a half-consumed stream (use :meth:`stream_rows` for
+        retried, fully-materialized consumption).  The circuit breaker
+        *is* consulted and updated: a truncated or dead stream counts as
+        a transport failure exactly like a refused connection.
         """
+        if self.breaker is not None and not self.breaker.allow():
+            raise CircuitOpenError(
+                f"circuit breaker open after "
+                f"{self.breaker.consecutive_failures} consecutive "
+                f"transport failure(s) to {self.host}:{self.port}"
+            )
         data = None
         headers = {"Accept": NDJSON_CONTENT_TYPE}
         if body is not None:
@@ -248,6 +270,8 @@ class ServiceClient:
         try:
             response = urllib.request.urlopen(req, timeout=self.timeout_s)
         except urllib.error.HTTPError as exc:
+            if self.breaker is not None:  # an HTTP error proves transport works
+                self.breaker.record_success()
             raw = exc.read()
             payload = self._safe_decode(raw)
             detail = str(payload.get("detail", raw.decode("utf-8", "replace")))
@@ -264,6 +288,8 @@ class ServiceClient:
             ConnectionError,
             http.client.HTTPException,
         ) as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure()
             raise ServiceClientError(
                 TRANSPORT_FAILURE_STATUS,
                 f"transport failure contacting {self.host}:{self.port}: "
@@ -285,11 +311,13 @@ class ServiceClient:
                     try:
                         row = json.loads(line)
                     except json.JSONDecodeError as exc:
+                        self._record_stream_failure()
                         raise ServiceClientError(
                             TRANSPORT_FAILURE_STATUS,
                             f"undecodable NDJSON line: {line[:200]!r}",
                         ) from exc
                     if not isinstance(row, dict):
+                        self._record_stream_failure()
                         raise ServiceClientError(
                             TRANSPORT_FAILURE_STATUS,
                             f"NDJSON line is not an object: {line[:200]!r}",
@@ -306,8 +334,13 @@ class ServiceClient:
         ) as exc:
             if saw_error:
                 # The missing terminal chunk after an error row is the
-                # protocol's failure signal, not a transport fault.
+                # protocol's failure signal, not a transport fault — the
+                # server delivered a structured failure, so the transport
+                # itself proved healthy.
+                if self.breaker is not None:
+                    self.breaker.record_success()
                 return
+            self._record_stream_failure()
             raise ServiceClientError(
                 TRANSPORT_FAILURE_STATUS,
                 f"stream truncated: {type(exc).__name__}: {exc}",
@@ -317,10 +350,81 @@ class ServiceClient:
             # empty body, but every stream this service emits carries at
             # least one line (the summary or ``done`` row) — zero rows can
             # only mean the connection died before the first chunk.
+            self._record_stream_failure()
             raise ServiceClientError(
                 TRANSPORT_FAILURE_STATUS,
                 "stream truncated: connection closed before the first row",
             )
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+    def _record_stream_failure(self) -> None:
+        """Breaker accounting: a truncated stream is a transport failure."""
+        if self.breaker is not None:
+            self.breaker.record_failure()
+
+    def stream_rows(
+        self, method: str, path: str, body: Optional[Payload] = None
+    ) -> List[Payload]:
+        """One streaming request, fully consumed, with retry support.
+
+        Materializes the whole NDJSON stream into a list — unlike
+        :meth:`request_stream`, each attempt is consumed to completion,
+        which makes retrying safe.  Three failure shapes are unified into
+        :class:`ServiceClientError` and (with a :class:`RetryPolicy`)
+        retried when their status is retryable:
+
+        * pre-commit HTTP errors (400/404/429/...), exactly as
+          :meth:`request`;
+        * client-detected truncation — status 599, a transport failure;
+        * a terminal ``{"row": "error"}`` line, raised with the status
+          the row carries (e.g. mid-stream 429 backpressure with its
+          in-body ``retry_after_s`` hint; :data:`STREAM_FAILURE_STATUS`
+          when absent).
+
+        Every streamed endpoint is a deterministic pure function of its
+        body, so a retried stream replays byte-identically — from the
+        server's result cache when one is configured.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._stream_rows_once(method, path, body)
+            except CircuitOpenError:
+                raise
+            except ServiceClientError as exc:
+                retries_left = (
+                    self.retry is not None
+                    and attempt + 1 < self.retry.max_attempts
+                    and exc.status in RETRYABLE_STATUSES
+                )
+                if not retries_left:
+                    raise
+                assert self.retry is not None
+                self._sleep(self.retry.backoff_s(attempt, exc.retry_after_s))
+                attempt += 1
+
+    def _stream_rows_once(
+        self, method: str, path: str, body: Optional[Payload]
+    ) -> List[Payload]:
+        """Consume one stream attempt; a terminal error row raises."""
+        rows = list(self.request_stream(method, path, body))
+        last = rows[-1] if rows else None
+        if isinstance(last, dict) and last.get("row") == "error":
+            status = last.get("status")
+            retry_after = last.get("retry_after_s")
+            raise ServiceClientError(
+                status
+                if isinstance(status, int) and not isinstance(status, bool)
+                else STREAM_FAILURE_STATUS,
+                str(last.get("detail", last.get("error", "stream failed"))),
+                last,
+                retry_after_s=float(retry_after)
+                if isinstance(retry_after, (int, float))
+                and not isinstance(retry_after, bool)
+                else None,
+            )
+        return rows
 
     # ------------------------------------------------------------------ #
     # Endpoints                                                          #

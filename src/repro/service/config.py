@@ -109,6 +109,18 @@ class ServiceConfig:
         overlay/underlay sweep is computed in pool tasks of at most this
         many points, with each segment's rows flushed to the client as
         soon as it lands.
+    sim_stall_timeout_ms:
+        Per-row stall deadline for streamed ``/v1/simulate``: when the
+        child process produces no row for this long, it is killed and the
+        stream ends with a terminal ``{"row": "error"}`` line — a stalled
+        simulation never turns into an indefinite client hang.
+        Independent of ``request_timeout_ms`` (which bounds buffered
+        requests); ``None`` disables the deadline.
+    chaos_admin:
+        Allow ``POST /chaos/kill_shard`` on the shard supervisor's
+        loopback admin listener, so a load generator can kill a shard at
+        a scheduled request index.  Off by default: the admin listener
+        stays read-only unless a chaos run explicitly opts in.
     """
 
     host: str = "127.0.0.1"
@@ -134,6 +146,8 @@ class ServiceConfig:
     max_sims: int = 2
     max_sim_nodes: int = 5000
     stream_segment_points: int = 512
+    sim_stall_timeout_ms: Optional[float] = 10000.0
+    chaos_admin: bool = False
 
     def __post_init__(self) -> None:
         check_in_range(self.port, "port", 0, 65535)
@@ -163,6 +177,8 @@ class ServiceConfig:
         check_positive_int(self.max_sims, "max_sims")
         check_positive_int(self.max_sim_nodes, "max_sim_nodes")
         check_positive_int(self.stream_segment_points, "stream_segment_points")
+        if self.sim_stall_timeout_ms is not None:
+            check_positive(self.sim_stall_timeout_ms, "sim_stall_timeout_ms")
 
     @property
     def coalesce_window_s(self) -> float:
@@ -175,3 +191,10 @@ class ServiceConfig:
         if self.request_timeout_ms is None:
             return None
         return self.request_timeout_ms / 1000.0
+
+    @property
+    def sim_stall_timeout_s(self) -> Optional[float]:
+        """The simulate stall deadline in seconds (``None`` when disabled)."""
+        if self.sim_stall_timeout_ms is None:
+            return None
+        return self.sim_stall_timeout_ms / 1000.0

@@ -12,18 +12,39 @@ stack consults at three points:
 * :meth:`take_abort` — truncate the HTTP response mid-body and close the
   connection (exercises client transport-error mapping and retries).
 
+Stream-aware faults reach the PR 9 NDJSON layer:
+
+* :meth:`take_sim_fault` — SIGKILL (``kill_sim_child``) or SIGSTOP
+  (``stall_sim``) the dedicated ``/v1/simulate`` child after it has
+  produced ``after_rows`` rows (exercises the terminal error row and the
+  stall deadline);
+* :meth:`take_truncate_stream` — cut a committed NDJSON response mid-row
+  after ``after_rows`` complete rows (exercises client truncation
+  detection, status 599);
+* :meth:`take_drop_client` — close the connection without writing a
+  single response byte (exercises the client's transport-failure path).
+
 Every fault is *armed* with an explicit count and decrements as it fires,
-so chaos tests are reproducible without any randomness.  A freshly built
-injector (and therefore every production deployment) is completely inert:
-all hooks are constant-time no-ops until something arms them, either
-programmatically or through the ``REPRO_SERVICE_FAULTS`` environment
-variable — a JSON object such as::
+so chaos tests are reproducible without any randomness.  Per-request
+faults additionally take a ``skip`` count — ignore the first N matching
+requests, then start firing — so a fault plan can target "the k-th
+request" deterministically.  A freshly built injector (and therefore
+every production deployment) is completely inert: all hooks are
+constant-time no-ops until something arms them, either programmatically
+or through the ``REPRO_SERVICE_FAULTS`` environment variable — a JSON
+object such as::
 
     REPRO_SERVICE_FAULTS='{"kill_worker": 1, "delay_ms": 250,
                            "delay_times": 2, "abort": 1,
+                           "truncate_stream": 1, "truncate_stream_skip": 3,
                            "paths": ["/v1/underlay/energy"]}'
 
 which the service reads once at boot (see :class:`PlanningService`).
+
+Path scoping is *per fault*: each arm call's ``paths`` applies to that
+fault alone, and re-arming with ``paths=None`` clears the scope back to
+"any path" (the env plan's single ``paths`` list simply scopes every
+path-matched fault it arms the same way).
 """
 
 from __future__ import annotations
@@ -50,7 +71,20 @@ class FaultInjector:
         self._delay_s = 0.0
         self._delay_times = 0
         self._abort = 0
-        self._paths: Optional[Tuple[str, ...]] = None
+        self._abort_skip = 0
+        self._kill_sim_child = 0
+        self._kill_sim_child_after_rows = 0
+        self._stall_sim = 0
+        self._stall_sim_after_rows = 0
+        self._truncate_stream = 0
+        self._truncate_stream_after_rows = 1
+        self._truncate_stream_skip = 0
+        self._drop_client = 0
+        self._drop_client_skip = 0
+        self._delay_paths: Optional[Tuple[str, ...]] = None
+        self._abort_paths: Optional[Tuple[str, ...]] = None
+        self._truncate_stream_paths: Optional[Tuple[str, ...]] = None
+        self._drop_client_paths: Optional[Tuple[str, ...]] = None
 
     # ------------------------------------------------------------------ #
     # Construction                                                       #
@@ -88,6 +122,16 @@ class FaultInjector:
             "delay_ms",
             "delay_times",
             "abort",
+            "abort_skip",
+            "kill_sim_child",
+            "kill_sim_child_after_rows",
+            "stall_sim",
+            "stall_sim_after_rows",
+            "truncate_stream",
+            "truncate_stream_after_rows",
+            "truncate_stream_skip",
+            "drop_client",
+            "drop_client_skip",
             "paths",
         }
         unknown = sorted(set(plan) - known)
@@ -119,6 +163,40 @@ class FaultInjector:
             injector.arm_abort(
                 _as_count(plan["abort"], "abort"),
                 paths=None if paths is None else tuple(paths),
+                skip=_as_count(plan.get("abort_skip", 0), "abort_skip"),
+            )
+        if "kill_sim_child" in plan:
+            injector.arm_kill_sim_child(
+                _as_count(plan["kill_sim_child"], "kill_sim_child"),
+                after_rows=_as_count(
+                    plan.get("kill_sim_child_after_rows", 0),
+                    "kill_sim_child_after_rows",
+                ),
+            )
+        if "stall_sim" in plan:
+            injector.arm_stall_sim(
+                _as_count(plan["stall_sim"], "stall_sim"),
+                after_rows=_as_count(
+                    plan.get("stall_sim_after_rows", 0), "stall_sim_after_rows"
+                ),
+            )
+        if "truncate_stream" in plan:
+            injector.arm_truncate_stream(
+                _as_count(plan["truncate_stream"], "truncate_stream"),
+                after_rows=_as_count(
+                    plan.get("truncate_stream_after_rows", 1),
+                    "truncate_stream_after_rows",
+                ),
+                paths=None if paths is None else tuple(paths),
+                skip=_as_count(
+                    plan.get("truncate_stream_skip", 0), "truncate_stream_skip"
+                ),
+            )
+        if "drop_client" in plan:
+            injector.arm_drop_client(
+                _as_count(plan["drop_client"], "drop_client"),
+                paths=None if paths is None else tuple(paths),
+                skip=_as_count(plan.get("drop_client_skip", 0), "drop_client_skip"),
             )
         return injector
 
@@ -149,26 +227,95 @@ class FaultInjector:
         """Inject ``delay_s`` of latency into the next ``times`` requests."""
         self._delay_s = check_non_negative(delay_s, "delay_s")
         self._delay_times = check_non_negative_int(times, "times")
-        if paths is not None:
-            self._paths = tuple(paths)
+        self._delay_paths = None if paths is None else tuple(paths)
 
     def arm_abort(
-        self, times: int = 1, paths: Optional[Tuple[str, ...]] = None
+        self,
+        times: int = 1,
+        paths: Optional[Tuple[str, ...]] = None,
+        skip: int = 0,
     ) -> None:
-        """Truncate and drop the connection on the next ``times`` responses."""
+        """Truncate and drop the connection on the next ``times`` responses.
+
+        ``skip`` matching responses pass through unharmed before the fault
+        starts firing.
+        """
         self._abort = check_non_negative_int(times, "times")
-        if paths is not None:
-            self._paths = tuple(paths)
+        self._abort_skip = check_non_negative_int(skip, "skip")
+        self._abort_paths = None if paths is None else tuple(paths)
+
+    def arm_kill_sim_child(self, times: int = 1, after_rows: int = 0) -> None:
+        """SIGKILL the next ``times`` simulate children mid-stream.
+
+        Each affected stream lets ``after_rows`` rows through first, then
+        kills the child process — the relay must surface a terminal
+        ``{"row": "error"}`` line, never a clean end.
+        """
+        self._kill_sim_child = check_non_negative_int(times, "times")
+        self._kill_sim_child_after_rows = check_non_negative_int(
+            after_rows, "after_rows"
+        )
+
+    def arm_stall_sim(self, times: int = 1, after_rows: int = 0) -> None:
+        """SIGSTOP the next ``times`` simulate children mid-stream.
+
+        A stopped child produces nothing forever — the relay's stall
+        deadline must fire and end the stream with a terminal error row
+        within ``sim_stall_timeout_ms``.
+        """
+        self._stall_sim = check_non_negative_int(times, "times")
+        self._stall_sim_after_rows = check_non_negative_int(
+            after_rows, "after_rows"
+        )
+
+    def arm_truncate_stream(
+        self,
+        times: int = 1,
+        after_rows: int = 1,
+        paths: Optional[Tuple[str, ...]] = None,
+        skip: int = 0,
+    ) -> None:
+        """Cut the next ``times`` committed NDJSON streams mid-row.
+
+        After ``after_rows`` complete rows the transport writes half of
+        the next encoded chunk and closes — a byte-level truncation the
+        client must detect as a transport failure (599), not a clean end.
+        """
+        self._truncate_stream = check_non_negative_int(times, "times")
+        self._truncate_stream_after_rows = check_non_negative_int(
+            after_rows, "after_rows"
+        )
+        self._truncate_stream_skip = check_non_negative_int(skip, "skip")
+        self._truncate_stream_paths = None if paths is None else tuple(paths)
+
+    def arm_drop_client(
+        self,
+        times: int = 1,
+        paths: Optional[Tuple[str, ...]] = None,
+        skip: int = 0,
+    ) -> None:
+        """Close the next ``times`` connections without any response bytes."""
+        self._drop_client = check_non_negative_int(times, "times")
+        self._drop_client_skip = check_non_negative_int(skip, "skip")
+        self._drop_client_paths = None if paths is None else tuple(paths)
 
     @property
     def armed(self) -> bool:
         """True while any fault remains armed."""
         return bool(
-            self._kill_worker or self._kill_shard or self._delay_times or self._abort
+            self._kill_worker
+            or self._kill_shard
+            or self._delay_times
+            or self._abort
+            or self._kill_sim_child
+            or self._stall_sim
+            or self._truncate_stream
+            or self._drop_client
         )
 
-    def _matches(self, path: str) -> bool:
-        return self._paths is None or path in self._paths
+    @staticmethod
+    def _matches(paths: Optional[Tuple[str, ...]], path: str) -> bool:
+        return paths is None or path in paths
 
     # ------------------------------------------------------------------ #
     # Hooks (called by the serving stack; no-ops unless armed)           #
@@ -201,16 +348,64 @@ class FaultInjector:
 
     def request_delay_s(self, path: str) -> float:
         """Latency to inject into this request (0.0 when unarmed)."""
-        if self._delay_times <= 0 or not self._matches(path):
+        if self._delay_times <= 0 or not self._matches(self._delay_paths, path):
             return 0.0
         self._delay_times -= 1
         return self._delay_s
 
     def take_abort(self, path: str) -> bool:
         """Whether to abort this response mid-body (consumes one count)."""
-        if self._abort <= 0 or not self._matches(path):
+        if self._abort <= 0 or not self._matches(self._abort_paths, path):
+            return False
+        if self._abort_skip > 0:
+            self._abort_skip -= 1
             return False
         self._abort -= 1
+        return True
+
+    def take_sim_fault(self) -> Optional[Tuple[str, int]]:
+        """The child-process fault for the simulate stream starting now.
+
+        Returns ``("kill" | "stall", after_rows)`` and consumes one count,
+        or ``None`` when no simulate-child fault is armed.  ``kill`` wins
+        when both are armed (it drains faster in tests).
+        """
+        if self._kill_sim_child > 0:
+            self._kill_sim_child -= 1
+            return ("kill", self._kill_sim_child_after_rows)
+        if self._stall_sim > 0:
+            self._stall_sim -= 1
+            return ("stall", self._stall_sim_after_rows)
+        return None
+
+    def take_truncate_stream(self, path: str) -> Optional[int]:
+        """Rows to let through before cutting this stream mid-chunk.
+
+        ``None`` means the stream is unharmed; an int consumes one armed
+        count (after the configured skips) and tells the transport how
+        many complete rows to relay before writing a partial chunk and
+        closing.
+        """
+        if self._truncate_stream <= 0 or not self._matches(
+            self._truncate_stream_paths, path
+        ):
+            return None
+        if self._truncate_stream_skip > 0:
+            self._truncate_stream_skip -= 1
+            return None
+        self._truncate_stream -= 1
+        return self._truncate_stream_after_rows
+
+    def take_drop_client(self, path: str) -> bool:
+        """Whether to close this connection without any response bytes."""
+        if self._drop_client <= 0 or not self._matches(
+            self._drop_client_paths, path
+        ):
+            return False
+        if self._drop_client_skip > 0:
+            self._drop_client_skip -= 1
+            return False
+        self._drop_client -= 1
         return True
 
 

@@ -35,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Optional, TypeVar
 
+from repro.service.childproc import harden_child
 from repro.service.errors import OverloadedError
 from repro.service.faults import FaultInjector
 from repro.service.metrics import Metrics
@@ -105,7 +106,9 @@ class WorkerPool:
         self._degraded = False
         self._executor: Optional[ProcessPoolExecutor] = None
         if self._workers > 0:
-            self._executor = ProcessPoolExecutor(max_workers=self._workers)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers, initializer=harden_child
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -216,7 +219,9 @@ class WorkerPool:
             broken.shutdown(wait=False)
             return False
         broken.shutdown(wait=False)
-        self._executor = ProcessPoolExecutor(max_workers=self._workers)
+        self._executor = ProcessPoolExecutor(
+            max_workers=self._workers, initializer=harden_child
+        )
         if self._metrics is not None:
             self._metrics.pool_restart()
         return True

@@ -170,6 +170,10 @@ class ServiceServer:
             if request is None:
                 return
             head, body = request
+            if self.service.faults.take_drop_client(head.path):
+                # Chaos hook: the connection dies without a single
+                # response byte — the client sees a transport failure.
+                return
             if self.service.wants_stream(head.method, head.path, head.headers):
                 self._enter()
                 try:
@@ -177,7 +181,7 @@ class ServiceServer:
                         head.method, head.path, body
                     )
                     if isinstance(result, RowStream):
-                        await self._relay_stream(result, writer)
+                        await self._relay_stream(result, writer, head.path)
                         return
                     status, payload = result
                     writer.write(
@@ -218,7 +222,7 @@ class ServiceServer:
                 return
 
     async def _relay_stream(
-        self, stream: RowStream, writer: asyncio.StreamWriter
+        self, stream: RowStream, writer: asyncio.StreamWriter, path: str
     ) -> None:
         """Ship one committed NDJSON stream as a chunked 200 response.
 
@@ -227,13 +231,25 @@ class ServiceServer:
         final zero-length chunk, so clients can always distinguish a
         truncated stream from a complete one; streams that finish cleanly
         get :data:`LAST_CHUNK`.  The connection closes either way.
+
+        Chaos hook: an armed ``truncate_stream`` fault relays that many
+        complete rows, then writes *half* of the next encoded chunk and
+        closes — a byte-level mid-row truncation no error row announces.
         """
+        truncate_after = self.service.faults.take_truncate_stream(path)
         writer.write(render_stream_head(200, stream.content_type))
         try:
             failed = False
+            sent = 0
             async for row in stream.rows:
-                writer.write(encode_chunk(encode_ndjson_line(row)))
+                blob = encode_chunk(encode_ndjson_line(row))
+                if truncate_after is not None and sent >= truncate_after:
+                    writer.write(blob[: max(1, len(blob) // 2)])
+                    await writer.drain()
+                    return
+                writer.write(blob)
                 await writer.drain()
+                sent += 1
                 if row.get("row") == "error":
                     failed = True
             if not failed:

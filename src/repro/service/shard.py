@@ -21,8 +21,16 @@ Supervision mirrors the worker-pool contract from
 bounded, count-based :class:`repro.service.pool.RestartBudget`; once the
 budget is exhausted the fleet latches **degraded** (surviving shards keep
 serving, nothing is respawned).  The supervisor itself never sleeps or
-reads wall clocks — child exits are observed by one watcher thread per
-shard posting events onto the loop.
+reads wall clocks — each shard gets a stdout-reader thread (for its
+announce line) and a separate exit-watcher thread posting events onto the
+loop.  The two must stay separate: the pipe only reaches EOF once every
+forked descendant's inherited write end is gone, so exit detection gated
+on the reader would hang on exactly the straggler it needs to reap.
+Every shard leads its own process group, and a dead shard's group is
+SIGKILLed before its replacement spawns: forked descendants (pool
+workers, simulation children — even ones SIGSTOPped mid-fault) can
+otherwise outlive the shard while still holding its ``SO_REUSEPORT``
+listening socket, silently swallowing a share of new connections.
 
 Because the kernel decides which shard answers any given connection, the
 supervisor also runs a private loopback **admin** listener whose
@@ -35,7 +43,9 @@ Chaos hook: an armed ``kill_shard`` fault plan (see
 :class:`repro.service.faults.FaultInjector`) makes the supervisor SIGKILL
 one live shard per count once the fleet is ready — the restart path above
 is then exercised end to end.  The ``kill_shard`` key is stripped from the
-plan the shards inherit.
+plan the shards inherit, and *replacement* shards inherit no plan at all —
+a count-armed fault budget belongs to the fleet boot, not to each shard
+incarnation.
 """
 
 from __future__ import annotations
@@ -271,6 +281,18 @@ class ShardSupervisor:
             str(config.retry_after_s),
             "--drain-timeout-s",
             str(config.drain_timeout_s),
+            "--max-sims",
+            str(config.max_sims),
+            "--max-sim-nodes",
+            str(config.max_sim_nodes),
+            "--stream-segment-points",
+            str(config.stream_segment_points),
+            "--sim-stall-timeout-ms",
+            str(
+                0.0
+                if config.sim_stall_timeout_ms is None
+                else config.sim_stall_timeout_ms
+            ),
             "--admin-port",
             "0",
             "--shard-index",
@@ -292,8 +314,17 @@ class ShardSupervisor:
             argv += ["--result-cache-dir", config.result_cache_dir]
         return argv
 
-    def _child_env(self) -> Dict[str, str]:
-        """The shard environment: importable package, no ``kill_shard``."""
+    def _child_env(self, arm_faults: bool = True) -> Dict[str, str]:
+        """The shard environment: importable package, no ``kill_shard``.
+
+        ``arm_faults=False`` (replacement shards) strips the fault plan
+        entirely: a count-armed plan is a per-*fleet* budget, armed once at
+        boot.  If every restarted shard re-parsed the inherited env it
+        would re-arm the full plan, so each fault could fire once per
+        shard *incarnation* — and a client retrying through a fault storm
+        could draw a fresh fault on every attempt instead of converging to
+        the clean outcome the replay digest asserts.
+        """
         env = dict(os.environ)
         package_root = str(pathlib.Path(__file__).resolve().parents[2])
         existing = env.get("PYTHONPATH")
@@ -302,6 +333,9 @@ class ShardSupervisor:
                 env["PYTHONPATH"] = package_root + os.pathsep + existing
         else:
             env["PYTHONPATH"] = package_root
+        if not arm_faults:
+            env.pop(FAULTS_ENV_VAR, None)
+            return env
         raw = env.get(FAULTS_ENV_VAR, "").strip()
         if raw:
             try:
@@ -316,25 +350,68 @@ class ShardSupervisor:
                     env.pop(FAULTS_ENV_VAR, None)
         return env
 
-    def _spawn(self, index: int) -> None:
+    def _spawn(self, index: int, arm_faults: bool = True) -> None:
         pass_fds: Tuple[int, ...] = ()
         if self._listen_sock is not None:
             pass_fds = (self._listen_sock.fileno(),)
+        # Each shard leads its own session (and therefore process group):
+        # its forked descendants — pool workers, simulation children —
+        # inherit the group, so when the shard dies the supervisor can
+        # SIGKILL the whole group and reap stragglers that never got a
+        # chance to clean up (e.g. a sim child SIGSTOPped by a stall fault
+        # before it could arm its parent-death signal; see
+        # repro.service.childproc).  A stopped process still holds any
+        # inherited SO_REUSEPORT listening socket, silently eating a share
+        # of new connections — group SIGKILL is the only signal that
+        # removes it regardless of state.
         proc = subprocess.Popen(
             self._child_argv(index),
             stdout=subprocess.PIPE,
             text=True,
-            env=self._child_env(),
+            env=self._child_env(arm_faults),
             pass_fds=pass_fds,
+            start_new_session=True,
         )
         shard = _Shard(index, proc)
         self._shards[index] = shard
+        # Two independent watcher threads per shard.  The announce reader
+        # blocks on the stdout pipe, which only reaches EOF once *every*
+        # inherited write end is gone — the shard and all its forked
+        # descendants.  A SIGSTOPped pre-hardening sim child never closes
+        # its copy, so exit detection must not sit behind that EOF: the
+        # exit watcher waits on the process directly and its group
+        # SIGKILL is what finally unblocks the reader.
         threading.Thread(
-            target=self._watch_shard, args=(shard,), daemon=True
+            target=self._watch_announce, args=(shard,), daemon=True
+        ).start()
+        threading.Thread(
+            target=self._watch_exit, args=(shard,), daemon=True
         ).start()
 
-    def _watch_shard(self, shard: _Shard) -> None:
-        """Watcher thread: relay the announce line, then the exit."""
+    @staticmethod
+    def _reap_shard_group(pid: int) -> None:
+        """SIGKILL every surviving member of a dead shard's process group.
+
+        The group id equals the shard's pid (``start_new_session=True``),
+        and the group outlives the leader while any member — a forked pool
+        worker or simulation child — survives, so this works even after
+        the shard itself was reaped.  No-op when the group is already
+        empty or the platform has no process groups.
+        """
+        killpg = getattr(os, "killpg", None)
+        if killpg is None:  # pragma: no cover - POSIX-only service
+            return
+        try:
+            killpg(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+    def _watch_announce(self, shard: _Shard) -> None:
+        """Reader thread: relay the shard's ``listening`` announce line.
+
+        Events carry the incarnation's pid so a line straggling out of a
+        dead shard's pipe can never be attributed to its replacement.
+        """
         stdout = shard.proc.stdout
         assert stdout is not None
         for line in stdout:
@@ -346,10 +423,31 @@ class ShardSupervisor:
             except json.JSONDecodeError:
                 continue
             if isinstance(info, dict) and info.get("event") == "listening":
+                info = dict(info)
+                info["pid"] = shard.proc.pid
                 self._post(("ready", shard.index, info))
+
+    def _watch_exit(self, shard: _Shard) -> None:
+        """Exit watcher: wait for the shard, reap its group, announce.
+
+        Deliberately independent of the stdout reader: waiting for pipe
+        EOF before ``wait()`` would deadlock on exactly the orphan this
+        path exists to reap — a descendant that still holds the pipe's
+        write end (and the shared listening socket) because it was
+        SIGSTOPped before it could harden itself.  The group SIGKILL
+        below is what closes those straggler fds and lets the reader
+        thread finish.  Reaping happens *before* the exit event so a
+        replacement shard never races a zombie group member still bound
+        to the shared port.
+        """
         shard.proc.wait()
+        self._reap_shard_group(shard.proc.pid)
         self._post(
-            ("exit", shard.index, {"returncode": shard.proc.returncode})
+            (
+                "exit",
+                shard.index,
+                {"returncode": shard.proc.returncode, "pid": shard.proc.pid},
+            )
         )
 
     def _post(self, event: _Event) -> None:
@@ -490,6 +588,36 @@ class ShardSupervisor:
             f"the supervisor only serves /healthz and /metrics, not {path}",
         )
 
+    def _chaos_kill_shard(self) -> Tuple[int, Payload]:
+        """``POST /chaos/kill_shard``: SIGKILL one live shard on demand.
+
+        The scheduled-fault analogue of the boot-time ``kill_shard`` plan:
+        a load generator calls this at a chosen request index and the
+        supervisor's replacement path takes over.  Requires the explicit
+        ``chaos_admin`` opt-in; refused with 403 otherwise.
+        """
+        if not self.config.chaos_admin:
+            return 403, error_payload(
+                403,
+                "forbidden",
+                "chaos admin endpoints are disabled; start with --chaos-admin",
+            )
+        victims = [s for s in self._shards.values() if s.alive]
+        if not victims:
+            return 409, error_payload(
+                409, "conflict", "no live shard to kill"
+            )
+        victim = victims[-1]
+        logger.warning(
+            "%s",
+            json.dumps(
+                {"event": "chaos_kill_shard", "shard": victim.index},
+                sort_keys=True,
+            ),
+        )
+        victim.proc.kill()
+        return 200, {"event": "chaos_kill_shard", "shard": victim.index}
+
     async def _handle_admin(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -510,11 +638,14 @@ class ShardSupervisor:
                 if request is None:
                     return
                 head, _ = request
-                if head.method != "GET":
+                if head.method == "POST" and head.path == "/chaos/kill_shard":
+                    status, payload = self._chaos_kill_shard()
+                elif head.method != "GET":
                     status, payload = 405, error_payload(
                         405,
                         "method not allowed",
-                        "the supervisor admin endpoint is GET-only",
+                        "the supervisor admin endpoint is GET-only "
+                        "(POST /chaos/kill_shard requires --chaos-admin)",
                     )
                 else:
                     status, payload = await self._admin_response(head.path)
@@ -596,8 +727,15 @@ class ShardSupervisor:
                     event_task.cancel()
                     return
                 kind, index, info = event_task.result()
+                shard = self._shards.get(index)
+                pid = info.get("pid")
+                if (
+                    shard is not None
+                    and isinstance(pid, int)
+                    and pid != shard.proc.pid
+                ):
+                    continue  # stale event from a replaced incarnation
                 if kind == "ready":
-                    shard = self._shards.get(index)
                     if shard is not None:
                         shard.port = int(str(info.get("port", self._port)))
                         admin = info.get("admin_port")
@@ -687,7 +825,10 @@ class ShardSupervisor:
             ),
         )
         if self._budget.spend():
-            self._spawn(index)
+            # Replacement shards spawn with the fault plan stripped: the
+            # count-armed plan is a fleet-boot budget, not a per-
+            # incarnation one (see _child_env).
+            self._spawn(index, arm_faults=False)
             logger.warning(
                 "%s",
                 json.dumps(
@@ -738,6 +879,8 @@ class ShardSupervisor:
                 if shard.alive:  # pragma: no cover - drain overrun
                     shard.proc.kill()
             await self._wait_all_exited()
+        for shard in self._shards.values():
+            self._reap_shard_group(shard.proc.pid)
         self._close_sockets()
         logger.info(
             "%s", json.dumps({"event": "supervisor_stopped"}, sort_keys=True)

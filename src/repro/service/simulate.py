@@ -19,13 +19,17 @@ from __future__ import annotations
 
 import asyncio
 import multiprocessing
+import os
 import signal
 from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
 from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
 
 from repro.scenario.runtime import ScenarioRuntime
 from repro.scenario.spec import ScenarioSpec, scenario_from_mapping
+from repro.service.childproc import harden_child
 from repro.service.errors import BadRequestError, OverloadedError
+from repro.service.faults import FaultInjector
 from repro.service.metrics import Metrics
 
 __all__ = ["SimulationRunner", "parse_simulate_request", "simulate_rows"]
@@ -76,6 +80,10 @@ def _child_main(spec: ScenarioSpec, conn: Connection) -> None:
     signal.set_wakeup_fd(-1)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     signal.signal(signal.SIGINT, signal.SIG_DFL)
+    # Drop inherited sockets (listener, other clients' connections) and
+    # die with the parent: a child that outlives a killed shard would
+    # otherwise keep the shard's SO_REUSEPORT listener half-alive.
+    harden_child()
     try:
         for row in ScenarioRuntime(spec).run():
             conn.send(("row", row))
@@ -98,12 +106,18 @@ class SimulationRunner:
     server, so an overloaded request still gets a clean JSON 429.
     """
 
-    def __init__(self, max_sims: int, metrics: Optional[Metrics] = None) -> None:
+    def __init__(
+        self,
+        max_sims: int,
+        metrics: Optional[Metrics] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
         if max_sims < 1:
             raise ValueError("max_sims must be >= 1")
         self._max_sims = max_sims
         self._active = 0
         self._metrics = metrics
+        self._faults = faults
 
     @property
     def active(self) -> int:
@@ -148,7 +162,13 @@ class SimulationRunner:
         process.start()
         child_conn.close()
         loop = asyncio.get_running_loop()
+        fault = self._faults.take_sim_fault() if self._faults is not None else None
+        stalled = False
+        rows_sent = 0
         try:
+            if fault is not None and fault[1] <= 0:
+                stalled = self._apply_sim_fault(process, fault[0])
+                fault = None
             waited = 0.0
             while True:
                 # Poll in the default thread pool: keeps the event loop
@@ -157,13 +177,14 @@ class SimulationRunner:
                 ready = await loop.run_in_executor(None, parent_conn.poll, _POLL_S)
                 if not ready:
                     if not process.is_alive() and not parent_conn.poll():
-                        yield self._error_row("simulation process died")
+                        yield self._error_row("simulation process died", 500)
                         return
                     waited += _POLL_S
                     if stall_timeout_s is not None and waited >= stall_timeout_s:
                         yield self._error_row(
                             f"no snapshot within the {stall_timeout_s:g} s "
-                            "stall deadline"
+                            "stall deadline",
+                            504,
                         )
                         return
                     continue
@@ -171,25 +192,55 @@ class SimulationRunner:
                 try:
                     kind, value = self._receive(parent_conn)
                 except EOFError:
-                    yield self._error_row("simulation ended without a summary")
+                    yield self._error_row("simulation ended without a summary", 500)
                     return
                 if kind == "row":
+                    rows_sent += 1
                     yield value  # type: ignore[misc]
+                    if fault is not None and rows_sent >= fault[1]:
+                        stalled = self._apply_sim_fault(process, fault[0])
+                        fault = None
                 elif kind == "done":
                     return
                 else:
-                    yield self._error_row(str(value))
+                    yield self._error_row(str(value), 500)
                     return
         finally:
             parent_conn.close()
+            if stalled and process.is_alive() and process.pid is not None:
+                # SIGTERM stays pending on a stopped process; resume it
+                # first so the terminate below can actually be delivered.
+                try:
+                    os.kill(process.pid, signal.SIGCONT)
+                except (ProcessLookupError, OSError):  # pragma: no cover
+                    pass
             if process.is_alive():
                 process.terminate()
             process.join(timeout=5.0)
+
+    @staticmethod
+    def _apply_sim_fault(process: BaseProcess, action: str) -> bool:
+        """Fire an armed child fault; returns whether the child is stopped."""
+        if not process.is_alive() or process.pid is None:
+            return False
+        if action == "kill":
+            process.kill()
+            return False
+        try:
+            os.kill(process.pid, signal.SIGSTOP)
+        except (ProcessLookupError, OSError):  # pragma: no cover
+            return False
+        return True
 
     @staticmethod
     def _receive(conn: Connection) -> Tuple[str, Any]:
         return conn.recv()  # type: ignore[no-any-return]
 
     @staticmethod
-    def _error_row(detail: str) -> Row:
-        return {"row": "error", "error": "stream failed", "detail": detail}
+    def _error_row(detail: str, status: int) -> Row:
+        return {
+            "row": "error",
+            "error": "stream failed",
+            "detail": detail,
+            "status": status,
+        }

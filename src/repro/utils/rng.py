@@ -15,7 +15,7 @@ import numpy as np
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["as_rng", "spawn_rngs", "spawn_seed_sequences"]
+__all__ = ["as_rng", "keyed_seed_sequence", "spawn_rngs", "spawn_seed_sequences"]
 
 
 def as_rng(rng: RngLike = None) -> np.random.Generator:
@@ -49,6 +49,23 @@ def spawn_rngs(rng: RngLike, n: int) -> List[np.random.Generator]:
     base = as_rng(rng)
     seeds = base.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def keyed_seed_sequence(*keys: int) -> np.random.SeedSequence:
+    """A :class:`numpy.random.SeedSequence` keyed by an entropy tuple.
+
+    Stateless counterpart of :func:`spawn_seed_sequences` for streams
+    addressed by *content* rather than position: ``(seed, k)`` always
+    yields the same sequence, with no parent object whose spawn counter
+    could drift between callers (e.g. the load generator's per-request
+    retry-jitter streams, keyed by ``(spec seed, request index)``).
+    """
+    if not keys:
+        raise ValueError("need at least one entropy key")
+    for key in keys:
+        if not isinstance(key, (int, np.integer)):
+            raise TypeError(f"entropy keys must be ints, got {type(key)!r}")
+    return np.random.SeedSequence(entropy=[int(key) for key in keys])
 
 
 def spawn_seed_sequences(

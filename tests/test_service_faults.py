@@ -44,6 +44,48 @@ class TestFromEnv:
         assert faults.request_delay_s("/v1/underlay/energy") == 0.25
         assert faults.take_abort("/v1/underlay/energy") is True
 
+    def test_stream_plan_arms_stream_faults(self):
+        faults = FaultInjector.from_env(
+            environ=self._env(
+                {
+                    "kill_sim_child": 1,
+                    "kill_sim_child_after_rows": 2,
+                    "truncate_stream": 1,
+                    "truncate_stream_after_rows": 3,
+                    "drop_client": 1,
+                    "paths": ["/v1/simulate"],
+                }
+            )
+        )
+        assert faults.armed
+        assert faults.take_sim_fault() == ("kill", 2)
+        assert faults.take_truncate_stream("/v1/simulate") == 3
+        assert faults.take_drop_client("/v1/simulate") is True
+
+    def test_stall_plan_arms_stall(self):
+        faults = FaultInjector.from_env(
+            environ=self._env({"stall_sim": 1, "stall_sim_after_rows": 1})
+        )
+        assert faults.take_sim_fault() == ("stall", 1)
+        assert faults.take_sim_fault() is None
+
+    def test_skip_counters_from_env(self):
+        faults = FaultInjector.from_env(
+            environ=self._env(
+                {"truncate_stream": 1, "truncate_stream_skip": 2}
+            )
+        )
+        assert faults.take_truncate_stream("/a") is None
+        assert faults.take_truncate_stream("/b") is None
+        assert faults.take_truncate_stream("/c") == 1
+        assert faults.take_truncate_stream("/d") is None
+
+    def test_kill_shard_from_env(self):
+        faults = FaultInjector.from_env(environ=self._env({"kill_shard": 2}))
+        assert faults.take_kill_shard() is True
+        assert faults.take_kill_shard() is True
+        assert faults.take_kill_shard() is False
+
     def test_delay_defaults_to_one_shot(self):
         faults = FaultInjector.from_env(environ=self._env({"delay_ms": 100}))
         assert faults.request_delay_s("/x") == 0.1
@@ -66,6 +108,10 @@ class TestFromEnv:
             '{"delay_ms": 10, "delay_times": 1.5}',
             '{"abort": 1, "paths": "/v1/ebar"}',
             '{"abort": 1, "paths": [1]}',
+            '{"kill_sim_child": "yes"}',
+            '{"stall_sim": 1, "stall_sim_after_rows": -1}',
+            '{"truncate_stream": 1.5}',
+            '{"drop_client": 1, "drop_client_skip": "three"}',
         ],
     )
     def test_malformed_plans_fail_loudly(self, raw):
@@ -132,3 +178,34 @@ class TestCounts:
             faults.arm_delay(-0.1)
         with pytest.raises(ValueError):
             faults.arm_abort(-2)
+        with pytest.raises(ValueError):
+            faults.arm_truncate_stream(1, after_rows=-1)
+        with pytest.raises(ValueError):
+            faults.arm_stall_sim(-1)
+
+    def test_kill_beats_stall_when_both_armed(self):
+        faults = FaultInjector()
+        faults.arm_kill_sim_child(1, after_rows=4)
+        faults.arm_stall_sim(1, after_rows=2)
+        assert faults.take_sim_fault() == ("kill", 4)
+        assert faults.take_sim_fault() == ("stall", 2)
+        assert faults.take_sim_fault() is None
+
+    def test_truncate_respects_paths_and_skip(self):
+        faults = FaultInjector()
+        faults.arm_truncate_stream(
+            1, after_rows=2, paths=("/v1/simulate",), skip=1
+        )
+        assert faults.take_truncate_stream("/v1/ebar") is None  # path miss
+        assert faults.take_truncate_stream("/v1/simulate") is None  # skipped
+        assert faults.take_truncate_stream("/v1/simulate") == 2
+        assert faults.take_truncate_stream("/v1/simulate") is None
+
+    def test_drop_client_consumes_after_skip(self):
+        faults = FaultInjector()
+        faults.arm_drop_client(2, skip=1)
+        assert faults.take_drop_client("/a") is False
+        assert faults.take_drop_client("/b") is True
+        assert faults.take_drop_client("/c") is True
+        assert faults.take_drop_client("/d") is False
+        assert not faults.armed

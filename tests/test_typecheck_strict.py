@@ -26,6 +26,7 @@ STRICT_PACKAGES = [
     "repro.mac",
     "repro.simulation",
     "repro.scenario",
+    "repro.loadgen",
 ]
 
 mypy_available = shutil.which("mypy") is not None or (

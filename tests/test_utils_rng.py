@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.rng import as_rng, keyed_seed_sequence, spawn_rngs
 
 
 class TestAsRng:
@@ -48,3 +48,29 @@ class TestSpawn:
         children = spawn_rngs(42, 4)
         draws = [g.integers(0, 2**62) for g in children]
         assert len(set(draws)) == 4
+
+
+class TestKeyedSeedSequence:
+    def test_same_keys_same_stream(self):
+        a = as_rng(keyed_seed_sequence(7, 3)).random(4)
+        b = as_rng(keyed_seed_sequence(7, 3)).random(4)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        draws = {
+            as_rng(keyed_seed_sequence(*keys)).integers(0, 2**62)
+            for keys in [(7, 3), (7, 4), (8, 3), (3, 7)]
+        }
+        assert len(draws) == 4
+
+    def test_numpy_ints_accepted(self):
+        a = keyed_seed_sequence(np.int64(7), np.int32(3))
+        assert a.entropy == keyed_seed_sequence(7, 3).entropy
+
+    def test_no_keys_rejected(self):
+        with pytest.raises(ValueError):
+            keyed_seed_sequence()
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            keyed_seed_sequence("seed")
